@@ -1,0 +1,69 @@
+//! Evaluation-protocol and node-simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use harvest_sim::{
+    simulate_node, EnergyNeutralManager, EnergyStorage, Load, NodeConfig, SolarPanel,
+};
+use pred_metrics::EvalProtocol;
+use repro_bench::bench_trace;
+use solar_predict::{run_predictor, WcmaParams, WcmaPredictor};
+use solar_trace::{SlotView, SlotsPerDay};
+use std::hint::black_box;
+
+fn bench_protocol_evaluate(c: &mut Criterion) {
+    let trace = bench_trace(60);
+    let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
+    let params = WcmaParams::new(0.7, 10, 2, 48).unwrap();
+    let log = run_predictor(&view, &mut WcmaPredictor::new(params));
+    let protocol = EvalProtocol::paper();
+    let mut group = c.benchmark_group("protocol_evaluate");
+    group.throughput(Throughput::Elements(log.len() as u64));
+    group.bench_function("paper_protocol", |b| {
+        b.iter(|| black_box(protocol.evaluate(&log)));
+    });
+    group.finish();
+}
+
+fn bench_clairvoyant(c: &mut Criterion) {
+    use param_explore::dynamic::clairvoyant_eval;
+    let trace = bench_trace(40);
+    let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
+    let protocol = EvalProtocol::paper();
+    let alphas: Vec<f64> = (0..=10).map(|i| i as f64 / 10.0).collect();
+    let mut group = c.benchmark_group("clairvoyant_eval");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(view.total_slots() as u64));
+    group.bench_function("alpha_and_k", |b| {
+        b.iter(|| black_box(clairvoyant_eval(&view, 20, &alphas, 6, &protocol)));
+    });
+    group.finish();
+}
+
+fn bench_node_sim(c: &mut Criterion) {
+    let trace = bench_trace(60);
+    let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
+    let config = NodeConfig {
+        panel: SolarPanel::new(0.01, 0.15).unwrap(),
+        storage: EnergyStorage::with_losses(4000.0, 2000.0, 0.9, 0.9, 0.001).unwrap(),
+        load: Load::new(0.05, 0.0005).unwrap(),
+    };
+    let mut group = c.benchmark_group("node_simulation");
+    group.throughput(Throughput::Elements(view.total_slots() as u64));
+    group.bench_function("wcma_energy_neutral", |b| {
+        b.iter(|| {
+            let mut predictor =
+                WcmaPredictor::new(WcmaParams::new(0.7, 10, 2, 48).unwrap());
+            let mut manager = EnergyNeutralManager::default();
+            black_box(simulate_node(&view, &mut predictor, &mut manager, &config))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_protocol_evaluate,
+    bench_clairvoyant,
+    bench_node_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Per-prediction kernel cost — the host-side analogue of the paper's
+//! Table IV: how the WCMA cost scales with K, what the persistence path
+//! adds, and how fixed point compares, next to the EWMA baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use repro_bench::bench_trace;
+use solar_predict::fixed_point::FixedWcmaPredictor;
+use solar_predict::{
+    run_predictor, EwmaPredictor, PersistencePredictor, Predictor, WcmaParams, WcmaPredictor,
+};
+use solar_trace::{SlotView, SlotsPerDay};
+use std::hint::black_box;
+
+fn bench_wcma_vs_k(c: &mut Criterion) {
+    let trace = bench_trace(30);
+    let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
+    let predictions = view.total_slots() as u64;
+    let mut group = c.benchmark_group("wcma_kernel_vs_k");
+    group.throughput(Throughput::Elements(predictions));
+    for k in [1usize, 2, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let params = WcmaParams::new(0.7, 10, k, 48).unwrap();
+            b.iter(|| {
+                let mut p = WcmaPredictor::new(params);
+                black_box(run_predictor(&view, &mut p))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_wcma_vs_d(c: &mut Criterion) {
+    let trace = bench_trace(30);
+    let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
+    let mut group = c.benchmark_group("wcma_kernel_vs_d");
+    group.throughput(Throughput::Elements(view.total_slots() as u64));
+    for d in [2usize, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let params = WcmaParams::new(0.7, d, 2, 48).unwrap();
+            b.iter(|| {
+                let mut p = WcmaPredictor::new(params);
+                black_box(run_predictor(&view, &mut p))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_predictor_zoo(c: &mut Criterion) {
+    let trace = bench_trace(30);
+    let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
+    let mut group = c.benchmark_group("predictor_zoo");
+    group.throughput(Throughput::Elements(view.total_slots() as u64));
+    let params = WcmaParams::new(0.7, 10, 2, 48).unwrap();
+    group.bench_function("wcma_f64", |b| {
+        b.iter(|| {
+            let mut p = WcmaPredictor::new(params);
+            black_box(run_predictor(&view, &mut p))
+        })
+    });
+    group.bench_function("wcma_q16", |b| {
+        b.iter(|| {
+            let mut p = FixedWcmaPredictor::new(params);
+            black_box(run_predictor(&view, &mut p))
+        })
+    });
+    group.bench_function("ewma", |b| {
+        b.iter(|| {
+            let mut p = EwmaPredictor::new(0.5, 48).unwrap();
+            black_box(run_predictor(&view, &mut p))
+        })
+    });
+    group.bench_function("persistence", |b| {
+        b.iter(|| {
+            let mut p = PersistencePredictor::new(48);
+            black_box(run_predictor(&view, &mut p))
+        })
+    });
+    group.finish();
+}
+
+fn bench_single_step(c: &mut Criterion) {
+    // The cost of one observe_and_predict call in steady state — the
+    // direct analogue of a single MCU kernel invocation.
+    let trace = bench_trace(12);
+    let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
+    let samples: Vec<f64> = view.start_series().to_vec();
+    c.bench_function("wcma_single_step", |b| {
+        let params = WcmaParams::new(0.7, 10, 2, 48).unwrap();
+        let mut p = WcmaPredictor::new(params);
+        for &s in &samples {
+            p.observe_and_predict(s);
+        }
+        let mut idx = 0usize;
+        b.iter(|| {
+            let s = samples[idx % samples.len()];
+            idx += 1;
+            black_box(p.observe_and_predict(black_box(s)))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wcma_vs_k,
+    bench_wcma_vs_d,
+    bench_predictor_zoo,
+    bench_single_step
+);
+criterion_main!(benches);

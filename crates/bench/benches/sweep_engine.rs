@@ -1,0 +1,65 @@
+//! Sweep-engine throughput: the cost of regenerating a Table III cell
+//! (one site × one N × the full 1254-configuration grid), and how the
+//! one-pass engine compares to naive per-configuration runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use param_explore::{sweep, ParamGrid};
+use pred_metrics::EvalProtocol;
+use repro_bench::bench_trace;
+use solar_predict::{run_predictor, WcmaParams, WcmaPredictor};
+use solar_trace::{SlotView, SlotsPerDay};
+use std::hint::black_box;
+
+fn bench_full_grid(c: &mut Criterion) {
+    let trace = bench_trace(40);
+    let protocol = EvalProtocol::paper();
+    let grid = ParamGrid::paper();
+    let mut group = c.benchmark_group("sweep_full_grid");
+    group.sample_size(10);
+    for n in [96u32, 48, 24] {
+        let view = SlotView::new(&trace, SlotsPerDay::new(n).unwrap()).unwrap();
+        group.throughput(Throughput::Elements(grid.configs() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(sweep(&view, &grid, &protocol)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_vs_naive(c: &mut Criterion) {
+    // A small sub-grid where running each configuration separately is
+    // feasible, to quantify the one-pass speedup.
+    let trace = bench_trace(40);
+    let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
+    let protocol = EvalProtocol::paper();
+    let grid = ParamGrid::builder()
+        .alphas(vec![0.0, 0.5, 1.0])
+        .days(vec![5, 10, 20])
+        .ks(vec![1, 2, 3])
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("sweep_vs_naive_27_configs");
+    group.sample_size(10);
+    group.bench_function("one_pass_sweep", |b| {
+        b.iter(|| black_box(sweep(&view, &grid, &protocol)));
+    });
+    group.bench_function("naive_per_config", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for &alpha in grid.alphas() {
+                for &d in grid.days() {
+                    for &k in grid.ks() {
+                        let params = WcmaParams::new(alpha, d, k, 48).unwrap();
+                        let log = run_predictor(&view, &mut WcmaPredictor::new(params));
+                        total += protocol.evaluate(&log).mape;
+                    }
+                }
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_grid, bench_sweep_vs_naive);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Generator throughput: how fast the synthetic substrate produces the
+//! paper's data sets (Table I scale: a 1-minute site year is 525,600
+//! samples).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use solar_synth::{Site, TraceGenerator};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation_10_days");
+    for site in [Site::Spmd, Site::Ornl, Site::Pfci] {
+        let config = site.config();
+        let samples = config.resolution.samples_per_day() as u64 * 10;
+        group.throughput(Throughput::Elements(samples));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(site.code()),
+            &site,
+            |b, &site| {
+                b.iter(|| {
+                    let generator = TraceGenerator::new(site.config(), 7);
+                    black_box(generator.generate_days(10).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_slotting(c: &mut Criterion) {
+    use solar_trace::{SlotView, SlotsPerDay};
+    let trace = repro_bench::bench_trace(30);
+    let mut group = c.benchmark_group("slot_view_build");
+    for n in [288u32, 48, 24] {
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(SlotView::new(&trace, SlotsPerDay::new(n).unwrap()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_slotting);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! The benches are the host-side analogue of the paper's hardware cost
+//! measurements (Table IV): per-prediction kernel cost versus K and
+//! arithmetic style, sweep-engine throughput, generator throughput, and
+//! simulator step rate. See `crates/bench/benches/`.
+
+use solar_synth::{Site, TraceGenerator};
+use solar_trace::PowerTrace;
+
+/// Fixed bench seed, distinct from the experiment data sets.
+pub const BENCH_SEED: u64 = 0xBE;
+
+/// A deterministic trace for benchmarking: `days` days of the HSU-like
+/// site (1-minute resolution, variable weather).
+pub fn bench_trace(days: usize) -> PowerTrace {
+    TraceGenerator::new(Site::Hsu.config(), BENCH_SEED)
+        .generate_days(days)
+        .expect("days > 0")
+}
+
+/// A deterministic 5-minute trace (SPMD-like site).
+pub fn bench_trace_5min(days: usize) -> PowerTrace {
+    TraceGenerator::new(Site::Spmd.config(), BENCH_SEED)
+        .generate_days(days)
+        .expect("days > 0")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(bench_trace(2), bench_trace(2));
+        assert_eq!(bench_trace_5min(2).resolution().as_seconds(), 300);
+    }
+}

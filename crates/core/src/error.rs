@@ -1,0 +1,88 @@
+//! Parameter-validation errors.
+
+use std::fmt;
+
+/// Errors from constructing predictor parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParamError {
+    /// α must be a finite value in `[0, 1]`.
+    InvalidAlpha {
+        /// Offending value.
+        alpha: f64,
+    },
+    /// D must be at least 1.
+    InvalidDays {
+        /// Offending value.
+        days: usize,
+    },
+    /// K must be at least 1 and smaller than the slots per day.
+    InvalidK {
+        /// Offending value.
+        k: usize,
+        /// Slots per day it was validated against.
+        slots_per_day: usize,
+    },
+    /// Slots per day must be at least 2.
+    InvalidSlots {
+        /// Offending value.
+        slots_per_day: usize,
+    },
+    /// The smoothing factor γ must be a finite value in `(0, 1]`.
+    InvalidGamma {
+        /// Offending value.
+        gamma: f64,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::InvalidAlpha { alpha } => {
+                write!(f, "alpha {alpha} must be a finite value in [0, 1]")
+            }
+            ParamError::InvalidDays { days } => {
+                write!(f, "days D={days} must be at least 1")
+            }
+            ParamError::InvalidK { k, slots_per_day } => {
+                write!(f, "k={k} must be in [1, {slots_per_day})")
+            }
+            ParamError::InvalidSlots { slots_per_day } => {
+                write!(f, "slots per day {slots_per_day} must be at least 2")
+            }
+            ParamError::InvalidGamma { gamma } => {
+                write!(f, "gamma {gamma} must be a finite value in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases = [
+            ParamError::InvalidAlpha { alpha: 2.0 },
+            ParamError::InvalidDays { days: 0 },
+            ParamError::InvalidK {
+                k: 48,
+                slots_per_day: 48,
+            },
+            ParamError::InvalidSlots { slots_per_day: 1 },
+            ParamError::InvalidGamma { gamma: 0.0 },
+        ];
+        for err in cases {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ParamError>();
+    }
+}

@@ -1,0 +1,240 @@
+//! The `E_{D×N}` matrix of the paper (Fig. 3): a ring buffer of the last
+//! `D` days' slot-start power samples.
+
+/// Ring buffer of the most recent `capacity` days, each holding
+/// `slots` slot-start power values.
+///
+/// This is the storage whose size (`D × N` floats) the paper counts
+/// against the prediction algorithm's memory budget, motivating the
+/// D ≈ 10–11 guideline.
+///
+/// # Example
+///
+/// ```
+/// use solar_predict::DayHistory;
+///
+/// let mut history = DayHistory::new(4, 3); // 4 slots/day, keep 3 days
+/// history.push_day(&[1.0, 2.0, 3.0, 4.0]);
+/// history.push_day(&[3.0, 4.0, 5.0, 6.0]);
+/// assert_eq!(history.days_stored(), 2);
+/// // μ_2(slot 0) = (1 + 3) / 2
+/// assert_eq!(history.mean(0, 2), Some(2.0));
+/// // Asking for more days than stored averages what exists.
+/// assert_eq!(history.mean(0, 3), Some(2.0));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct DayHistory {
+    slots: usize,
+    capacity: usize,
+    days_stored: usize,
+    /// Next row to overwrite.
+    head: usize,
+    /// Row-major `capacity × slots`.
+    data: Vec<f64>,
+}
+
+impl DayHistory {
+    /// Creates an empty history for `slots` slots per day keeping at most
+    /// `capacity` days.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` or `capacity` is zero.
+    pub fn new(slots: usize, capacity: usize) -> Self {
+        assert!(slots > 0, "slots must be positive");
+        assert!(capacity > 0, "capacity must be positive");
+        DayHistory {
+            slots,
+            capacity,
+            days_stored: 0,
+            head: 0,
+            data: vec![0.0; slots * capacity],
+        }
+    }
+
+    /// Slots per day.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Maximum days retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Days currently stored (saturates at `capacity`).
+    pub fn days_stored(&self) -> usize {
+        self.days_stored
+    }
+
+    /// `true` until the first day is pushed.
+    pub fn is_empty(&self) -> bool {
+        self.days_stored == 0
+    }
+
+    /// `true` once `capacity` days are retained.
+    pub fn is_full(&self) -> bool {
+        self.days_stored == self.capacity
+    }
+
+    /// Appends a completed day, evicting the oldest if full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day.len() != slots`.
+    pub fn push_day(&mut self, day: &[f64]) {
+        assert_eq!(day.len(), self.slots, "day length must equal slots");
+        let start = self.head * self.slots;
+        self.data[start..start + self.slots].copy_from_slice(day);
+        self.head = (self.head + 1) % self.capacity;
+        if self.days_stored < self.capacity {
+            self.days_stored += 1;
+        }
+    }
+
+    /// The stored value at `slot` of the day `days_back` days ago
+    /// (1 = most recent). Returns `None` if out of range.
+    pub fn value(&self, days_back: usize, slot: usize) -> Option<f64> {
+        if days_back == 0 || days_back > self.days_stored || slot >= self.slots {
+            return None;
+        }
+        let row = (self.head + self.capacity - days_back) % self.capacity;
+        Some(self.data[row * self.slots + slot])
+    }
+
+    /// `μ_d(slot)`: the mean over the most recent `min(d, days_stored)`
+    /// days at `slot` (the paper's Eq. 2). Returns `None` while empty or
+    /// if `slot` is out of range or `d == 0`.
+    pub fn mean(&self, slot: usize, d: usize) -> Option<f64> {
+        if self.days_stored == 0 || slot >= self.slots || d == 0 {
+            return None;
+        }
+        let take = d.min(self.days_stored);
+        let mut sum = 0.0;
+        for back in 1..=take {
+            let row = (self.head + self.capacity - back) % self.capacity;
+            sum += self.data[row * self.slots + slot];
+        }
+        Some(sum / take as f64)
+    }
+
+    /// Fills `out[i]` with the sum of the most recent `i + 1` days'
+    /// values at `slot`, for `i < min(upto, days_stored)`, and returns how
+    /// many entries were written. `μ_d(slot)` is then `out[d − 1] / d` in
+    /// O(1) — this is what lets the sweep engine evaluate every `D` of the
+    /// paper's grid in one pass.
+    ///
+    /// `out` is cleared first.
+    pub fn prefix_sums(&self, slot: usize, upto: usize, out: &mut Vec<f64>) -> usize {
+        out.clear();
+        if slot >= self.slots {
+            return 0;
+        }
+        let take = upto.min(self.days_stored);
+        let mut sum = 0.0;
+        for back in 1..=take {
+            let row = (self.head + self.capacity - back) % self.capacity;
+            sum += self.data[row * self.slots + slot];
+            out.push(sum);
+        }
+        take
+    }
+
+    /// Clears all stored days.
+    pub fn clear(&mut self) {
+        self.days_stored = 0;
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(capacity: usize, days: usize) -> DayHistory {
+        let mut h = DayHistory::new(3, capacity);
+        for d in 0..days {
+            let base = d as f64 * 10.0;
+            h.push_day(&[base, base + 1.0, base + 2.0]);
+        }
+        h
+    }
+
+    #[test]
+    fn starts_empty() {
+        let h = DayHistory::new(4, 2);
+        assert!(h.is_empty());
+        assert_eq!(h.mean(0, 5), None);
+        assert_eq!(h.value(1, 0), None);
+    }
+
+    #[test]
+    fn value_indexing_is_most_recent_first() {
+        let h = filled(5, 3);
+        // Days pushed: 0, 10, 20 base values.
+        assert_eq!(h.value(1, 0), Some(20.0));
+        assert_eq!(h.value(2, 0), Some(10.0));
+        assert_eq!(h.value(3, 0), Some(0.0));
+        assert_eq!(h.value(4, 0), None);
+        assert_eq!(h.value(0, 0), None);
+        assert_eq!(h.value(1, 3), None);
+    }
+
+    #[test]
+    fn eviction_keeps_most_recent() {
+        let h = filled(3, 5); // pushes bases 0,10,20,30,40 into capacity 3
+        assert!(h.is_full());
+        assert_eq!(h.value(1, 0), Some(40.0));
+        assert_eq!(h.value(3, 0), Some(20.0));
+        assert_eq!(h.value(4, 0), None);
+    }
+
+    #[test]
+    fn mean_matches_naive_average() {
+        let h = filled(10, 6);
+        // Bases 0..=50 step 10 at slot 1 are 1, 11, 21, 31, 41, 51.
+        let mean3 = h.mean(1, 3).unwrap();
+        assert!((mean3 - (51.0 + 41.0 + 31.0) / 3.0).abs() < 1e-12);
+        let mean_all = h.mean(1, 100).unwrap();
+        assert!((mean_all - (1.0 + 11.0 + 21.0 + 31.0 + 41.0 + 51.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_out_of_range_inputs() {
+        let h = filled(4, 2);
+        assert_eq!(h.mean(3, 2), None);
+        assert_eq!(h.mean(0, 0), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = filled(4, 3);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(0, 1), None);
+        h.push_day(&[7.0, 8.0, 9.0]);
+        assert_eq!(h.value(1, 2), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "day length")]
+    fn push_wrong_length_panics() {
+        let mut h = DayHistory::new(3, 2);
+        h.push_day(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn prefix_sums_match_means() {
+        let h = filled(10, 7);
+        let mut buf = Vec::new();
+        let written = h.prefix_sums(2, 20, &mut buf);
+        assert_eq!(written, 7);
+        for d in 1..=7 {
+            let mean_from_prefix = buf[d - 1] / d as f64;
+            assert!((mean_from_prefix - h.mean(2, d).unwrap()).abs() < 1e-12, "d={d}");
+        }
+        // Out-of-range slot writes nothing.
+        assert_eq!(h.prefix_sums(9, 20, &mut buf), 0);
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic generation of the six paper data sets (Table I).
+
+use solar_synth::{Site, TraceGenerator};
+use solar_trace::PowerTrace;
+
+/// The fixed seed of the reproduction data sets (the publication year —
+/// any constant works; what matters is that every run and every machine
+/// regenerates identical traces).
+pub const DATASET_SEED: u64 = 2010;
+
+/// One generated data set.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// The site this trace stands in for.
+    pub site: Site,
+    /// The generated irradiance trace (W/m²).
+    pub trace: PowerTrace,
+}
+
+impl Dataset {
+    /// The sampling rates `N` the paper evaluates for this data set.
+    /// All of {288, 96, 72, 48, 24} are representable for both 1- and
+    /// 5-minute resolutions; at 5 minutes, `N = 288` is the degenerate
+    /// one-sample-per-slot case the paper marks with a dagger.
+    pub fn paper_n_values(&self) -> Vec<u32> {
+        solar_trace::SlotsPerDay::PAPER_VALUES.to_vec()
+    }
+
+    /// `true` if a slot at rate `n` holds exactly one sample (the
+    /// degenerate case where MAPE ≡ 0 at α = 1, Table III's †).
+    pub fn is_degenerate_n(&self, n: u32) -> bool {
+        self.trace.resolution().samples_per_day() == n as usize
+    }
+}
+
+/// Generates the trace standing in for `site`, covering `days` days.
+///
+/// # Panics
+///
+/// Panics if `days` is zero.
+pub fn site_trace(site: Site, days: usize) -> PowerTrace {
+    TraceGenerator::new(site.config(), DATASET_SEED)
+        .generate_days(days)
+        .expect("days must be positive")
+}
+
+/// Generates all six data sets at `days` days each.
+pub fn all_datasets(days: usize) -> Vec<Dataset> {
+    Site::ALL
+        .iter()
+        .map(|&site| Dataset {
+            site,
+            trace: site_trace(site, days),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solar_trace::Resolution;
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = site_trace(Site::Ornl, 3);
+        let b = site_trace(Site::Ornl, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_one_shapes() {
+        // Table I: 5-minute sites have 288 samples/day, 1-minute sites
+        // 1440; a full year gives 105,120 and 525,600 observations.
+        let spmd = site_trace(Site::Spmd, 365);
+        assert_eq!(spmd.resolution(), Resolution::FIVE_MINUTES);
+        assert_eq!(spmd.len(), 105_120);
+        let ornl = site_trace(Site::Ornl, 365);
+        assert_eq!(ornl.resolution(), Resolution::ONE_MINUTE);
+        assert_eq!(ornl.len(), 525_600);
+    }
+
+    #[test]
+    fn degenerate_n_detection() {
+        let ds = Dataset {
+            site: Site::Spmd,
+            trace: site_trace(Site::Spmd, 2),
+        };
+        assert!(ds.is_degenerate_n(288));
+        assert!(!ds.is_degenerate_n(48));
+        let ds1 = Dataset {
+            site: Site::Ornl,
+            trace: site_trace(Site::Ornl, 2),
+        };
+        assert!(!ds1.is_degenerate_n(288));
+        assert_eq!(ds.paper_n_values(), vec![288, 96, 72, 48, 24]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Extension — where in the day the prediction error lives.
+//!
+//! Backs the paper's §III region-of-interest argument with data: errors
+//! concentrate at the edges of the daylight window, mid-day is the most
+//! predictable, and night never enters the average at all.
+
+use crate::context::{Context, ExperimentOutput};
+use param_explore::report::TextTable;
+use pred_metrics::DiurnalProfile;
+use solar_predict::{run_predictor, WcmaParams, WcmaPredictor};
+use solar_synth::Site;
+use solar_trace::{SlotView, SlotsPerDay};
+
+/// The sampling rate of the profile.
+pub const N: u32 = 48;
+
+/// Per-slot-of-day MAPE of the guideline WCMA on every site, plus a
+/// summary of coverage and the worst slot.
+pub fn run(ctx: &Context) -> ExperimentOutput {
+    let n = N as usize;
+    let params = WcmaParams::new(0.7, 10, 2, n).expect("guideline parameters");
+    let mut profiles: Vec<(Site, DiurnalProfile)> = Vec::new();
+    for ds in ctx.datasets() {
+        let view = SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N"))
+            .expect("compatible N");
+        let log = run_predictor(&view, &mut WcmaPredictor::new(params));
+        profiles.push((ds.site, DiurnalProfile::of(&log, ctx.protocol())));
+    }
+
+    let mut headers = vec!["slot".to_string(), "hour".to_string()];
+    headers.extend(profiles.iter().map(|(s, _)| s.code().to_string()));
+    let mut curves = TextTable::new(headers.iter().map(String::as_str).collect());
+    for slot in 0..n {
+        if profiles.iter().all(|(_, p)| p.mape(slot).is_none()) {
+            continue; // night
+        }
+        let mut row = vec![slot.to_string(), format!("{:.1}", slot as f64 * 24.0 / n as f64)];
+        for (_, profile) in &profiles {
+            row.push(
+                profile
+                    .mape(slot)
+                    .map(|m| format!("{:.4}", m))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        curves.push_row(row);
+    }
+
+    let mut summary = TextTable::new(vec![
+        "Data set",
+        "daylight coverage %",
+        "worst slot (hour)",
+        "worst MAPE",
+    ]);
+    for (site, profile) in &profiles {
+        let (slot, mape) = profile.worst_slot().expect("daylight data exists");
+        summary.push_row(vec![
+            site.code().to_string(),
+            format!("{:.0}", profile.coverage() * 100.0),
+            format!("{:.1}", slot as f64 * 24.0 / n as f64),
+            format!("{:.2}%", mape * 100.0),
+        ]);
+    }
+
+    ExperimentOutput {
+        id: "diurnal",
+        title: "Extension: diurnal error profile of the guideline WCMA (N = 48)",
+        tables: vec![("summary".into(), summary), ("curves".into(), curves)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_covers_daylight_and_edges_are_hardest() {
+        let ctx = Context::with_days(60);
+        let out = run(&ctx);
+        let summary = &out.tables[0].1;
+        assert_eq!(summary.len(), 6);
+        for row in summary.rows() {
+            let coverage: f64 = row[1].parse().unwrap();
+            // Daylight inside the ROI spans roughly a third to two thirds
+            // of the day.
+            assert!(
+                (25.0..=75.0).contains(&coverage),
+                "{}: coverage {coverage}%",
+                row[0]
+            );
+            let worst_hour: f64 = row[2].parse().unwrap();
+            // The worst slot lies within daylight (night never enters the
+            // averages). Whether it sits at the ROI edge or in afternoon
+            // convection depends on the site's weather.
+            assert!(
+                (5.0..=20.0).contains(&worst_hour),
+                "{}: worst slot at {worst_hour}h",
+                row[0]
+            );
+        }
+    }
+}

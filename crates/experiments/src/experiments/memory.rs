@@ -1,0 +1,89 @@
+//! Extension — memory footprint of the predictor state vs (D, N).
+//!
+//! The paper's D guideline is argued from accuracy *and* "samples storage
+//! memory requirement"; this experiment makes the memory side concrete
+//! against the MSP430F1611's 10 KiB RAM.
+
+use crate::context::{Context, ExperimentOutput};
+use msp430_energy::memory::{max_feasible_d, MemoryFootprint, SampleFormat, MSP430F1611_RAM_BYTES};
+use param_explore::report::TextTable;
+use solar_trace::SlotsPerDay;
+
+/// Regenerates the memory analysis: per (N, format), the bytes of the
+/// guideline configuration (D = 10, K = 2) and the largest D that still
+/// leaves half the MSP430F1611 RAM to the application.
+pub fn run(_ctx: &Context) -> ExperimentOutput {
+    let mut table = TextTable::new(vec![
+        "N",
+        "format",
+        "bytes @ D=10",
+        "% of RAM",
+        "max feasible D",
+    ]);
+    for n in SlotsPerDay::PAPER_VALUES {
+        for format in [SampleFormat::F32, SampleFormat::Q16, SampleFormat::AdcU16] {
+            let fp = MemoryFootprint::wcma(10, n as usize, 2, format);
+            table.push_row(vec![
+                n.to_string(),
+                format.to_string(),
+                fp.total_bytes().to_string(),
+                format!("{:.1}", fp.msp430f1611_fraction() * 100.0),
+                max_feasible_d(n as usize, 2, format)
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "none".into()),
+            ]);
+        }
+    }
+    let mut context = TextTable::new(vec!["quantity", "value"]);
+    context.push_row(vec![
+        "MSP430F1611 RAM".into(),
+        format!("{MSP430F1611_RAM_BYTES} B"),
+    ]);
+    context.push_row(vec![
+        "EWMA baseline state @ N=288".into(),
+        format!("{} B", MemoryFootprint::ewma(288).total_bytes()),
+    ]);
+    ExperimentOutput {
+        id: "memory",
+        title: "Extension: predictor memory footprint vs (D, N) on MSP430F1611",
+        tables: vec![("main".into(), table), ("context".into(), context)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guideline_fits_everywhere_except_fat_n288() {
+        let ctx = Context::with_days(25);
+        let out = run(&ctx);
+        let table = &out.tables[0].1;
+        assert_eq!(table.len(), 15);
+        for row in table.rows() {
+            let n: u32 = row[0].parse().unwrap();
+            let pct: f64 = row[3].parse().unwrap();
+            if n <= 96 {
+                assert!(pct < 50.0, "N={n} {}: {pct}% of RAM", row[1]);
+            }
+        }
+        // At N=288, even packed ADC storage only supports a modest D
+        // under the half-RAM bar — the memory side of the N trade-off.
+        let u16_row = table
+            .rows()
+            .iter()
+            .find(|r| r[0] == "288" && r[1] == "u16 ADC")
+            .unwrap();
+        let max_d: usize = u16_row[4].parse().unwrap();
+        assert!((3..10).contains(&max_d), "packed N=288 max D {max_d}");
+        // At the paper's N=48 focus, the guideline D=10 fits in floats
+        // with room to spare.
+        let f32_48 = table
+            .rows()
+            .iter()
+            .find(|r| r[0] == "48" && r[1] == "f32")
+            .unwrap();
+        let max_d48: usize = f32_48[4].parse().unwrap();
+        assert!(max_d48 >= 20, "f32 N=48 max D {max_d48}");
+    }
+}

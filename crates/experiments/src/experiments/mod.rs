@@ -1,0 +1,81 @@
+//! One module per paper artifact (see DESIGN.md §4 for the index).
+
+pub mod baselines;
+pub mod diurnal;
+pub mod dynamic_causal;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fixedpoint;
+pub mod kpolicy;
+pub mod memory;
+pub mod sim_impact;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod tradeoff;
+
+use crate::context::{Context, ExperimentOutput};
+
+/// All experiment ids, in the order `repro all` runs them.
+pub const ALL_IDS: [&str; 16] = [
+    "table1",
+    "fig2",
+    "table2",
+    "table3",
+    "fig7",
+    "table4",
+    "fig6",
+    "table5",
+    "baselines",
+    "fixedpoint",
+    "dynamic-causal",
+    "kpolicy",
+    "memory",
+    "diurnal",
+    "tradeoff",
+    "sim-impact",
+];
+
+/// Runs an experiment by id.
+///
+/// Returns `None` for an unknown id.
+pub fn run_by_id(ctx: &Context, id: &str) -> Option<ExperimentOutput> {
+    Some(match id {
+        "table1" => table1::run(ctx),
+        "fig2" => fig2::run(ctx),
+        "table2" => table2::run(ctx),
+        "table3" => table3::run(ctx),
+        "fig7" => fig7::run(ctx),
+        "table4" => table4::run(ctx),
+        "fig6" => fig6::run(ctx),
+        "table5" => table5::run(ctx),
+        "baselines" => baselines::run(ctx),
+        "fixedpoint" => fixedpoint::run(ctx),
+        "dynamic-causal" => dynamic_causal::run(ctx),
+        "kpolicy" => kpolicy::run(ctx),
+        "memory" => memory::run(ctx),
+        "diurnal" => diurnal::run(ctx),
+        "tradeoff" => tradeoff::run(ctx),
+        "sim-impact" => sim_impact::run(ctx),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_id_runs() {
+        let ctx = Context::with_days(30);
+        for id in ALL_IDS {
+            let out = run_by_id(&ctx, id).expect("listed id must run");
+            assert_eq!(out.id, id);
+            assert!(!out.tables.is_empty(), "{id} produced no tables");
+        }
+        assert!(run_by_id(&ctx, "nope").is_none());
+    }
+}

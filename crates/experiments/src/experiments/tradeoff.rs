@@ -1,0 +1,131 @@
+//! The accuracy–cost trade-off (the paper's abstract and §IV-B/§IV-C
+//! synthesis): what each sampling rate buys in MAPE and costs in energy,
+//! and where dynamic selection moves the frontier.
+
+use crate::context::{Context, ExperimentOutput};
+use crate::experiments::table3;
+use msp430_energy::{
+    AdcModel, CalibratedCycleModel, PredictionKernel, SamplingSchedule, Supply,
+};
+use param_explore::dynamic::clairvoyant_eval;
+use param_explore::report::{pct, TextTable};
+use solar_synth::Site;
+use solar_trace::{SlotView, SlotsPerDay};
+
+/// The site used for the frontier (a variable one, as in Table V).
+pub const SITE: Site = Site::Ornl;
+
+/// Per N: static MAPE, clairvoyant-dynamic MAPE, and the daily energy
+/// overhead — the frontier a designer actually chooses from. The paper's
+/// headline crossover should appear: dynamic at N = 48 beats static at
+/// N = 288 while spending a sixth of the sampling energy.
+pub fn run(ctx: &Context) -> ExperimentOutput {
+    let supply = Supply::msp430f1611();
+    let adc = AdcModel::msp430_paper();
+    let cycles = CalibratedCycleModel::paper();
+    let rows = table3::rows(ctx);
+    let ds = ctx.dataset(SITE);
+    let alphas = ctx.grid().alphas().to_vec();
+    let k_max = ctx.grid().k_max();
+
+    let mut table = TextTable::new(vec![
+        "N",
+        "static MAPE",
+        "dynamic MAPE (clairvoyant)",
+        "overhead %/day",
+        "uJ per MAPE point saved vs N=24",
+    ]);
+    let static24 = rows
+        .iter()
+        .find(|r| r.site == SITE && r.n == 24)
+        .expect("table3 covers all N")
+        .best
+        .mape;
+    for &n in &ds.paper_n_values() {
+        let row = rows
+            .iter()
+            .find(|r| r.site == SITE && r.n == n)
+            .expect("table3 covers all N");
+        let kernel = PredictionKernel::new(row.best.k.min(6), row.best.alpha);
+        let budget =
+            SamplingSchedule::new(n as usize).daily_budget(&supply, &adc, &cycles, &kernel);
+        let dynamic = if row.degenerate {
+            0.0
+        } else {
+            let view = SlotView::new(&ds.trace, SlotsPerDay::new(n).expect("paper N"))
+                .expect("compatible N");
+            clairvoyant_eval(&view, row.best.days, &alphas, k_max, ctx.protocol()).both_mape
+        };
+        let gain_points = (static24 - row.best.mape) * 100.0;
+        let marginal = if gain_points > 0.0 {
+            format!("{:.0}", budget.active_per_day_j * 1e6 / gain_points)
+        } else {
+            "n/a".to_string()
+        };
+        table.push_row(vec![
+            n.to_string(),
+            pct(row.best.mape),
+            pct(dynamic),
+            format!("{:.2}", budget.overhead_pct()),
+            marginal,
+        ]);
+    }
+
+    ExperimentOutput {
+        id: "tradeoff",
+        title: "Synthesis: accuracy vs energy cost across N (ORNL)",
+        tables: vec![("main".into(), table)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct_of(cell: &str) -> f64 {
+        cell.trim_end_matches('%').parse().unwrap()
+    }
+
+    #[test]
+    fn dynamic_at_48_beats_static_at_288_at_lower_cost() {
+        let ctx = Context::with_days(60);
+        let out = run(&ctx);
+        let table = &out.tables[0].1;
+        assert_eq!(table.len(), 5);
+        let row = |n: &str| {
+            table
+                .rows()
+                .iter()
+                .find(|r| r[0] == n)
+                .expect("row exists")
+        };
+        let static288 = pct_of(&row("288")[1]);
+        let dyn48 = pct_of(&row("48")[2]);
+        let overhead288 = pct_of(&row("288")[3]);
+        let overhead48 = pct_of(&row("48")[3]);
+        assert!(
+            dyn48 < static288,
+            "dynamic@48 ({dyn48}%) must beat static@288 ({static288}%)"
+        );
+        assert!(
+            overhead48 * 5.0 < overhead288,
+            "N=48 overhead {overhead48}% vs N=288 {overhead288}%"
+        );
+    }
+
+    #[test]
+    fn overhead_decreases_with_n() {
+        let ctx = Context::with_days(60);
+        let out = run(&ctx);
+        let overheads: Vec<f64> = out.tables[0]
+            .1
+            .rows()
+            .iter()
+            .map(|r| r[3].trim_end_matches('%').parse().unwrap())
+            .collect();
+        // Rows are N = 288, 96, 72, 48, 24: strictly decreasing cost.
+        for pair in overheads.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+}

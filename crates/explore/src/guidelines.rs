@@ -1,0 +1,115 @@
+//! Extraction of the paper's §IV-B parameter-tuning guidelines from sweep
+//! results.
+//!
+//! The paper distils its grid results into three rules of thumb:
+//! D can be fixed at 10–11, K = 2 is near-optimal everywhere, and α
+//! should grow with N (0.5–0.6 at N = 24 up to ≈1 at N = 288). These
+//! helpers measure how much a given data set deviates from those rules.
+
+use crate::sweep::SweepResult;
+
+/// The smallest D on the grid whose best achievable MAPE (over α and K)
+/// is within `margin` (absolute fraction, e.g. `0.01` = one MAPE point)
+/// of the global optimum — the paper's justification for D ≈ 10–11.
+///
+/// Returns `None` for an empty evaluation.
+pub fn smallest_adequate_d(result: &SweepResult, margin: f64) -> Option<usize> {
+    if result.eval_count() == 0 {
+        return None;
+    }
+    let best = result.best_by_mape().mape;
+    result
+        .grid()
+        .days()
+        .iter()
+        .copied()
+        .filter(|&d| {
+            result
+                .best_at_days(d)
+                .map(|c| c.mape <= best + margin)
+                .unwrap_or(false)
+        })
+        .min()
+}
+
+/// The absolute MAPE penalty (fraction) of fixing K to `k` versus the
+/// global optimum — the paper's "K = 2 is very close to minimum" check.
+///
+/// Returns `None` if `k` is not on the grid or nothing was evaluated.
+pub fn k_penalty(result: &SweepResult, k: usize) -> Option<f64> {
+    if result.eval_count() == 0 {
+        return None;
+    }
+    let best = result.best_by_mape().mape;
+    result.best_at_k(k).map(|c| c.mape - best)
+}
+
+/// The absolute MAPE penalty (fraction) of fixing α to the guideline
+/// value versus the global optimum.
+///
+/// Returns `None` if `alpha` is not on the grid or nothing was evaluated.
+pub fn alpha_penalty(result: &SweepResult, alpha: f64) -> Option<f64> {
+    if result.eval_count() == 0 {
+        return None;
+    }
+    let ai = result.grid().alpha_index(alpha)?;
+    let best = result.best_by_mape().mape;
+    let best_at_alpha = (0..result.grid().days().len())
+        .flat_map(|di| (0..result.grid().ks().len()).map(move |ki| (di, ki)))
+        .map(|(di, ki)| result.mape(ai, di, ki))
+        .fold(f64::INFINITY, f64::min);
+    Some(best_at_alpha - best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ParamGrid;
+    use crate::sweep::sweep;
+    use pred_metrics::EvalProtocol;
+    use solar_trace::{PowerTrace, Resolution, SlotsPerDay, SlotView};
+
+    fn noisy_view_trace() -> PowerTrace {
+        let n = 24;
+        let mut samples = Vec::new();
+        let mut state = 0xACEDu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for _ in 0..35 {
+            let scale = 1.0 + 0.4 * next();
+            for s in 0..n {
+                let x = (s as f64 / n as f64 - 0.5) * 6.0;
+                let base = 900.0 * (-x * x).exp();
+                samples.push(if base < 20.0 { 0.0 } else { (base * scale * (1.0 + 0.2 * next())).max(0.0) });
+            }
+        }
+        PowerTrace::new("g", Resolution::from_minutes(60).unwrap(), samples).unwrap()
+    }
+
+    #[test]
+    fn guideline_metrics_are_consistent() {
+        let trace = noisy_view_trace();
+        let view = SlotView::new(&trace, SlotsPerDay::new(24).unwrap()).unwrap();
+        let result = sweep(&view, &ParamGrid::paper(), &EvalProtocol::paper());
+
+        // Penalties are non-negative and zero at the optimum's own values.
+        let best = result.best_by_mape();
+        assert_eq!(k_penalty(&result, best.k).map(|p| p < 1e-15), Some(true));
+        for k in 1..=6 {
+            assert!(k_penalty(&result, k).unwrap() >= -1e-15);
+        }
+        assert!(alpha_penalty(&result, best.alpha).unwrap() < 1e-15);
+
+        // A huge margin admits the smallest D; a zero margin admits at
+        // least the optimum's D.
+        assert_eq!(smallest_adequate_d(&result, 1.0), Some(2));
+        let tight = smallest_adequate_d(&result, 0.0).unwrap();
+        assert!(tight <= best.days);
+
+        // Missing grid values yield None.
+        assert!(k_penalty(&result, 9).is_none());
+        assert!(alpha_penalty(&result, 0.33).is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! Paper-style text tables and CSV export.
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple aligned text table, used by the experiment binaries to print
+/// rows in the shape of the paper's tables.
+///
+/// # Example
+///
+/// ```
+/// use param_explore::report::TextTable;
+///
+/// let mut table = TextTable::new(vec!["Data set", "MAPE"]);
+/// table.push_row(vec!["SPMD".into(), "15.80%".into()]);
+/// let text = table.to_string();
+/// assert!(text.contains("SPMD"));
+/// assert!(text.contains("MAPE"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The header row.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Writes the table as CSV to `writer` (header first). Cells
+    /// containing commas or quotes are quoted.
+    ///
+    /// The `writer` is taken by value; pass `&mut writer` to keep
+    /// ownership.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        fn field(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        writeln!(
+            writer,
+            "{}",
+            self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(",")
+        )?;
+        for row in &self.rows {
+            writeln!(
+                writer,
+                "{}",
+                row.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Saves the table as CSV at `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::File::create(path)?;
+        self.write_csv(std::io::BufWriter::new(file))
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let columns = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..columns {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as the paper prints percentages ("15.80%").
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TextTable {
+        let mut t = TextTable::new(vec!["Site", "alpha", "MAPE"]);
+        t.push_row(vec!["SPMD".into(), "0.7".into(), "15.80%".into()]);
+        t.push_row(vec!["PFCI".into(), "0.6".into(), "6.59%".into()]);
+        t
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let text = sample().to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("Site"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("SPMD"));
+        // Columns align: 'alpha' column starts at the same offset.
+        let off_header = lines[0].find("alpha").unwrap();
+        let off_row = lines[2].find("0.7").unwrap();
+        assert_eq!(off_header, off_row);
+    }
+
+    #[test]
+    fn csv_output_quotes_when_needed() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.push_row(vec!["plain".into(), "with,comma".into()]);
+        t.push_row(vec!["with\"quote".into(), "x".into()]);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"with,comma\""));
+        assert!(text.contains("\"with\"\"quote\""));
+    }
+
+    #[test]
+    fn save_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("param_explore_report_test/nested");
+        let path = dir.join("t.csv");
+        sample().save_csv(&path).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn pct_formats_like_paper() {
+        assert_eq!(pct(0.158), "15.80%");
+        assert_eq!(pct(0.0659), "6.59%");
+        assert_eq!(pct(0.0), "0.00%");
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.headers().len(), 3);
+        assert_eq!(t.rows()[1][0], "PFCI");
+    }
+}

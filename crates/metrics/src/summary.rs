@@ -1,0 +1,238 @@
+//! The paper's full evaluation protocol (§III–§IV-A) and its result type.
+
+use crate::error_fn::{MaeAccumulator, MapeAccumulator, MbeAccumulator, RmseAccumulator};
+use crate::record::PredictionLog;
+use crate::roi::RoiFilter;
+
+/// Aggregated error figures of one predictor run under one protocol.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ErrorSummary {
+    /// MAPE against mean slot power (the paper's headline metric), as a
+    /// fraction.
+    pub mape: f64,
+    /// MAPE against slot-start samples (the paper's MAPE′), as a fraction.
+    pub mape_prime: f64,
+    /// RMSE against mean slot power.
+    pub rmse: f64,
+    /// MAE against mean slot power.
+    pub mae: f64,
+    /// Mean bias against mean slot power.
+    pub mbe: f64,
+    /// Number of predictions that passed the filters.
+    pub count: usize,
+}
+
+impl ErrorSummary {
+    /// MAPE in percent, as printed in the paper's tables.
+    pub fn mape_pct(&self) -> f64 {
+        self.mape * 100.0
+    }
+
+    /// MAPE′ in percent.
+    pub fn mape_prime_pct(&self) -> f64 {
+        self.mape_prime * 100.0
+    }
+}
+
+impl std::fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MAPE {:.2}% / MAPE' {:.2}% over {} predictions",
+            self.mape_pct(),
+            self.mape_prime_pct(),
+            self.count
+        )
+    }
+}
+
+/// The paper's evaluation protocol: region-of-interest filter + warm-up
+/// day cut-off.
+///
+/// Evaluation keeps a record when **both** hold:
+///
+/// * `record.day >= first_eval_day` — the paper evaluates days 21–365
+///   (1-based) so the `D = 20` history matrix is full and every `D` sees
+///   identical evaluation points; `first_eval_day` is 0-based, so the
+///   paper value is 20.
+/// * `record.actual_mean` is at least `roi` of the log's peak mean power.
+///   The same mask (based on mean slot power) is used for MAPE and MAPE′
+///   so both average over identical sample points, as §IV-A requires.
+///
+/// # Example
+///
+/// ```
+/// use pred_metrics::EvalProtocol;
+///
+/// let protocol = EvalProtocol::paper();
+/// assert_eq!(protocol.first_eval_day(), 20);
+/// assert_eq!(protocol.roi().threshold_fraction(), 0.10);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EvalProtocol {
+    roi: RoiFilter,
+    first_eval_day: u32,
+}
+
+impl EvalProtocol {
+    /// Creates a protocol with a custom ROI fraction and warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `roi_fraction` is outside `[0, 1]` (see
+    /// [`RoiFilter::new`]).
+    pub fn new(roi_fraction: f64, first_eval_day: u32) -> Self {
+        EvalProtocol {
+            roi: RoiFilter::new(roi_fraction),
+            first_eval_day,
+        }
+    }
+
+    /// The paper's protocol: 10% ROI, evaluate from (0-based) day 20.
+    pub fn paper() -> Self {
+        EvalProtocol {
+            roi: RoiFilter::paper(),
+            first_eval_day: 20,
+        }
+    }
+
+    /// The region-of-interest filter.
+    pub fn roi(&self) -> RoiFilter {
+        self.roi
+    }
+
+    /// First 0-based day included in averages.
+    pub fn first_eval_day(&self) -> u32 {
+        self.first_eval_day
+    }
+
+    /// Whether a record at `day` with reference mean `actual_mean`
+    /// participates, given the log peak.
+    pub fn includes(&self, day: u32, actual_mean: f64, peak: f64) -> bool {
+        day >= self.first_eval_day && self.roi.includes(actual_mean, peak)
+    }
+
+    /// Evaluates a prediction log under this protocol.
+    ///
+    /// The ROI peak is the largest mean slot power *in the log*, matching
+    /// the paper's per-data-set peak.
+    pub fn evaluate(&self, log: &PredictionLog) -> ErrorSummary {
+        let peak = log.peak_actual_mean();
+        let mut mape = MapeAccumulator::new();
+        let mut mape_prime = MapeAccumulator::new();
+        let mut rmse = RmseAccumulator::new();
+        let mut mae = MaeAccumulator::new();
+        let mut mbe = MbeAccumulator::new();
+        for r in log {
+            if !self.includes(r.day, r.actual_mean, peak) {
+                continue;
+            }
+            mape.add(r.actual_mean, r.predicted);
+            // MAPE′: same sample points, error against the slot-start
+            // sample, normalized by the same reference power so the two
+            // numbers differ only in the error definition (Eq. 6 vs 7).
+            if r.actual_mean != 0.0 {
+                mape_prime.add_abs_pct(((r.actual_start - r.predicted) / r.actual_mean).abs());
+            }
+            rmse.add(r.actual_mean, r.predicted);
+            mae.add(r.actual_mean, r.predicted);
+            mbe.add(r.actual_mean, r.predicted);
+        }
+        ErrorSummary {
+            mape: mape.value(),
+            mape_prime: mape_prime.value(),
+            rmse: rmse.value(),
+            mae: mae.value(),
+            mbe: mbe.value(),
+            count: mape.count(),
+        }
+    }
+}
+
+impl Default for EvalProtocol {
+    fn default() -> Self {
+        EvalProtocol::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PredictionRecord;
+
+    fn make_log() -> PredictionLog {
+        let mut log = PredictionLog::new(2);
+        // Day 0: should be excluded by warm-up.
+        log.push(PredictionRecord {
+            day: 0,
+            slot: 0,
+            predicted: 0.0,
+            actual_start: 1000.0,
+            actual_mean: 1000.0,
+        });
+        // Day 30, in ROI.
+        log.push(PredictionRecord {
+            day: 30,
+            slot: 0,
+            predicted: 900.0,
+            actual_start: 950.0,
+            actual_mean: 1000.0,
+        });
+        // Day 31, below ROI (5% of peak).
+        log.push(PredictionRecord {
+            day: 31,
+            slot: 1,
+            predicted: 10.0,
+            actual_start: 50.0,
+            actual_mean: 50.0,
+        });
+        log
+    }
+
+    #[test]
+    fn warmup_and_roi_filter_records() {
+        let summary = EvalProtocol::paper().evaluate(&make_log());
+        assert_eq!(summary.count, 1);
+        assert!((summary.mape - 0.10).abs() < 1e-12);
+        assert!((summary.mape_prime - 0.05).abs() < 1e-12);
+        assert!((summary.rmse - 100.0).abs() < 1e-12);
+        assert!((summary.mae - 100.0).abs() < 1e-12);
+        assert!((summary.mbe - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_roi_and_zero_warmup_keep_all() {
+        let protocol = EvalProtocol::new(0.0, 0);
+        let summary = protocol.evaluate(&make_log());
+        assert_eq!(summary.count, 3);
+    }
+
+    #[test]
+    fn empty_log_gives_zeros() {
+        let summary = EvalProtocol::paper().evaluate(&PredictionLog::new(48));
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.mape, 0.0);
+    }
+
+    #[test]
+    fn percent_helpers() {
+        let s = ErrorSummary {
+            mape: 0.158,
+            mape_prime: 0.42,
+            ..Default::default()
+        };
+        assert!((s.mape_pct() - 15.8).abs() < 1e-12);
+        assert!((s.mape_prime_pct() - 42.0).abs() < 1e-12);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn includes_matches_evaluate_semantics() {
+        let p = EvalProtocol::paper();
+        assert!(p.includes(20, 100.0, 1000.0));
+        assert!(!p.includes(19, 100.0, 1000.0));
+        assert!(!p.includes(20, 99.0, 1000.0));
+    }
+}

@@ -1,0 +1,49 @@
+//! Simulator configuration errors.
+
+use std::fmt;
+
+/// Errors from constructing simulator components.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Storage parameters out of range.
+    InvalidStorage {
+        /// Description of the violation.
+        message: String,
+    },
+    /// Panel parameters out of range.
+    InvalidPanel {
+        /// Description of the violation.
+        message: String,
+    },
+    /// Load parameters out of range.
+    InvalidLoad {
+        /// Description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidStorage { message } => write!(f, "invalid storage: {message}"),
+            SimError::InvalidPanel { message } => write!(f, "invalid panel: {message}"),
+            SimError::InvalidLoad { message } => write!(f, "invalid load: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_component() {
+        let e = SimError::InvalidPanel {
+            message: "area must be positive".into(),
+        };
+        assert!(e.to_string().contains("panel"));
+    }
+}

@@ -1,0 +1,346 @@
+//! Deterministic synthetic-trace generation.
+
+use crate::geometry;
+use crate::site::SiteConfig;
+use crate::weather::DayCondition;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use solar_trace::{PowerTrace, TraceError};
+
+/// A seeded generator producing irradiance traces for one site.
+///
+/// The generated unit is W/m² global horizontal irradiance. The same
+/// `(config, seed)` pair always produces the same trace, independent of
+/// platform, because the stream uses `ChaCha8Rng` and no
+/// distribution-sampling code outside this crate.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use solar_synth::{Site, TraceGenerator};
+///
+/// let a = TraceGenerator::new(Site::Npcs.config(), 1).generate_days(3)?;
+/// let b = TraceGenerator::new(Site::Npcs.config(), 1).generate_days(3)?;
+/// assert_eq!(a, b); // fully deterministic
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceGenerator {
+    config: SiteConfig,
+    seed: u64,
+}
+
+/// A cloud transit event: a smooth notch carved into the day's profile.
+#[derive(Copy, Clone, Debug)]
+struct Transit {
+    /// Centre of the event in hours.
+    centre_h: f64,
+    /// Half-width in hours.
+    half_width_h: f64,
+    /// Fraction of light removed at the centre, in (0, 1).
+    depth: f64,
+}
+
+impl Transit {
+    /// Multiplicative attenuation at time `t_h` (1 = no effect). The notch
+    /// is a raised-cosine window so profiles stay smooth.
+    fn factor(&self, t_h: f64) -> f64 {
+        let x = (t_h - self.centre_h) / self.half_width_h;
+        if x.abs() >= 1.0 {
+            1.0
+        } else {
+            let window = 0.5 * (1.0 + (std::f64::consts::PI * x).cos());
+            1.0 - self.depth * window
+        }
+    }
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `config` with a user seed.
+    pub fn new(config: SiteConfig, seed: u64) -> Self {
+        TraceGenerator { config, seed }
+    }
+
+    /// The site configuration.
+    pub fn config(&self) -> &SiteConfig {
+        &self.config
+    }
+
+    /// Generates `days` whole days of irradiance starting at day-of-year 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if `days` is zero (the trace would be empty).
+    pub fn generate_days(&self, days: usize) -> Result<PowerTrace, TraceError> {
+        self.generate_with_conditions(days).map(|(trace, _)| trace)
+    }
+
+    /// Generates a trace together with the sampled per-day conditions,
+    /// useful for analyses that need the hidden weather state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if `days` is zero.
+    pub fn generate_with_conditions(
+        &self,
+        days: usize,
+    ) -> Result<(PowerTrace, Vec<DayCondition>), TraceError> {
+        let res = self.config.resolution;
+        let spd = res.samples_per_day();
+        let step_h = res.as_seconds_f64() / 3600.0;
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ self.config.seed_stream);
+        let weather = &self.config.weather;
+
+        // Burn in the day-condition chain so the first day is drawn close
+        // to the stationary distribution.
+        let mut condition = DayCondition::Clear;
+        for _ in 0..16 {
+            condition = weather.step(condition, &mut rng);
+        }
+
+        let mut samples = Vec::with_capacity(days * spd);
+        let mut conditions = Vec::with_capacity(days);
+        // AR(1) deviation, persisted across days so dawn continues the
+        // previous evening's air mass rather than resetting.
+        let mut ar_state = 0.0_f64;
+        let rho = weather
+            .ar_rho_per_minute
+            .powf(res.as_seconds_f64() / 60.0);
+        let innovation_scale = (1.0 - rho * rho).sqrt();
+
+        for day in 0..days {
+            let doy = (day % 365) as u32 + 1;
+            condition = weather.step(condition, &mut rng);
+            conditions.push(condition);
+            let params = weather.params(condition);
+
+            // Seasonal clearness modulation peaking at the summer solstice.
+            let seasonal = self.config.weather.seasonal_amplitude
+                * (std::f64::consts::TAU * (doy as f64 - 172.0) / 365.0).cos();
+            let base_clearness = (params.clearness_mean
+                + seasonal
+                + params.clearness_std * normal(&mut rng))
+            .clamp(0.03, 1.08);
+            // Per-day linear trend: slow synoptic evolution across the
+            // day.
+            let drift_slope = weather.daily_drift_std * normal(&mut rng);
+            // Frontal passages: step changes in base clearness that
+            // persist for the rest of the day. These make hours-old
+            // conditioning ratios actively misleading, which is what
+            // bounds the useful Φ window (the paper's small optimal K).
+            let front_count = poisson(weather.fronts_per_day, &mut rng);
+            let mut fronts: Vec<(f64, f64)> = (0..front_count)
+                .map(|_| {
+                    let t_h = 6.0 + rng.gen::<f64>() * 12.0; // daylight hours
+                    (t_h, weather.front_std * normal(&mut rng))
+                })
+                .collect();
+            fronts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("front times are finite"));
+
+            let transits = self.sample_transits(doy, params.transits_per_hour, &mut rng);
+
+            for idx in 0..spd {
+                let t_h = idx as f64 * step_h;
+                let sin_h = geometry::sin_elevation_at(self.config.latitude_deg, doy, t_h);
+                let clear = self.config.clear_sky.ghi(sin_h);
+                if clear <= 0.0 {
+                    ar_state *= rho; // decay quietly overnight
+                    samples.push(0.0);
+                    continue;
+                }
+                ar_state = rho * ar_state
+                    + params.ar_sigma * innovation_scale * normal(&mut rng);
+                let drift = drift_slope * (t_h - 12.0) / 12.0;
+                let front_shift: f64 = fronts
+                    .iter()
+                    .take_while(|&&(t_f, _)| t_f <= t_h)
+                    .map(|&(_, delta)| delta)
+                    .sum();
+                let mut attenuation =
+                    (base_clearness + drift + front_shift + ar_state).clamp(0.02, 1.08);
+                for transit in &transits {
+                    attenuation *= transit.factor(t_h);
+                }
+                let noise = 1.0 + weather.sensor_noise_std * normal(&mut rng);
+                let value = (clear * attenuation * noise).max(0.0);
+                // Pyranometer noise floor: real instruments report ~0
+                // below ~1 W/m²; without this, grazing-sun samples of
+                // 1e-20 W/m² would appear and historical means at dawn
+                // slots would be meaninglessly tiny.
+                samples.push(if value < 1.0 { 0.0 } else { value });
+            }
+        }
+        let trace = PowerTrace::new(self.config.name.clone(), res, samples)?;
+        Ok((trace, conditions))
+    }
+
+    /// Samples the day's cloud-transit events over the daylight window.
+    fn sample_transits(
+        &self,
+        doy: u32,
+        rate_per_hour: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> Vec<Transit> {
+        let day_len = geometry::day_length_hours(self.config.latitude_deg, doy);
+        if day_len <= 0.0 || rate_per_hour <= 0.0 {
+            return Vec::new();
+        }
+        let sunrise = 12.0 - day_len / 2.0;
+        let count = poisson(rate_per_hour * day_len, rng);
+        let (depth_lo, depth_hi) = self.config.weather.transit_depth;
+        (0..count)
+            .map(|_| {
+                let centre_h = sunrise + rng.gen::<f64>() * day_len;
+                let duration_min = (-self.config.weather.transit_mean_minutes
+                    * rng.gen::<f64>().max(1e-12).ln())
+                .clamp(1.0, 90.0);
+                Transit {
+                    centre_h,
+                    half_width_h: duration_min / 60.0 / 2.0,
+                    depth: depth_lo + rng.gen::<f64>() * (depth_hi - depth_lo),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Standard normal draw via Box–Muller (keeps us off external
+/// distribution crates).
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Poisson draw via Knuth's method (rates here are small: tens at most).
+fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::Site;
+    use solar_trace::stats::TraceStats;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = TraceGenerator::new(Site::Spmd.config(), 9).generate_days(5).unwrap();
+        let b = TraceGenerator::new(Site::Spmd.config(), 9).generate_days(5).unwrap();
+        let c = TraceGenerator::new(Site::Spmd.config(), 10).generate_days(5).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sites_with_same_seed_differ() {
+        let a = TraceGenerator::new(Site::Npcs.config(), 3).generate_days(2).unwrap();
+        let b = TraceGenerator::new(Site::Pfci.config(), 3).generate_days(2).unwrap();
+        assert_ne!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn night_is_dark_and_day_is_bright() {
+        let trace = TraceGenerator::new(Site::Pfci.config(), 1).generate_days(10).unwrap();
+        let spd = trace.samples_per_day();
+        for day in 0..trace.days() {
+            let d = trace.day(day).unwrap();
+            // Midnight and ~3am are dark.
+            assert_eq!(d[0], 0.0);
+            assert_eq!(d[spd / 8], 0.0);
+            // Noon is bright on every desert day.
+            assert!(d[spd / 2] > 50.0, "day {day}: noon {}", d[spd / 2]);
+        }
+    }
+
+    #[test]
+    fn clear_desert_noon_is_physical() {
+        // Winter-only noon peaks near 600 W/m² at 33°N; spanning into
+        // summer the annual peak must reach the ~1 kW/m² regime.
+        let trace = TraceGenerator::new(Site::Pfci.config(), 2).generate_days(200).unwrap();
+        let peak = trace.peak_power();
+        assert!(peak > 800.0 && peak < 1250.0, "peak {peak}");
+    }
+
+    #[test]
+    fn variability_ordering_matches_paper() {
+        // Desert sites must have lower day-to-day and intra-day
+        // variability than the temperate/marine sites.
+        let cv = |site: Site| {
+            let t = TraceGenerator::new(site.config(), 11).generate_days(60).unwrap();
+            TraceStats::of(&t).daily_energy_cv
+        };
+        let pfci = cv(Site::Pfci);
+        let ornl = cv(Site::Ornl);
+        let spmd = cv(Site::Spmd);
+        assert!(pfci < ornl, "PFCI {pfci} should be steadier than ORNL {ornl}");
+        assert!(pfci < spmd, "PFCI {pfci} should be steadier than SPMD {spmd}");
+    }
+
+    #[test]
+    fn conditions_are_reported_per_day() {
+        let (trace, conditions) = TraceGenerator::new(Site::Hsu.config(), 5)
+            .generate_with_conditions(14)
+            .unwrap();
+        assert_eq!(conditions.len(), trace.days());
+    }
+
+    #[test]
+    fn zero_days_is_an_error() {
+        assert!(TraceGenerator::new(Site::Hsu.config(), 5).generate_days(0).is_err());
+    }
+
+    #[test]
+    fn transit_factor_is_bounded_and_local() {
+        let t = Transit {
+            centre_h: 12.0,
+            half_width_h: 0.25,
+            depth: 0.5,
+        };
+        assert_eq!(t.factor(11.0), 1.0);
+        assert_eq!(t.factor(13.0), 1.0);
+        let centre = t.factor(12.0);
+        assert!((centre - 0.5).abs() < 1e-12);
+        for i in 0..100 {
+            let x = 11.5 + i as f64 * 0.01;
+            let f = t.factor(x);
+            assert!((0.5..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let lambda = 4.0;
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| poisson(lambda, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

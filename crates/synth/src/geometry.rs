@@ -1,0 +1,147 @@
+//! Solar position geometry.
+//!
+//! Standard textbook formulations (Duffie & Beckman) for declination,
+//! hour angle and solar elevation, which together give the deterministic
+//! diurnal/seasonal envelope of surface irradiance.
+
+/// Solar constant in W/m².
+pub const SOLAR_CONSTANT: f64 = 1367.0;
+
+/// Solar declination in radians for a 1-based day of year (Cooper's
+/// equation): `δ = 23.45° · sin(2π (284 + n) / 365)`.
+///
+/// # Example
+///
+/// ```
+/// use solar_synth::geometry::declination_rad;
+///
+/// // Summer solstice (~day 172) is near +23.45°.
+/// let summer = declination_rad(172).to_degrees();
+/// assert!((summer - 23.45).abs() < 0.1);
+/// ```
+pub fn declination_rad(day_of_year: u32) -> f64 {
+    let n = day_of_year as f64;
+    23.45_f64.to_radians() * (std::f64::consts::TAU * (284.0 + n) / 365.0).sin()
+}
+
+/// Hour angle in radians for a local solar time in hours: 15° per hour
+/// from solar noon, negative in the morning.
+pub fn hour_angle_rad(solar_time_hours: f64) -> f64 {
+    (15.0 * (solar_time_hours - 12.0)).to_radians()
+}
+
+/// Sine of the solar elevation angle:
+/// `sin h = sin φ sin δ + cos φ cos δ cos ω`.
+///
+/// Returns a value in `[-1, 1]`; non-positive values mean the sun is at or
+/// below the horizon.
+pub fn sin_elevation(latitude_rad: f64, declination_rad: f64, hour_angle_rad: f64) -> f64 {
+    latitude_rad.sin() * declination_rad.sin()
+        + latitude_rad.cos() * declination_rad.cos() * hour_angle_rad.cos()
+}
+
+/// Sine of solar elevation for a site latitude (degrees), day of year and
+/// local solar time in hours — the composed convenience used by the
+/// generator.
+pub fn sin_elevation_at(latitude_deg: f64, day_of_year: u32, solar_time_hours: f64) -> f64 {
+    sin_elevation(
+        latitude_deg.to_radians(),
+        declination_rad(day_of_year),
+        hour_angle_rad(solar_time_hours),
+    )
+}
+
+/// Extraterrestrial normal irradiance in W/m², accounting for the
+/// Earth–Sun distance variation:
+/// `G_on = G_sc (1 + 0.033 cos(2π n / 365))`.
+pub fn extraterrestrial_normal(day_of_year: u32) -> f64 {
+    SOLAR_CONSTANT * (1.0 + 0.033 * (std::f64::consts::TAU * day_of_year as f64 / 365.0).cos())
+}
+
+/// Day length in hours for a latitude (degrees) and day of year, from the
+/// sunset hour angle `cos ω_s = −tan φ tan δ`.
+///
+/// Polar day/night are clamped to 24 h / 0 h.
+pub fn day_length_hours(latitude_deg: f64, day_of_year: u32) -> f64 {
+    let phi = latitude_deg.to_radians();
+    let delta = declination_rad(day_of_year);
+    let cos_ws = -phi.tan() * delta.tan();
+    if cos_ws <= -1.0 {
+        24.0
+    } else if cos_ws >= 1.0 {
+        0.0
+    } else {
+        2.0 * cos_ws.acos().to_degrees() / 15.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declination_is_bounded() {
+        for day in 1..=365 {
+            let d = declination_rad(day).to_degrees();
+            assert!(d.abs() <= 23.45 + 1e-9, "day {day}: {d}");
+        }
+    }
+
+    #[test]
+    fn declination_extremes_at_solstices() {
+        // Winter solstice ~day 355, summer ~day 172.
+        assert!(declination_rad(355).to_degrees() < -23.0);
+        assert!(declination_rad(172).to_degrees() > 23.0);
+        // Equinoxes near zero.
+        assert!(declination_rad(81).to_degrees().abs() < 1.0);
+    }
+
+    #[test]
+    fn hour_angle_sign_convention() {
+        assert!(hour_angle_rad(6.0) < 0.0);
+        assert_eq!(hour_angle_rad(12.0), 0.0);
+        assert!(hour_angle_rad(18.0) > 0.0);
+    }
+
+    #[test]
+    fn noon_elevation_matches_latitude_declination() {
+        // At solar noon, elevation = 90° − |φ − δ|.
+        let lat = 40.0_f64;
+        for day in [1u32, 100, 200, 300] {
+            let sin_h = sin_elevation_at(lat, day, 12.0);
+            let expect = (90.0 - (lat - declination_rad(day).to_degrees()).abs()).to_radians();
+            assert!((sin_h - expect.sin()).abs() < 1e-9, "day {day}");
+        }
+    }
+
+    #[test]
+    fn sun_below_horizon_at_midnight_midlatitudes() {
+        for day in [1u32, 90, 180, 270] {
+            assert!(sin_elevation_at(38.0, day, 0.0) < 0.0, "day {day}");
+        }
+    }
+
+    #[test]
+    fn extraterrestrial_within_3_3_percent() {
+        for day in 1..=365 {
+            let g = extraterrestrial_normal(day);
+            assert!(g > SOLAR_CONSTANT * 0.966 && g < SOLAR_CONSTANT * 1.034);
+        }
+    }
+
+    #[test]
+    fn day_length_longer_in_summer_northern_hemisphere() {
+        let summer = day_length_hours(40.0, 172);
+        let winter = day_length_hours(40.0, 355);
+        assert!(summer > 14.0, "summer {summer}");
+        assert!(winter < 10.0, "winter {winter}");
+        // Equator is always close to 12 h.
+        assert!((day_length_hours(0.0, 100) - 12.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn polar_clamps() {
+        assert_eq!(day_length_hours(80.0, 172), 24.0);
+        assert_eq!(day_length_hours(80.0, 355), 0.0);
+    }
+}

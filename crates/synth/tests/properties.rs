@@ -1,0 +1,73 @@
+//! Property tests for the synthetic-irradiance substrate.
+
+use proptest::prelude::*;
+use solar_synth::{geometry, ClearSkyModel, Site, TraceGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn traces_are_physical(site_idx in 0usize..6, seed in 0u64..1000, days in 1usize..10) {
+        let site = Site::ALL[site_idx];
+        let trace = TraceGenerator::new(site.config(), seed)
+            .generate_days(days)
+            .unwrap();
+        prop_assert_eq!(trace.days(), days);
+        // Non-negative and bounded by a generous clear-sky ceiling.
+        for &v in trace.samples() {
+            prop_assert!(v >= 0.0);
+            prop_assert!(v < 1400.0, "sample {v} exceeds physical GHI");
+        }
+        // Midnight is dark on every day.
+        for d in 0..days {
+            prop_assert_eq!(trace.day(d).unwrap()[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn determinism_holds_for_any_seed(site_idx in 0usize..6, seed in 0u64..1000) {
+        let site = Site::ALL[site_idx];
+        let a = TraceGenerator::new(site.config(), seed).generate_days(2).unwrap();
+        let b = TraceGenerator::new(site.config(), seed).generate_days(2).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn longer_generation_extends_shorter(seed in 0u64..200) {
+        // The first day of a 3-day trace equals the single-day trace:
+        // generation is a prefix-stable stream per (site, seed)?  It is
+        // not guaranteed by construction (per-day draws interleave with
+        // per-sample draws), so assert the weaker but important property:
+        // equal lengths of the common prefix structure — day count and
+        // darkness pattern agree.
+        let site = Site::Pfci;
+        let short = TraceGenerator::new(site.config(), seed).generate_days(1).unwrap();
+        let long = TraceGenerator::new(site.config(), seed).generate_days(3).unwrap();
+        prop_assert_eq!(short.day(0).unwrap(), long.day(0).unwrap());
+    }
+
+    #[test]
+    fn elevation_bounds(lat in -60.0f64..60.0, doy in 1u32..=365, hour in 0.0f64..24.0) {
+        let s = geometry::sin_elevation_at(lat, doy, hour);
+        prop_assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn clear_sky_bounded_by_extraterrestrial(doy in 1u32..=365, sin_h in 0.0f64..=1.0) {
+        let g_on = geometry::extraterrestrial_normal(doy);
+        for model in [ClearSkyModel::Haurwitz, ClearSkyModel::KastenCzeplak] {
+            let ghi = model.ghi(sin_h);
+            prop_assert!(ghi >= 0.0);
+            prop_assert!(ghi <= g_on, "{model}: {ghi} vs extraterrestrial {g_on}");
+        }
+    }
+
+    #[test]
+    fn day_length_complements_across_equator(lat in 0.0f64..65.0, doy in 1u32..=365) {
+        // Northern day + southern day at the same date ≈ 24 h (up to the
+        // clamped polar cases).
+        let north = geometry::day_length_hours(lat, doy);
+        let south = geometry::day_length_hours(-lat, doy);
+        prop_assert!((north + south - 24.0).abs() < 0.05, "{north} + {south}");
+    }
+}

@@ -1,0 +1,166 @@
+//! A minimal self-describing text format for power traces.
+//!
+//! The format is one `f64` sample per line, preceded by two header lines:
+//!
+//! ```text
+//! # label=SPMD
+//! # resolution_s=300
+//! 0.0
+//! 12.5
+//! ...
+//! ```
+//!
+//! It intentionally mirrors how NREL MIDC exports are commonly flattened
+//! for embedded-systems studies: a plain column of power values at a fixed
+//! cadence.
+
+use crate::error::TraceError;
+use crate::time::Resolution;
+use crate::trace::PowerTrace;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Writes `trace` to `writer` in the trace CSV format.
+///
+/// The `writer` is taken by value; pass `&mut writer` to keep ownership
+/// (every `&mut W where W: Write` is itself `Write`).
+///
+/// # Errors
+///
+/// Propagates I/O errors as [`TraceError::Io`].
+pub fn write_trace<W: Write>(mut writer: W, trace: &PowerTrace) -> Result<(), TraceError> {
+    writeln!(writer, "# label={}", trace.label())?;
+    writeln!(writer, "# resolution_s={}", trace.resolution().as_seconds())?;
+    for sample in trace.samples() {
+        // 17 significant digits round-trips f64 exactly.
+        writeln!(writer, "{sample:.17e}")?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from `reader` in the trace CSV format.
+///
+/// The `reader` is taken by value; pass `&mut reader` to keep ownership.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] for malformed headers or samples,
+/// [`TraceError::Io`] for I/O failures, and the usual construction errors
+/// if the sample set is invalid.
+pub fn read_trace<R: Read>(reader: R) -> Result<PowerTrace, TraceError> {
+    let buf = BufReader::new(reader);
+    let mut label: Option<String> = None;
+    let mut resolution: Option<Resolution> = None;
+    let mut samples = Vec::new();
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(value) = rest.strip_prefix("label=") {
+                label = Some(value.to_string());
+            } else if let Some(value) = rest.strip_prefix("resolution_s=") {
+                let seconds: u32 = value.parse().map_err(|_| TraceError::Parse {
+                    line: line_no,
+                    message: format!("invalid resolution value {value:?}"),
+                })?;
+                resolution = Some(Resolution::from_seconds(seconds)?);
+            }
+            continue;
+        }
+        let value: f64 = line.parse().map_err(|_| TraceError::Parse {
+            line: line_no,
+            message: format!("invalid sample {line:?}"),
+        })?;
+        samples.push(value);
+    }
+    let resolution = resolution.ok_or_else(|| TraceError::Parse {
+        line: 0,
+        message: "missing '# resolution_s=' header".to_string(),
+    })?;
+    PowerTrace::new(label.unwrap_or_default(), resolution, samples)
+}
+
+/// Writes `trace` to the file at `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors as [`TraceError::Io`].
+pub fn save(path: impl AsRef<Path>, trace: &PowerTrace) -> Result<(), TraceError> {
+    let file = std::fs::File::create(path)?;
+    write_trace(std::io::BufWriter::new(file), trace)
+}
+
+/// Loads a trace from the file at `path`.
+///
+/// # Errors
+///
+/// Propagates I/O and parse errors.
+pub fn load(path: impl AsRef<Path>) -> Result<PowerTrace, TraceError> {
+    read_trace(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> PowerTrace {
+        let samples: Vec<f64> = (0..24).map(|i| i as f64 * 1.5 + 0.123456789).collect();
+        PowerTrace::new(
+            "round-trip",
+            Resolution::from_minutes(60).unwrap(),
+            samples,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_trace_exactly() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn read_rejects_missing_resolution() {
+        let text = "# label=x\n1.0\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { .. }));
+    }
+
+    #[test]
+    fn read_rejects_bad_sample() {
+        let text = "# resolution_s=3600\nnot-a-number\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn read_skips_blank_lines() {
+        let mut text = String::from("# label=t\n# resolution_s=3600\n\n");
+        for i in 0..24 {
+            text.push_str(&format!("{i}\n\n"));
+        }
+        let trace = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 24);
+        assert_eq!(trace.label(), "t");
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let dir = std::env::temp_dir().join("solar_trace_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let trace = sample_trace();
+        save(&path, &trace).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+}

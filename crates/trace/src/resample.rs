@@ -1,0 +1,121 @@
+//! Resolution conversion for traces.
+//!
+//! The paper's data sets come at 1- and 5-minute resolutions; evaluating
+//! `N = 288` on a 5-minute trace or deriving lower-rate data sets requires
+//! averaging down-sampling, which this module provides. (Energy is
+//! conserved because down-sampling averages power over the merged
+//! interval.)
+
+use crate::error::TraceError;
+use crate::time::Resolution;
+use crate::trace::PowerTrace;
+
+/// Down-samples a trace by an integer `factor`, replacing each group of
+/// `factor` consecutive samples by their mean.
+///
+/// Energy is conserved: the mean power over the merged interval times the
+/// longer period equals the sum of the original energies.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidResampleFactor`] if `factor` is zero or
+/// does not divide the samples-per-day of the trace, or
+/// [`TraceError::InvalidResolution`] if the resulting period is invalid.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use solar_trace::{resample, PowerTrace, Resolution};
+///
+/// let one_min: Vec<f64> = (0..1440).map(|i| (i % 10) as f64).collect();
+/// let trace = PowerTrace::new("t", Resolution::ONE_MINUTE, one_min)?;
+/// let five_min = resample::downsample(&trace, 5)?;
+/// assert_eq!(five_min.resolution(), Resolution::FIVE_MINUTES);
+/// assert_eq!(five_min.len(), 288);
+/// # Ok(())
+/// # }
+/// ```
+pub fn downsample(trace: &PowerTrace, factor: u32) -> Result<PowerTrace, TraceError> {
+    if factor == 0 || !trace.samples_per_day().is_multiple_of(factor as usize) {
+        return Err(TraceError::InvalidResampleFactor { factor });
+    }
+    let new_res = Resolution::from_seconds(trace.resolution().as_seconds() * factor)?;
+    let samples: Vec<f64> = trace
+        .samples()
+        .chunks_exact(factor as usize)
+        .map(|chunk| chunk.iter().sum::<f64>() / factor as f64)
+        .collect();
+    PowerTrace::new(trace.label(), new_res, samples)
+}
+
+/// Converts a trace to the requested `target` resolution by averaging
+/// down-sampling.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidResampleFactor`] if `target` is finer than
+/// the trace resolution or not an integer multiple of it.
+pub fn to_resolution(trace: &PowerTrace, target: Resolution) -> Result<PowerTrace, TraceError> {
+    let from = trace.resolution().as_seconds();
+    let to = target.as_seconds();
+    if !to.is_multiple_of(from) {
+        return Err(TraceError::InvalidResampleFactor { factor: 0 });
+    }
+    downsample(trace, to / from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minute_trace() -> PowerTrace {
+        let samples: Vec<f64> = (0..1440).map(|i| i as f64).collect();
+        PowerTrace::new("m", Resolution::ONE_MINUTE, samples).unwrap()
+    }
+
+    #[test]
+    fn downsample_averages_groups() {
+        let t = minute_trace();
+        let d = downsample(&t, 5).unwrap();
+        // First group: mean of 0..5 = 2.0.
+        assert_eq!(d.samples()[0], 2.0);
+        assert_eq!(d.samples()[1], 7.0);
+        assert_eq!(d.len(), 288);
+    }
+
+    #[test]
+    fn downsample_conserves_energy() {
+        let t = minute_trace();
+        for factor in [2u32, 3, 5, 10, 60] {
+            let d = downsample(&t, factor).unwrap();
+            let diff = (d.total_energy_j() - t.total_energy_j()).abs();
+            assert!(diff < 1e-6 * t.total_energy_j(), "factor {factor}");
+        }
+    }
+
+    #[test]
+    fn downsample_factor_one_is_identity() {
+        let t = minute_trace();
+        let d = downsample(&t, 1).unwrap();
+        assert_eq!(d.samples(), t.samples());
+    }
+
+    #[test]
+    fn downsample_rejects_bad_factor() {
+        let t = minute_trace();
+        assert!(downsample(&t, 0).is_err());
+        assert!(downsample(&t, 7).is_err()); // 1440 % 7 != 0
+    }
+
+    #[test]
+    fn to_resolution_converts() {
+        let t = minute_trace();
+        let d = to_resolution(&t, Resolution::FIVE_MINUTES).unwrap();
+        assert_eq!(d.resolution(), Resolution::FIVE_MINUTES);
+        // Upsampling is rejected.
+        let five = d;
+        assert!(to_resolution(&five, Resolution::ONE_MINUTE).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! Site explorer: sweep the full (α, D, K) grid over any of the six
+//! paper sites at any N and print the optimization landscape — a
+//! miniature of the paper's Table III methodology.
+//!
+//! Run with (site code and N optional):
+//!
+//! ```text
+//! cargo run --release -p paper-repro --example site_explorer -- ORNL 48
+//! ```
+
+use param_explore::report::{pct, TextTable};
+use param_explore::{sweep, ParamGrid};
+use pred_metrics::EvalProtocol;
+use solar_synth::Site;
+use solar_trace::{SlotView, SlotsPerDay};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let code = args.next().unwrap_or_else(|| "ORNL".to_string());
+    let n: u32 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(48);
+    let site = Site::ALL
+        .into_iter()
+        .find(|s| s.code().eq_ignore_ascii_case(&code))
+        .ok_or_else(|| format!("unknown site {code:?}; use one of SPMD/ECSU/ORNL/HSU/NPCS/PFCI"))?;
+
+    println!("generating 180 days for {site} and sweeping the paper grid at N={n}...");
+    let trace = paper_repro::datasets::site_trace(site, 180);
+    let view = SlotView::new(&trace, SlotsPerDay::new(n)?)?;
+    let grid = ParamGrid::paper();
+    let result = sweep(&view, &grid, &EvalProtocol::paper());
+
+    let best = result.best_by_mape();
+    println!(
+        "\noptimum: alpha={} D={} K={}  MAPE={}  ({} evaluation points)\n",
+        best.alpha,
+        best.days,
+        best.k,
+        pct(best.mape),
+        result.eval_count()
+    );
+
+    // The alpha landscape at the optimal (D, K): how sharp is the choice?
+    let mut alpha_table = TextTable::new(vec!["alpha", "MAPE"]);
+    let di = grid.days_index(best.days).expect("optimum on grid");
+    let ki = grid.k_index(best.k).expect("optimum on grid");
+    for (ai, &alpha) in grid.alphas().iter().enumerate() {
+        alpha_table.push_row(vec![format!("{alpha:.1}"), pct(result.mape(ai, di, ki))]);
+    }
+    println!("MAPE vs alpha at (D={}, K={}):\n{alpha_table}", best.days, best.k);
+
+    // The D landscape at the optimal (alpha, K): the paper's Fig. 7 cut.
+    let mut d_table = TextTable::new(vec!["D", "MAPE"]);
+    for (d, mape) in result.mape_vs_days(best.alpha, best.k).expect("on grid") {
+        d_table.push_row(vec![d.to_string(), pct(mape)]);
+    }
+    println!("MAPE vs D at (alpha={}, K={}):\n{d_table}", best.alpha, best.k);
+
+    if let Some(at2) = result.best_at_k(2) {
+        println!(
+            "K=2 guideline check: best MAPE@K=2 = {} (penalty {:.2} points)",
+            pct(at2.mape),
+            (at2.mape - best.mape) * 100.0
+        );
+    }
+    Ok(())
+}
