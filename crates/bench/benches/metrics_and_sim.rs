@@ -51,8 +51,7 @@ fn bench_node_sim(c: &mut Criterion) {
     group.throughput(Throughput::Elements(view.total_slots() as u64));
     group.bench_function("wcma_energy_neutral", |b| {
         b.iter(|| {
-            let mut predictor =
-                WcmaPredictor::new(WcmaParams::new(0.7, 10, 2, 48).unwrap());
+            let mut predictor = WcmaPredictor::new(WcmaParams::new(0.7, 10, 2, 48).unwrap());
             let mut manager = EnergyNeutralManager::default();
             black_box(simulate_node(&view, &mut predictor, &mut manager, &config))
         });

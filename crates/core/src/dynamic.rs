@@ -101,7 +101,11 @@ pub fn ensemble_steps(view: &SlotView<'_>, d: usize, k_max: usize) -> Vec<Ensemb
             }
             ratios.push_front(eta);
 
-            let (b_day, b_slot) = if slot + 1 == n { (day + 1, 0) } else { (day, slot + 1) };
+            let (b_day, b_slot) = if slot + 1 == n {
+                (day + 1, 0)
+            } else {
+                (day, slot + 1)
+            };
             if slot + 1 == n {
                 history.push_day(&current);
             }
@@ -258,7 +262,9 @@ impl CausalDynamicWcma {
         buckets: usize,
     ) -> Result<Self, crate::ParamError> {
         if buckets == 0 || buckets > slots_per_day {
-            return Err(crate::ParamError::InvalidSlots { slots_per_day: buckets });
+            return Err(crate::ParamError::InvalidSlots {
+                slots_per_day: buckets,
+            });
         }
         if d == 0 {
             return Err(crate::ParamError::InvalidDays { days: d });
@@ -278,7 +284,11 @@ impl CausalDynamicWcma {
                 .any(|a| !a.is_finite() || !(0.0..=1.0).contains(a))
         {
             return Err(crate::ParamError::InvalidAlpha {
-                alpha: alphas.iter().copied().find(|a| !a.is_finite() || !(0.0..=1.0).contains(a)).unwrap_or(f64::NAN),
+                alpha: alphas
+                    .iter()
+                    .copied()
+                    .find(|a| !a.is_finite() || !(0.0..=1.0).contains(a))
+                    .unwrap_or(f64::NAN),
             });
         }
         if !score_decay.is_finite() || !(0.0..1.0).contains(&score_decay) {
@@ -329,8 +339,7 @@ impl Predictor for CausalDynamicWcma {
             let slot_mean = 0.5 * (self.prev_measured + measured);
             self.running_peak = self.running_peak.max(slot_mean);
             if slot_mean >= 0.1 * self.running_peak && slot_mean > 0.0 {
-                let elapsed_slot =
-                    (self.cursor + self.slots_per_day - 1) % self.slots_per_day;
+                let elapsed_slot = (self.cursor + self.slots_per_day - 1) % self.slots_per_day;
                 let base = self.bucket_of(elapsed_slot) * self.last_preds.len();
                 for (idx, &pred) in self.last_preds.iter().enumerate() {
                     let pct = ((slot_mean - pred) / slot_mean).abs();
@@ -344,8 +353,7 @@ impl Predictor for CausalDynamicWcma {
         // 2. Update ensemble state (mirrors `ensemble_steps`).
         let n = self.slots_per_day;
         self.current[self.cursor] = measured;
-        let eta =
-            crate::wcma::conditioning_ratio(measured, self.history.mean(self.cursor, self.d));
+        let eta = crate::wcma::conditioning_ratio(measured, self.history.mean(self.cursor, self.d));
         if self.ratios.len() == self.k_max {
             self.ratios.pop_back();
         }
@@ -439,7 +447,8 @@ mod tests {
             for s in 0..n {
                 let x = (s as f64 / n as f64 - 0.5) * 6.0;
                 let base = 900.0 * (-x * x).exp();
-                let wobble = 1.0 + 0.3 * ((d * 7 + s * 13) as f64).sin() * (base > 50.0) as u8 as f64;
+                let wobble =
+                    1.0 + 0.3 * ((d * 7 + s * 13) as f64).sin() * (base > 50.0) as u8 as f64;
                 samples.push((base * wobble).max(0.0));
             }
         }
@@ -493,7 +502,11 @@ mod tests {
         let view = SlotView::new(&trace, SlotsPerDay::new(n as u32).unwrap()).unwrap();
         for step in ensemble_steps(&view, 3, 2) {
             let (day, slot) = (step.day as usize, step.slot as usize);
-            let (b_day, b_slot) = if slot + 1 == n { (day + 1, 0) } else { (day, slot + 1) };
+            let (b_day, b_slot) = if slot + 1 == n {
+                (day + 1, 0)
+            } else {
+                (day, slot + 1)
+            };
             assert_eq!(step.actual_start, view.start_sample(b_day, b_slot));
             assert_eq!(step.actual_mean, view.mean_power(day, slot));
         }
@@ -513,7 +526,9 @@ mod tests {
                 let mape: f64 = steps
                     .iter()
                     .filter(|s| s.actual_mean > roi)
-                    .map(|s| ((s.actual_mean - predict_from_step(s, alpha, k)) / s.actual_mean).abs())
+                    .map(|s| {
+                        ((s.actual_mean - predict_from_step(s, alpha, k)) / s.actual_mean).abs()
+                    })
                     .sum::<f64>();
                 best_fixed = best_fixed.min(mape);
             }
@@ -525,7 +540,9 @@ mod tests {
                 alphas
                     .iter()
                     .flat_map(|&a| (1..=6).map(move |k| (a, k)))
-                    .map(|(a, k)| ((s.actual_mean - predict_from_step(s, a, k)) / s.actual_mean).abs())
+                    .map(|(a, k)| {
+                        ((s.actual_mean - predict_from_step(s, a, k)) / s.actual_mean).abs()
+                    })
                     .fold(f64::INFINITY, f64::min)
             })
             .sum();
@@ -540,8 +557,7 @@ mod tests {
         let n = 24;
         let trace = bumpy_trace(20, n);
         let view = SlotView::new(&trace, SlotsPerDay::new(n as u32).unwrap()).unwrap();
-        let mut p =
-            CausalDynamicWcma::new(5, 6, vec![0.0, 0.25, 0.5, 0.75, 1.0], 0.85, n).unwrap();
+        let mut p = CausalDynamicWcma::new(5, 6, vec![0.0, 0.25, 0.5, 0.75, 1.0], 0.85, n).unwrap();
         let log = run_predictor(&view, &mut p);
         assert_eq!(log.len(), view.total_slots() - 1);
         for r in &log {

@@ -207,7 +207,9 @@ impl FixedWcmaPredictor {
 
     /// Quantized mean of the target slot in Q16.
     fn mu_q(&self, slot: usize) -> Option<Q16> {
-        self.history.mean(slot, self.params.days()).map(Q16::from_f64)
+        self.history
+            .mean(slot, self.params.days())
+            .map(Q16::from_f64)
     }
 
     fn phi_q(&self) -> Q16 {
@@ -290,7 +292,7 @@ mod tests {
     use super::*;
     use crate::runner::run_predictor;
     use crate::wcma::WcmaPredictor;
-    use solar_trace::{PowerTrace, Resolution, SlotsPerDay, SlotView};
+    use solar_trace::{PowerTrace, Resolution, SlotView, SlotsPerDay};
 
     #[test]
     fn q16_round_trips_representable_values() {

@@ -231,7 +231,10 @@ mod tests {
         assert_eq!(written, 7);
         for d in 1..=7 {
             let mean_from_prefix = buf[d - 1] / d as f64;
-            assert!((mean_from_prefix - h.mean(2, d).unwrap()).abs() < 1e-12, "d={d}");
+            assert!(
+                (mean_from_prefix - h.mean(2, d).unwrap()).abs() < 1e-12,
+                "d={d}"
+            );
         }
         // Out-of-range slot writes nothing.
         assert_eq!(h.prefix_sums(9, 20, &mut buf), 0);

@@ -72,5 +72,5 @@ pub use ewma::EwmaPredictor;
 pub use history::DayHistory;
 pub use params::{KWindowPolicy, WcmaParams, WcmaParamsBuilder};
 pub use predictor::Predictor;
-pub use runner::run_predictor;
+pub use runner::{run_predictor, run_predictor_observed};
 pub use wcma::{conditioning_ratio, WcmaPredictor, WcmaTerms, MAX_CONDITIONING_RATIO};

@@ -46,6 +46,28 @@ use solar_trace::SlotView;
 /// # }
 /// ```
 pub fn run_predictor(view: &SlotView<'_>, predictor: &mut dyn Predictor) -> PredictionLog {
+    run_predictor_observed(view, predictor, |_, _, measured| measured)
+}
+
+/// [`run_predictor`] with an observation transform: `observe(day, slot,
+/// sample)` returns what the predictor actually sees in place of the
+/// true slot-boundary sample — a corrupted sensor reading, a quantized
+/// ADC value, a telemetry gap.
+///
+/// The logged references (`actual_start`, `actual_mean`) stay ground
+/// truth, so the resulting log scores the predictor against what the
+/// sky delivered while it observed something else. Index semantics are
+/// identical to [`run_predictor`] (which delegates here with the
+/// identity transform).
+///
+/// # Panics
+///
+/// Panics if `predictor.slots_per_day() != view.slots_per_day()`.
+pub fn run_predictor_observed(
+    view: &SlotView<'_>,
+    predictor: &mut dyn Predictor,
+    mut observe: impl FnMut(usize, usize, f64) -> f64,
+) -> PredictionLog {
     let n = view.slots_per_day();
     assert_eq!(
         predictor.slots_per_day(),
@@ -58,7 +80,7 @@ pub fn run_predictor(view: &SlotView<'_>, predictor: &mut dyn Predictor) -> Pred
     let mut log = PredictionLog::with_capacity(n, days * n);
     for day in 0..days {
         for slot in 0..n {
-            let measured = view.start_sample(day, slot);
+            let measured = observe(day, slot, view.start_sample(day, slot));
             let predicted = predictor.observe_and_predict(measured);
             let (b_day, b_slot) = if slot + 1 == n {
                 (day + 1, 0)
@@ -95,8 +117,7 @@ mod tests {
         let mut samples = vec![0.0; 96];
         samples[1] = 42.0; // slot 0 second sample (mean changes)
         samples[2] = 10.0; // slot 1 boundary sample
-        let trace =
-            PowerTrace::new("t", Resolution::from_minutes(15).unwrap(), samples).unwrap();
+        let trace = PowerTrace::new("t", Resolution::from_minutes(15).unwrap(), samples).unwrap();
         let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
         let mut p = PersistencePredictor::new(48);
         let log = run_predictor(&view, &mut p);
@@ -141,6 +162,28 @@ mod tests {
         assert_eq!(rec.actual_mean, view.mean_power(0, 47));
         // The very last slot has no closing boundary: no record.
         assert!(!log.records().iter().any(|r| r.day == 1 && r.slot == 47));
+    }
+
+    #[test]
+    fn observed_identity_matches_run_predictor() {
+        let trace = view_of((0..96).map(|i| (i * 13 % 37) as f64).collect());
+        let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
+        let a = run_predictor(&view, &mut PersistencePredictor::new(48));
+        let b = run_predictor_observed(&view, &mut PersistencePredictor::new(48), |_, _, m| m);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn observation_transform_corrupts_inputs_not_references() {
+        let trace = view_of((0..96).map(|i| 10.0 + i as f64).collect());
+        let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
+        // The predictor sees zeros everywhere; the log's references must
+        // still be the true trace values.
+        let log = run_predictor_observed(&view, &mut PersistencePredictor::new(48), |_, _, _| 0.0);
+        for r in &log {
+            assert_eq!(r.predicted, 0.0);
+            assert!(r.actual_mean > 0.0);
+        }
     }
 
     #[test]

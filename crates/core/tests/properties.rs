@@ -7,7 +7,7 @@ use solar_predict::{
     run_predictor, EwmaPredictor, MovingAveragePredictor, PersistencePredictor, Predictor,
     WcmaParams, WcmaPredictor,
 };
-use solar_trace::{PowerTrace, Resolution, SlotsPerDay, SlotView};
+use solar_trace::{PowerTrace, Resolution, SlotView, SlotsPerDay};
 
 const N: usize = 24;
 

@@ -35,8 +35,8 @@ pub fn run(ctx: &Context) -> ExperimentOutput {
         "Persistence",
     ]);
     for ds in ctx.datasets() {
-        let view = SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N"))
-            .expect("compatible N");
+        let view =
+            SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N")).expect("compatible N");
         let opt = ctx.sweep_for(ds.site, N).best_by_mape();
         let mut wcma_opt = WcmaPredictor::new(
             WcmaParams::new(opt.alpha, opt.days, opt.k, n).expect("grid values are valid"),
@@ -76,9 +76,8 @@ mod tests {
         let out = run(&ctx);
         let table = &out.tables[0].1;
         assert_eq!(table.len(), 6);
-        let mean = |col: usize| -> f64 {
-            table.rows().iter().map(|r| pct_of(&r[col])).sum::<f64>() / 6.0
-        };
+        let mean =
+            |col: usize| -> f64 { table.rows().iter().map(|r| pct_of(&r[col])).sum::<f64>() / 6.0 };
         let opt = mean(1);
         let guideline = mean(2);
         let ewma = mean(3);
@@ -88,8 +87,14 @@ mod tests {
             guideline < ewma,
             "guideline WCMA ({guideline}) should beat EWMA ({ewma})"
         );
-        assert!(opt < mavg, "WCMA ({opt}) should beat the moving average ({mavg})");
+        assert!(
+            opt < mavg,
+            "WCMA ({opt}) should beat the moving average ({mavg})"
+        );
         // The guideline stays close to the optimum (paper §IV-B).
-        assert!(guideline - opt < 3.0, "guideline within ~3 points of optimal");
+        assert!(
+            guideline - opt < 3.0,
+            "guideline within ~3 points of optimal"
+        );
     }
 }

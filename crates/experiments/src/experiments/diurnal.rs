@@ -21,8 +21,8 @@ pub fn run(ctx: &Context) -> ExperimentOutput {
     let params = WcmaParams::new(0.7, 10, 2, n).expect("guideline parameters");
     let mut profiles: Vec<(Site, DiurnalProfile)> = Vec::new();
     for ds in ctx.datasets() {
-        let view = SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N"))
-            .expect("compatible N");
+        let view =
+            SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N")).expect("compatible N");
         let log = run_predictor(&view, &mut WcmaPredictor::new(params));
         profiles.push((ds.site, DiurnalProfile::of(&log, ctx.protocol())));
     }
@@ -34,7 +34,10 @@ pub fn run(ctx: &Context) -> ExperimentOutput {
         if profiles.iter().all(|(_, p)| p.mape(slot).is_none()) {
             continue; // night
         }
-        let mut row = vec![slot.to_string(), format!("{:.1}", slot as f64 * 24.0 / n as f64)];
+        let mut row = vec![
+            slot.to_string(),
+            format!("{:.1}", slot as f64 * 24.0 / n as f64),
+        ];
         for (_, profile) in &profiles {
             row.push(
                 profile

@@ -30,17 +30,11 @@ pub fn run(ctx: &Context) -> ExperimentOutput {
         "gain captured",
     ]);
     for ds in ctx.datasets() {
-        let view = SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N"))
-            .expect("compatible N");
+        let view =
+            SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N")).expect("compatible N");
         let best = ctx.sweep_for(ds.site, N).best_by_mape();
-        let mut causal = CausalDynamicWcma::new(
-            best.days,
-            k_max,
-            alphas.clone(),
-            0.98,
-            N as usize,
-        )
-        .expect("valid configuration");
+        let mut causal = CausalDynamicWcma::new(best.days, k_max, alphas.clone(), 0.98, N as usize)
+            .expect("valid configuration");
         let causal_mape = ctx
             .protocol()
             .evaluate(&run_predictor(&view, &mut causal))

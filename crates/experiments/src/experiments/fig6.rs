@@ -1,9 +1,7 @@
 //! Fig. 6 — prediction-activity overhead at different N.
 
 use crate::context::{Context, ExperimentOutput};
-use msp430_energy::{
-    AdcModel, CalibratedCycleModel, PredictionKernel, SamplingSchedule, Supply,
-};
+use msp430_energy::{AdcModel, CalibratedCycleModel, PredictionKernel, SamplingSchedule, Supply};
 use param_explore::report::TextTable;
 use solar_trace::SlotsPerDay;
 
@@ -24,8 +22,7 @@ pub fn run(_ctx: &Context) -> ExperimentOutput {
         "overhead %",
     ]);
     for n in SlotsPerDay::PAPER_VALUES {
-        let budget =
-            SamplingSchedule::new(n as usize).daily_budget(&supply, &adc, &model, &kernel);
+        let budget = SamplingSchedule::new(n as usize).daily_budget(&supply, &adc, &model, &kernel);
         table.push_row(vec![
             n.to_string(),
             format!("{:.1}", budget.per_wake_j * 1e6),

@@ -59,9 +59,9 @@ mod tests {
         let out = run(&ctx);
         let table = &out.tables[0].1;
         assert_eq!(table.len(), 19); // D = 2..=20
-        // For every site: the improvement from D=11 to D=20 is small
-        // compared to the improvement from D=2 to D=11 (the paper's
-        // diminishing-returns claim).
+                                     // For every site: the improvement from D=11 to D=20 is small
+                                     // compared to the improvement from D=2 to D=11 (the paper's
+                                     // diminishing-returns claim).
         for col in 1..=6 {
             let at = |row: usize| -> f64 { table.rows()[row][col].parse().unwrap() };
             let d2 = at(0);

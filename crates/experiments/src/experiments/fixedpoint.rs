@@ -22,11 +22,14 @@ pub fn run(ctx: &Context) -> ExperimentOutput {
     let n = N as usize;
     let params = WcmaParams::new(0.7, 10, 2, n).expect("guideline parameters");
     let mut accuracy = TextTable::new(vec![
-        "Data set", "MAPE f64", "MAPE Q16.16", "penalty (points)",
+        "Data set",
+        "MAPE f64",
+        "MAPE Q16.16",
+        "penalty (points)",
     ]);
     for ds in ctx.datasets() {
-        let view = SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N"))
-            .expect("compatible N");
+        let view =
+            SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N")).expect("compatible N");
         let float = ctx
             .protocol()
             .evaluate(&run_predictor(&view, &mut WcmaPredictor::new(params)));

@@ -19,8 +19,8 @@ pub const N: u32 = 48;
 pub fn run(ctx: &Context) -> ExperimentOutput {
     let mut table = TextTable::new(vec!["Data set", "wrap", "clamp", "delta (points)"]);
     for ds in ctx.datasets() {
-        let view = SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N"))
-            .expect("compatible N");
+        let view =
+            SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N")).expect("compatible N");
         let mape_for = |policy: KWindowPolicy| {
             let params = WcmaParamsBuilder::new()
                 .alpha(0.7)

@@ -36,8 +36,8 @@ fn node_config() -> NodeConfig {
 /// baseline, reporting brownout rate, mean duty and utilization.
 pub fn run(ctx: &Context) -> ExperimentOutput {
     let ds = ctx.dataset(SITE);
-    let view = SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N"))
-        .expect("compatible N");
+    let view =
+        SlotView::new(&ds.trace, SlotsPerDay::new(N).expect("paper N")).expect("compatible N");
     let n = N as usize;
     let mut table = TextTable::new(vec![
         "Predictor / policy",

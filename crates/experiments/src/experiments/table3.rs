@@ -46,9 +46,7 @@ pub fn rows(ctx: &Context) -> Vec<Table3Row> {
 /// Degenerate one-sample-per-slot rows print the paper's dagger
 /// convention (α = 1, D/K n/a, MAPE 0†).
 pub fn run(ctx: &Context) -> ExperimentOutput {
-    let mut table = TextTable::new(vec![
-        "Data Set", "N", "a", "D", "K", "MAPE", "MAPE@K=2",
-    ]);
+    let mut table = TextTable::new(vec!["Data Set", "N", "a", "D", "K", "MAPE", "MAPE@K=2"]);
     for row in rows(ctx) {
         if row.degenerate {
             table.push_row(vec![
@@ -89,11 +87,9 @@ mod tests {
         let all = rows(&ctx);
         assert_eq!(all.len(), 6 * 5);
         for ds in ctx.datasets() {
-            let site_rows: Vec<&Table3Row> =
-                all.iter().filter(|r| r.site == ds.site).collect();
+            let site_rows: Vec<&Table3Row> = all.iter().filter(|r| r.site == ds.site).collect();
             // MAPE decreases as N grows (non-degenerate rows).
-            let real: Vec<&&Table3Row> =
-                site_rows.iter().filter(|r| !r.degenerate).collect();
+            let real: Vec<&&Table3Row> = site_rows.iter().filter(|r| !r.degenerate).collect();
             for pair in real.windows(2) {
                 // Rows are ordered by descending N.
                 assert!(

@@ -56,7 +56,13 @@ pub fn run(_ctx: &Context) -> ExperimentOutput {
     // The mechanistic companion: analytic op counts priced per arithmetic
     // style, next to the calibrated measurement stand-in.
     let mut ops = TextTable::new(vec![
-        "Kernel", "adds", "muls", "divs", "softfloat cycles", "q16 cycles", "calibrated cycles",
+        "Kernel",
+        "adds",
+        "muls",
+        "divs",
+        "softfloat cycles",
+        "q16 cycles",
+        "calibrated cycles",
     ]);
     for (k, alpha) in [(1usize, 0.7), (2, 0.7), (7, 0.7), (7, 0.0)] {
         let kernel = PredictionKernel::new(k, alpha);

@@ -22,7 +22,13 @@ pub fn run(ctx: &Context) -> ExperimentOutput {
     let k_max = ctx.grid().k_max();
     let rows = table3::rows(ctx);
     let mut table = TextTable::new(vec![
-        "Data Set", "N", "Static MAPE", "K+a MAPE", "a (K only)", "K only MAPE", "K (a only)",
+        "Data Set",
+        "N",
+        "Static MAPE",
+        "K+a MAPE",
+        "a (K only)",
+        "K only MAPE",
+        "K (a only)",
         "a only MAPE",
     ]);
     for site in SITES {
@@ -47,8 +53,7 @@ pub fn run(ctx: &Context) -> ExperimentOutput {
             }
             let view = SlotView::new(&ds.trace, SlotsPerDay::new(n).expect("paper N"))
                 .expect("compatible N");
-            let outcome =
-                clairvoyant_eval(&view, row.best.days, &alphas, k_max, ctx.protocol());
+            let outcome = clairvoyant_eval(&view, row.best.days, &alphas, k_max, ctx.protocol());
             table.push_row(vec![
                 site.code().to_string(),
                 n.to_string(),
@@ -104,7 +109,10 @@ mod tests {
             let both = pct_of(&r[3]).unwrap();
             stat - both > 0.4 * stat
         });
-        assert!(big_gain, "dynamic should roughly halve MAPE somewhere at N=48");
+        assert!(
+            big_gain,
+            "dynamic should roughly halve MAPE somewhere at N=48"
+        );
     }
 
     #[test]
@@ -115,13 +123,16 @@ mod tests {
         let out = run(&ctx);
         let rows = table3::rows(&ctx);
         for row in out.tables[0].1.rows() {
-            let Ok(n) = row[1].parse::<u32>() else { continue };
-            let Some(site) = SITES.iter().find(|s| s.code() == row[0]) else { continue };
-            let Ok(alpha_dyn) = row[4].parse::<f64>() else { continue };
-            let stat = rows
-                .iter()
-                .find(|r| r.site == *site && r.n == n)
-                .unwrap();
+            let Ok(n) = row[1].parse::<u32>() else {
+                continue;
+            };
+            let Some(site) = SITES.iter().find(|s| s.code() == row[0]) else {
+                continue;
+            };
+            let Ok(alpha_dyn) = row[4].parse::<f64>() else {
+                continue;
+            };
+            let stat = rows.iter().find(|r| r.site == *site && r.n == n).unwrap();
             if stat.degenerate {
                 continue;
             }

@@ -4,9 +4,7 @@
 
 use crate::context::{Context, ExperimentOutput};
 use crate::experiments::table3;
-use msp430_energy::{
-    AdcModel, CalibratedCycleModel, PredictionKernel, SamplingSchedule, Supply,
-};
+use msp430_energy::{AdcModel, CalibratedCycleModel, PredictionKernel, SamplingSchedule, Supply};
 use param_explore::dynamic::clairvoyant_eval;
 use param_explore::report::{pct, TextTable};
 use solar_synth::Site;
@@ -92,13 +90,7 @@ mod tests {
         let out = run(&ctx);
         let table = &out.tables[0].1;
         assert_eq!(table.len(), 5);
-        let row = |n: &str| {
-            table
-                .rows()
-                .iter()
-                .find(|r| r[0] == n)
-                .expect("row exists")
-        };
+        let row = |n: &str| table.rows().iter().find(|r| r[0] == n).expect("row exists");
         let static288 = pct_of(&row("288")[1]);
         let dyn48 = pct_of(&row("48")[2]);
         let overhead288 = pct_of(&row("288")[3]);

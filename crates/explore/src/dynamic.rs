@@ -61,9 +61,8 @@ pub fn clairvoyant_eval(
     // Per fixed K: sum of min-over-α errors.
     let mut sum_alpha_only = vec![0.0_f64; k_max];
 
-    let included = |s: &EnsembleStep| {
-        s.day >= first_day && s.actual_mean >= threshold && s.actual_mean > 0.0
-    };
+    let included =
+        |s: &EnsembleStep| s.day >= first_day && s.actual_mean >= threshold && s.actual_mean > 0.0;
 
     for step in steps.iter().filter(|s| included(s)) {
         count += 1;
@@ -122,7 +121,9 @@ mod tests {
         let mut samples = Vec::with_capacity(days * n * m);
         let mut state = 0xBEEFu64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for _ in 0..days {
@@ -163,7 +164,10 @@ mod tests {
         let static_best = sweep(&view, &grid, &protocol).best_by_mape();
         assert!(outcome.k_only.1 <= static_best.mape + 1e-12);
         assert!(outcome.alpha_only.1 <= static_best.mape + 1e-12);
-        assert!(outcome.both_mape < static_best.mape, "dynamic must strictly win on noisy data");
+        assert!(
+            outcome.both_mape < static_best.mape,
+            "dynamic must strictly win on noisy data"
+        );
     }
 
     #[test]

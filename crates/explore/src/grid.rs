@@ -100,7 +100,11 @@ impl ParamGrid {
 
     /// Largest D in the grid.
     pub fn d_max(&self) -> usize {
-        self.days.iter().copied().max().expect("non-empty by construction")
+        self.days
+            .iter()
+            .copied()
+            .max()
+            .expect("non-empty by construction")
     }
 
     /// Largest K in the grid.

@@ -67,7 +67,7 @@ mod tests {
     use crate::grid::ParamGrid;
     use crate::sweep::sweep;
     use pred_metrics::EvalProtocol;
-    use solar_trace::{PowerTrace, Resolution, SlotsPerDay, SlotView};
+    use solar_trace::{PowerTrace, Resolution, SlotView, SlotsPerDay};
 
     fn noisy_view_trace() -> PowerTrace {
         let n = 24;
@@ -82,7 +82,11 @@ mod tests {
             for s in 0..n {
                 let x = (s as f64 / n as f64 - 0.5) * 6.0;
                 let base = 900.0 * (-x * x).exp();
-                samples.push(if base < 20.0 { 0.0 } else { (base * scale * (1.0 + 0.2 * next())).max(0.0) });
+                samples.push(if base < 20.0 {
+                    0.0
+                } else {
+                    (base * scale * (1.0 + 0.2 * next())).max(0.0)
+                });
             }
         }
         PowerTrace::new("g", Resolution::from_minutes(60).unwrap(), samples).unwrap()

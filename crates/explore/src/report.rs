@@ -78,7 +78,11 @@ impl TextTable {
         writeln!(
             writer,
             "{}",
-            self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(",")
         )?;
         for row in &self.rows {
             writeln!(

@@ -335,7 +335,9 @@ mod tests {
         let mut samples = Vec::with_capacity(days * n);
         let mut state = 0x12345678u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for _ in 0..days {
@@ -502,7 +504,10 @@ mod tests {
         let result = sweep(&view, &ParamGrid::paper(), &EvalProtocol::paper());
         let best = result.best_by_mape();
         assert!(best.mape > 0.01, "noisy data cannot be predicted exactly");
-        assert!(best.alpha < 1.0, "slot-mean reference penalizes pure persistence");
+        assert!(
+            best.alpha < 1.0,
+            "slot-mean reference penalizes pure persistence"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use param_explore::{sweep, ParamGrid};
 use pred_metrics::EvalProtocol;
 use proptest::prelude::*;
 use solar_predict::{run_predictor, WcmaParams, WcmaPredictor};
-use solar_trace::{PowerTrace, Resolution, SlotsPerDay, SlotView};
+use solar_trace::{PowerTrace, Resolution, SlotView, SlotsPerDay};
 
 const N: usize = 12;
 const M: usize = 3; // samples per slot

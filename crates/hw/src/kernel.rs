@@ -166,7 +166,7 @@ impl CalibratedCycleModel {
     pub fn paper() -> Self {
         CalibratedCycleModel {
             base: 600.0,
-            per_k: 1600.0 / 3.0,       // 533.33…
+            per_k: 1600.0 / 3.0,            // 533.33…
             persistence_path: 3800.0 / 3.0, // 1266.67…
         }
     }
@@ -190,7 +190,11 @@ impl CalibratedCycleModel {
 /// `history` is the stored per-slot mean for each of the K window slots
 /// plus the target slot (values only affect nothing — counting is
 /// data-independent — but realistic inputs keep the walk honest).
-pub fn counted_prediction(kernel: &PredictionKernel, history_mu: &[f64], window: &[f64]) -> (f64, OpCounts) {
+pub fn counted_prediction(
+    kernel: &PredictionKernel,
+    history_mu: &[f64],
+    window: &[f64],
+) -> (f64, OpCounts) {
     assert_eq!(window.len(), kernel.k(), "window must hold K values");
     assert_eq!(
         history_mu.len(),
@@ -246,9 +250,21 @@ mod tests {
     fn calibration_reproduces_paper_anchors() {
         let m = CalibratedCycleModel::paper();
         let e = |k, a| m.cycles(&PredictionKernel::new(k, a)) * NJ_PER_CYCLE;
-        assert!((e(1, 0.7) - 3.6e-6).abs() < 1e-9, "K=1 a=0.7: {}", e(1, 0.7));
-        assert!((e(7, 0.7) - 8.4e-6).abs() < 1e-9, "K=7 a=0.7: {}", e(7, 0.7));
-        assert!((e(7, 0.0) - 6.5e-6).abs() < 1e-9, "K=7 a=0.0: {}", e(7, 0.0));
+        assert!(
+            (e(1, 0.7) - 3.6e-6).abs() < 1e-9,
+            "K=1 a=0.7: {}",
+            e(1, 0.7)
+        );
+        assert!(
+            (e(7, 0.7) - 8.4e-6).abs() < 1e-9,
+            "K=7 a=0.7: {}",
+            e(7, 0.7)
+        );
+        assert!(
+            (e(7, 0.0) - 6.5e-6).abs() < 1e-9,
+            "K=7 a=0.0: {}",
+            e(7, 0.0)
+        );
     }
 
     #[test]
@@ -302,10 +318,25 @@ mod tests {
 
     #[test]
     fn op_counts_add() {
-        let a = OpCounts { adds: 1, muls: 2, divs: 3 };
-        let b = OpCounts { adds: 10, muls: 20, divs: 30 };
+        let a = OpCounts {
+            adds: 1,
+            muls: 2,
+            divs: 3,
+        };
+        let b = OpCounts {
+            adds: 10,
+            muls: 20,
+            divs: 30,
+        };
         let c = a + b;
-        assert_eq!(c, OpCounts { adds: 11, muls: 22, divs: 33 });
+        assert_eq!(
+            c,
+            OpCounts {
+                adds: 11,
+                muls: 22,
+                divs: 33
+            }
+        );
         assert_eq!(c.total(), 66);
     }
 

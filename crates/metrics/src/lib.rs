@@ -38,12 +38,14 @@
 //! assert!(summary.mape_prime > summary.mape);
 //! ```
 
+mod aggregate;
 mod diurnal;
 mod error_fn;
 mod record;
 mod roi;
 mod summary;
 
+pub use aggregate::SummaryAggregate;
 pub use diurnal::DiurnalProfile;
 pub use error_fn::{
     ErrorFunction, MaeAccumulator, MapeAccumulator, MbeAccumulator, RmseAccumulator,

@@ -60,10 +60,7 @@ impl RoiFilter {
     /// Boolean mask over a reference series using the series' own peak.
     pub fn mask(&self, reference: &[f64]) -> Vec<bool> {
         let peak = reference.iter().copied().fold(0.0, f64::max);
-        reference
-            .iter()
-            .map(|&v| self.includes(v, peak))
-            .collect()
+        reference.iter().map(|&v| self.includes(v, peak)).collect()
     }
 }
 

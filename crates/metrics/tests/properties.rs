@@ -5,7 +5,13 @@ use proptest::prelude::*;
 
 fn log_strategy() -> impl Strategy<Value = PredictionLog> {
     proptest::collection::vec(
-        (0u32..60, 0u32..8, 0.0f64..1000.0, 0.0f64..1000.0, 0.0f64..1000.0),
+        (
+            0u32..60,
+            0u32..8,
+            0.0f64..1000.0,
+            0.0f64..1000.0,
+            0.0f64..1000.0,
+        ),
         1..300,
     )
     .prop_map(|records| {

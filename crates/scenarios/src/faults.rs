@@ -1,0 +1,378 @@
+//! Fault and perturbation injectors.
+//!
+//! Faults come in two flavours that the engine treats differently:
+//!
+//! * **physical** faults change what actually happens to the node —
+//!   [`FaultSpec::PanelOutage`] and [`FaultSpec::TraceGap`] zero the
+//!   harvested energy, [`FaultSpec::StorageFade`] shrinks the store.
+//! * **measurement** faults corrupt only what the predictor observes —
+//!   [`FaultSpec::SensorDropout`] makes the sensor read zero while the
+//!   panel keeps producing.
+//!
+//! The realization of stochastic faults (dropout draws, gap placement)
+//! is a pure function of the injector seed, so every job evaluating the
+//! same scenario — and both the prediction-metrics and the simulation
+//! pass within one job — sees the *same* fault sequence.
+
+use crate::json::Json;
+use harvest_sim::SlotHook;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One declarative fault in a scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// The panel produces nothing for `duration_days` starting at
+    /// `start_day` (0-based) — a blown fuse, deep snow cover.
+    PanelOutage {
+        /// First affected day.
+        start_day: usize,
+        /// Number of affected days.
+        duration_days: usize,
+    },
+    /// Storage capacity (and initial level) scaled by `capacity_factor`
+    /// in `(0, 1]` — an aged supercap bank.
+    StorageFade {
+        /// Remaining fraction of nameplate capacity.
+        capacity_factor: f64,
+    },
+    /// Each slot's measured sample independently reads 0 with
+    /// probability `rate` — a flaky sensor or ADC brownout.
+    SensorDropout {
+        /// Per-slot dropout probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Randomly placed spans where both harvest and measurement are zero
+    /// — node resets, data-logger gaps.
+    TraceGap {
+        /// Expected gap count per 100 days.
+        gaps_per_100_days: f64,
+        /// Mean gap length in slots (exponential).
+        mean_slots: f64,
+    },
+}
+
+impl FaultSpec {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            FaultSpec::PanelOutage { duration_days, .. } => {
+                if duration_days == 0 {
+                    return Err("panel_outage duration_days must be at least 1".to_string());
+                }
+            }
+            FaultSpec::StorageFade { capacity_factor } => {
+                if !(capacity_factor.is_finite() && 0.0 < capacity_factor && capacity_factor <= 1.0)
+                {
+                    return Err(format!(
+                        "storage_fade capacity_factor {capacity_factor} must be in (0, 1]"
+                    ));
+                }
+            }
+            FaultSpec::SensorDropout { rate } => {
+                if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                    return Err(format!("sensor_dropout rate {rate} must be in [0, 1]"));
+                }
+            }
+            FaultSpec::TraceGap {
+                gaps_per_100_days,
+                mean_slots,
+            } => {
+                if !(gaps_per_100_days.is_finite() && gaps_per_100_days >= 0.0) {
+                    return Err("trace_gap gaps_per_100_days must be non-negative".to_string());
+                }
+                if !(mean_slots.is_finite() && mean_slots >= 1.0) {
+                    return Err("trace_gap mean_slots must be at least 1".to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// JSON form (`{"kind": ..., ...}`).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            FaultSpec::PanelOutage {
+                start_day,
+                duration_days,
+            } => Json::obj([
+                ("kind", Json::Str("panel_outage".into())),
+                ("start_day", Json::Num(start_day as f64)),
+                ("duration_days", Json::Num(duration_days as f64)),
+            ]),
+            FaultSpec::StorageFade { capacity_factor } => Json::obj([
+                ("kind", Json::Str("storage_fade".into())),
+                ("capacity_factor", Json::Num(capacity_factor)),
+            ]),
+            FaultSpec::SensorDropout { rate } => Json::obj([
+                ("kind", Json::Str("sensor_dropout".into())),
+                ("rate", Json::Num(rate)),
+            ]),
+            FaultSpec::TraceGap {
+                gaps_per_100_days,
+                mean_slots,
+            } => Json::obj([
+                ("kind", Json::Str("trace_gap".into())),
+                ("gaps_per_100_days", Json::Num(gaps_per_100_days)),
+                ("mean_slots", Json::Num(mean_slots)),
+            ]),
+        }
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(value: &Json) -> Result<FaultSpec, String> {
+        let spec = match value.req_str("kind")? {
+            "panel_outage" => FaultSpec::PanelOutage {
+                start_day: value.req_index("start_day")? as usize,
+                duration_days: value.req_index("duration_days")? as usize,
+            },
+            "storage_fade" => FaultSpec::StorageFade {
+                capacity_factor: value.req_num("capacity_factor")?,
+            },
+            "sensor_dropout" => FaultSpec::SensorDropout {
+                rate: value.req_num("rate")?,
+            },
+            "trace_gap" => FaultSpec::TraceGap {
+                gaps_per_100_days: value.req_num("gaps_per_100_days")?,
+                mean_slots: value.req_num("mean_slots")?,
+            },
+            other => return Err(format!("unknown fault kind {other:?}")),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+/// Combined storage-capacity factor of a fault list (fades multiply).
+pub fn storage_capacity_factor(faults: &[FaultSpec]) -> f64 {
+    faults
+        .iter()
+        .map(|f| match *f {
+            FaultSpec::StorageFade { capacity_factor } => capacity_factor,
+            _ => 1.0,
+        })
+        .product()
+}
+
+/// The runtime realization of a scenario's fault list: a
+/// [`SlotHook`] driving outages, gaps, and dropouts.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    /// Day ranges `[start, end)` with zero harvest.
+    outage_days: Vec<(usize, usize)>,
+    /// Absolute slot ranges `[start, end)` with zero harvest and zero
+    /// measurement.
+    gap_slots: Vec<(usize, usize)>,
+    /// Per-slot measurement dropout probability (probabilities of
+    /// multiple dropout faults combine as independent events).
+    dropout_rate: f64,
+    slots_per_day: usize,
+    rng: ChaCha8Rng,
+}
+
+impl FaultInjector {
+    /// Realizes `faults` over a `days × slots_per_day` horizon, with all
+    /// randomness derived from `seed`.
+    pub fn new(faults: &[FaultSpec], seed: u64, days: usize, slots_per_day: usize) -> Self {
+        let mut placement_rng = ChaCha8Rng::seed_from_u64(seed ^ 0x6761_7073); // "gaps"
+        let total_slots = days * slots_per_day;
+        let mut outage_days = Vec::new();
+        let mut gap_slots = Vec::new();
+        let mut keep_rate = 1.0; // probability a sample survives all dropout faults
+        for fault in faults {
+            match *fault {
+                FaultSpec::PanelOutage {
+                    start_day,
+                    duration_days,
+                } => outage_days.push((start_day, start_day.saturating_add(duration_days))),
+                FaultSpec::StorageFade { .. } => {} // applied to hardware, not slots
+                FaultSpec::SensorDropout { rate } => keep_rate *= 1.0 - rate,
+                FaultSpec::TraceGap {
+                    gaps_per_100_days,
+                    mean_slots,
+                } => {
+                    let expected = gaps_per_100_days * days as f64 / 100.0;
+                    let count = solar_synth::sampling::poisson(expected, &mut placement_rng);
+                    for _ in 0..count {
+                        let start = (placement_rng.gen::<f64>() * total_slots as f64) as usize;
+                        let len = (-mean_slots * placement_rng.gen::<f64>().max(1e-12).ln())
+                            .ceil()
+                            .max(1.0) as usize;
+                        gap_slots.push((start, (start + len).min(total_slots)));
+                    }
+                }
+            }
+        }
+        gap_slots.sort_unstable();
+        FaultInjector {
+            outage_days,
+            gap_slots,
+            dropout_rate: 1.0 - keep_rate,
+            slots_per_day,
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x6472_6f70), // "drop"
+        }
+    }
+
+    /// The realized gap spans (absolute slot ranges), for diagnostics.
+    pub fn gap_slots(&self) -> &[(usize, usize)] {
+        &self.gap_slots
+    }
+}
+
+impl SlotHook for FaultInjector {
+    fn on_slot(&mut self, day: usize, slot: usize, harvest_j: &mut f64, measured: &mut f64) {
+        // Unconditional draw: keeps the RNG stream aligned between the
+        // metrics pass and the simulation pass of the same job.
+        let dropout_draw: f64 = self.rng.gen();
+        if self
+            .outage_days
+            .iter()
+            .any(|&(start, end)| (start..end).contains(&day))
+        {
+            *harvest_j = 0.0;
+        }
+        let abs_slot = day * self.slots_per_day + slot;
+        if self
+            .gap_slots
+            .iter()
+            .any(|&(start, end)| (start..end).contains(&abs_slot))
+        {
+            *harvest_j = 0.0;
+            *measured = 0.0;
+        }
+        if self.dropout_rate > 0.0 && dropout_draw < self.dropout_rate {
+            *measured = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(FaultSpec::PanelOutage {
+            start_day: 0,
+            duration_days: 0
+        }
+        .validate()
+        .is_err());
+        assert!(FaultSpec::StorageFade {
+            capacity_factor: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(FaultSpec::SensorDropout { rate: 1.5 }.validate().is_err());
+        assert!(FaultSpec::TraceGap {
+            gaps_per_100_days: -1.0,
+            mean_slots: 4.0
+        }
+        .validate()
+        .is_err());
+        assert!(FaultSpec::TraceGap {
+            gaps_per_100_days: 1.0,
+            mean_slots: 0.5
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn json_round_trips_every_kind() {
+        let specs = [
+            FaultSpec::PanelOutage {
+                start_day: 25,
+                duration_days: 5,
+            },
+            FaultSpec::StorageFade {
+                capacity_factor: 0.5,
+            },
+            FaultSpec::SensorDropout { rate: 0.05 },
+            FaultSpec::TraceGap {
+                gaps_per_100_days: 3.0,
+                mean_slots: 4.0,
+            },
+        ];
+        for spec in specs {
+            let back = FaultSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(back, spec);
+        }
+        assert!(FaultSpec::from_json(&Json::obj([("kind", Json::Str("meteor".into()))])).is_err());
+    }
+
+    #[test]
+    fn outage_zeroes_harvest_not_measurement() {
+        let faults = [FaultSpec::PanelOutage {
+            start_day: 2,
+            duration_days: 1,
+        }];
+        let mut injector = FaultInjector::new(&faults, 1, 5, 24);
+        let mut harvest = 10.0;
+        let mut measured = 700.0;
+        injector.on_slot(2, 5, &mut harvest, &mut measured);
+        assert_eq!(harvest, 0.0);
+        assert_eq!(measured, 700.0);
+        let mut harvest = 10.0;
+        injector.on_slot(3, 5, &mut harvest, &mut measured);
+        assert_eq!(harvest, 10.0);
+    }
+
+    #[test]
+    fn injectors_with_equal_seeds_realize_identical_faults() {
+        let faults = [
+            FaultSpec::SensorDropout { rate: 0.2 },
+            FaultSpec::TraceGap {
+                gaps_per_100_days: 50.0,
+                mean_slots: 6.0,
+            },
+        ];
+        let mut a = FaultInjector::new(&faults, 99, 30, 48);
+        let mut b = FaultInjector::new(&faults, 99, 30, 48);
+        assert_eq!(a.gap_slots(), b.gap_slots());
+        for day in 0..30 {
+            for slot in 0..48 {
+                let (mut ha, mut ma) = (5.0, 400.0);
+                let (mut hb, mut mb) = (5.0, 400.0);
+                a.on_slot(day, slot, &mut ha, &mut ma);
+                b.on_slot(day, slot, &mut hb, &mut mb);
+                assert_eq!((ha, ma), (hb, mb));
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_rate_is_roughly_respected() {
+        let faults = [FaultSpec::SensorDropout { rate: 0.25 }];
+        let mut injector = FaultInjector::new(&faults, 7, 100, 48);
+        let mut dropped = 0;
+        let total = 100 * 48;
+        for day in 0..100 {
+            for slot in 0..48 {
+                let mut h = 1.0;
+                let mut m = 500.0;
+                injector.on_slot(day, slot, &mut h, &mut m);
+                if m == 0.0 {
+                    dropped += 1;
+                }
+            }
+        }
+        let rate = dropped as f64 / total as f64;
+        assert!((rate - 0.25).abs() < 0.03, "observed dropout {rate}");
+    }
+
+    #[test]
+    fn fade_factors_multiply() {
+        let faults = [
+            FaultSpec::StorageFade {
+                capacity_factor: 0.5,
+            },
+            FaultSpec::StorageFade {
+                capacity_factor: 0.8,
+            },
+            FaultSpec::SensorDropout { rate: 0.1 },
+        ];
+        assert!((storage_capacity_factor(&faults) - 0.4).abs() < 1e-12);
+        assert_eq!(storage_capacity_factor(&[]), 1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Scenario catalog and parallel fleet evaluation — the workspace's
+//! scale-out layer.
+//!
+//! The DATE'10 paper evaluates its predictor on six measured traces;
+//! related fleet-scale work (Basha et al.'s in-network prediction,
+//! Mziou-Sallami et al.'s error-impact study) shows that predictors must
+//! be judged **across deployment regimes** and **by downstream
+//! management impact**, not a single MAPE figure. This crate provides
+//! both:
+//!
+//! * [`Catalog`] — named, JSON-serialisable [`Scenario`]s composing a
+//!   `solar_synth` site/weather regime (paper presets or custom
+//!   latitude × climate via [`solar_synth::SiteConfigBuilder`]), a
+//!   `harvest_sim` hardware tier ([`NodeProfile`]), and
+//!   fault/perturbation injectors ([`FaultSpec`]) — dead panels, storage
+//!   fade, sensor dropout, telemetry gaps;
+//! * [`FleetMatrix`] — a predictor-family × power-manager × scenario
+//!   product, with predictor families reusable from
+//!   [`param_explore::ParamGrid`]s
+//!   ([`PredictorSpec::family_from_grid`]);
+//! * [`FleetEngine`] — expands the matrix into jobs, executes them in
+//!   parallel with `rayon` under deterministic per-job seeds, and
+//!   reduces `NodeReport`s + `pred_metrics` summaries into a ranked
+//!   [`Scorecard`] with byte-deterministic JSON output.
+//!
+//! # Example
+//!
+//! ```
+//! use scenario_fleet::{Catalog, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec};
+//!
+//! let scenarios = vec![
+//!     Catalog::builtin().get("desert-clear-sky").unwrap().clone(),
+//! ];
+//! let matrix = FleetMatrix::new(
+//!     vec![
+//!         PredictorSpec::Wcma { alpha: 0.7, days: 10, k: 2 },
+//!         PredictorSpec::Persistence,
+//!     ],
+//!     vec![ManagerSpec::Greedy],
+//!     scenarios,
+//! ).unwrap();
+//! let result = FleetEngine::new(42).run(&matrix).unwrap();
+//! assert_eq!(result.outcomes.len(), 2);
+//! let winner = result.scorecard.winner().unwrap();
+//! assert_eq!(winner.rank, 1);
+//! ```
+
+mod catalog;
+mod engine;
+mod faults;
+pub mod json;
+mod matrix;
+mod scorecard;
+
+pub use catalog::{Catalog, Climate, NodeProfile, Scenario, SiteSpec};
+pub use engine::{FleetEngine, FleetResult, JobOutcome};
+pub use faults::{storage_capacity_factor, FaultInjector, FaultSpec};
+pub use matrix::{FleetMatrix, JobSpec, ManagerSpec, PredictorSpec};
+pub use scorecard::{ScenarioRanking, ScoreEntry, Scorecard};

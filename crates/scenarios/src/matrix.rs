@@ -1,0 +1,376 @@
+//! The predictor × manager × scenario evaluation matrix.
+//!
+//! Specs are declarative (buildable, comparable, serialisable-by-label)
+//! so a matrix can be expanded into jobs on any thread and each job can
+//! construct its own fresh predictor/manager state — predictors are
+//! stateful stream processors and must never be shared between runs.
+
+use crate::catalog::Scenario;
+use harvest_sim::{EnergyNeutralManager, FixedDutyManager, GreedyManager, PowerManager};
+use param_explore::ParamGrid;
+use solar_predict::{
+    EwmaPredictor, MovingAveragePredictor, PersistencePredictor, Predictor, WcmaParams,
+    WcmaPredictor,
+};
+
+/// A buildable predictor configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PredictorSpec {
+    /// The paper's WCMA at fixed (α, D, K).
+    Wcma {
+        /// Persistence weight α ∈ [0, 1].
+        alpha: f64,
+        /// History depth D (days).
+        days: usize,
+        /// Conditioning window K (slots).
+        k: usize,
+    },
+    /// The Kansal et al. EWMA baseline.
+    Ewma {
+        /// Smoothing factor γ ∈ [0, 1].
+        gamma: f64,
+    },
+    /// Per-slot moving average over `days` days.
+    MovingAverage {
+        /// Window in days.
+        days: usize,
+    },
+    /// Last-sample persistence.
+    Persistence,
+}
+
+impl PredictorSpec {
+    /// Short stable label for reports and JSON.
+    pub fn label(&self) -> String {
+        match *self {
+            PredictorSpec::Wcma { alpha, days, k } => {
+                format!("wcma(a={alpha},D={days},K={k})")
+            }
+            PredictorSpec::Ewma { gamma } => format!("ewma(g={gamma})"),
+            PredictorSpec::MovingAverage { days } => format!("ma(D={days})"),
+            PredictorSpec::Persistence => "persistence".to_string(),
+        }
+    }
+
+    /// Builds a fresh predictor for discretization `n`.
+    pub fn build(&self, n: usize) -> Result<Box<dyn Predictor>, String> {
+        match *self {
+            PredictorSpec::Wcma { alpha, days, k } => Ok(Box::new(WcmaPredictor::new(
+                WcmaParams::new(alpha, days, k, n).map_err(|e| e.to_string())?,
+            ))),
+            PredictorSpec::Ewma { gamma } => Ok(Box::new(
+                EwmaPredictor::new(gamma, n).map_err(|e| e.to_string())?,
+            )),
+            PredictorSpec::MovingAverage { days } => Ok(Box::new(
+                MovingAveragePredictor::new(days, n).map_err(|e| e.to_string())?,
+            )),
+            PredictorSpec::Persistence => Ok(Box::new(PersistencePredictor::new(n))),
+        }
+    }
+
+    /// The default comparison family: the paper's guideline WCMA, both
+    /// ensemble corners, and the two classical baselines.
+    pub fn guideline_family() -> Vec<PredictorSpec> {
+        vec![
+            PredictorSpec::Wcma {
+                alpha: 0.7,
+                days: 10,
+                k: 2,
+            },
+            PredictorSpec::Wcma {
+                alpha: 0.3,
+                days: 5,
+                k: 1,
+            },
+            PredictorSpec::Ewma { gamma: 0.5 },
+            PredictorSpec::MovingAverage { days: 5 },
+            PredictorSpec::Persistence,
+        ]
+    }
+
+    /// Expands a [`ParamGrid`] into a WCMA predictor family — the bridge
+    /// between the paper's design-space exploration and fleet
+    /// evaluation. Use small grids: the fleet cost is
+    /// `configs × managers × scenarios` full runs.
+    pub fn family_from_grid(grid: &ParamGrid) -> Vec<PredictorSpec> {
+        let mut family = Vec::with_capacity(grid.configs());
+        for &alpha in grid.alphas() {
+            for &days in grid.days() {
+                for &k in grid.ks() {
+                    family.push(PredictorSpec::Wcma { alpha, days, k });
+                }
+            }
+        }
+        family
+    }
+}
+
+/// A buildable power-manager configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ManagerSpec {
+    /// Prediction-driven energy-neutral control.
+    EnergyNeutral {
+        /// Target state of charge in `[0, 1]`.
+        target_soc: f64,
+        /// Proportional correction gain per slot.
+        gain: f64,
+    },
+    /// Run flat out (no management).
+    Greedy,
+    /// Constant duty cycle.
+    FixedDuty {
+        /// Duty in `[0, 1]`.
+        duty: f64,
+    },
+}
+
+impl ManagerSpec {
+    /// Short stable label for reports and JSON.
+    pub fn label(&self) -> String {
+        match *self {
+            ManagerSpec::EnergyNeutral { target_soc, gain } => {
+                format!("neutral(soc={target_soc},g={gain})")
+            }
+            ManagerSpec::Greedy => "greedy".to_string(),
+            ManagerSpec::FixedDuty { duty } => format!("fixed(d={duty})"),
+        }
+    }
+
+    /// Validates parameter ranges, so a bad spec fails at matrix
+    /// assembly instead of panicking inside a fleet worker.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ManagerSpec::EnergyNeutral { target_soc, gain } => {
+                if !(target_soc.is_finite() && (0.0..=1.0).contains(&target_soc)) {
+                    return Err(format!(
+                        "energy-neutral target_soc {target_soc} not in [0, 1]"
+                    ));
+                }
+                if !(gain.is_finite() && gain >= 0.0) {
+                    return Err(format!("energy-neutral gain {gain} must be non-negative"));
+                }
+            }
+            ManagerSpec::Greedy => {}
+            ManagerSpec::FixedDuty { duty } => {
+                if !(duty.is_finite() && (0.0..=1.0).contains(&duty)) {
+                    return Err(format!("fixed duty {duty} not in [0, 1]"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a fresh manager.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid; call [`ManagerSpec::validate`]
+    /// first (the fleet matrix does).
+    pub fn build(&self) -> Box<dyn PowerManager> {
+        match *self {
+            ManagerSpec::EnergyNeutral { target_soc, gain } => Box::new(EnergyNeutralManager {
+                target_soc,
+                gain,
+                ..Default::default()
+            }),
+            ManagerSpec::Greedy => Box::new(GreedyManager),
+            ManagerSpec::FixedDuty { duty } => Box::new(FixedDutyManager::new(duty)),
+        }
+    }
+
+    /// The default policy set: tuned energy-neutral plus both baselines.
+    pub fn default_set() -> Vec<ManagerSpec> {
+        vec![
+            ManagerSpec::EnergyNeutral {
+                target_soc: 0.5,
+                gain: 0.25,
+            },
+            ManagerSpec::Greedy,
+            ManagerSpec::FixedDuty { duty: 0.3 },
+        ]
+    }
+}
+
+/// Coordinates of one job in the matrix.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Index into [`FleetMatrix::scenarios`].
+    pub scenario_idx: usize,
+    /// Index into [`FleetMatrix::predictors`].
+    pub predictor_idx: usize,
+    /// Index into [`FleetMatrix::managers`].
+    pub manager_idx: usize,
+}
+
+/// The full evaluation matrix.
+#[derive(Clone, Debug)]
+pub struct FleetMatrix {
+    /// Predictor family.
+    pub predictors: Vec<PredictorSpec>,
+    /// Manager set.
+    pub managers: Vec<ManagerSpec>,
+    /// Scenario list.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl FleetMatrix {
+    /// Assembles a matrix; every axis must be non-empty and every
+    /// scenario valid.
+    pub fn new(
+        predictors: Vec<PredictorSpec>,
+        managers: Vec<ManagerSpec>,
+        scenarios: Vec<Scenario>,
+    ) -> Result<Self, String> {
+        if predictors.is_empty() || managers.is_empty() || scenarios.is_empty() {
+            return Err("fleet matrix axes must all be non-empty".to_string());
+        }
+        for manager in &managers {
+            manager.validate()?;
+        }
+        for scenario in &scenarios {
+            scenario.validate()?;
+            for predictor in &predictors {
+                // Fail at assembly, not mid-fleet: every predictor must
+                // build at every scenario's discretization.
+                predictor
+                    .build(scenario.slots_per_day as usize)
+                    .map_err(|e| format!("scenario {:?}: {e}", scenario.name))?;
+            }
+        }
+        Ok(FleetMatrix {
+            predictors,
+            managers,
+            scenarios,
+        })
+    }
+
+    /// Total number of jobs.
+    pub fn job_count(&self) -> usize {
+        self.predictors.len() * self.managers.len() * self.scenarios.len()
+    }
+
+    /// Expands the matrix into jobs, scenario-major (all combos of one
+    /// scenario are adjacent, maximising trace-cache locality).
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for scenario_idx in 0..self.scenarios.len() {
+            for predictor_idx in 0..self.predictors.len() {
+                for manager_idx in 0..self.managers.len() {
+                    jobs.push(JobSpec {
+                        scenario_idx,
+                        predictor_idx,
+                        manager_idx,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    #[test]
+    fn specs_build_and_label() {
+        for spec in PredictorSpec::guideline_family() {
+            let predictor = spec.build(48).unwrap();
+            assert_eq!(predictor.slots_per_day(), 48);
+            assert!(!spec.label().is_empty());
+        }
+        for spec in ManagerSpec::default_set() {
+            let _ = spec.build();
+            assert!(!spec.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn bad_specs_fail_to_build() {
+        assert!(PredictorSpec::Wcma {
+            alpha: 1.5,
+            days: 10,
+            k: 2
+        }
+        .build(48)
+        .is_err());
+        assert!(PredictorSpec::Ewma { gamma: -0.1 }.build(48).is_err());
+    }
+
+    #[test]
+    fn invalid_managers_fail_at_matrix_assembly_not_mid_fleet() {
+        let scenarios = Catalog::builtin().scenarios()[..1].to_vec();
+        for bad in [
+            ManagerSpec::FixedDuty { duty: 1.5 },
+            ManagerSpec::FixedDuty { duty: f64::NAN },
+            ManagerSpec::EnergyNeutral {
+                target_soc: 2.0,
+                gain: 0.25,
+            },
+            ManagerSpec::EnergyNeutral {
+                target_soc: 0.5,
+                gain: -1.0,
+            },
+        ] {
+            assert!(
+                FleetMatrix::new(
+                    PredictorSpec::guideline_family(),
+                    vec![bad.clone()],
+                    scenarios.clone()
+                )
+                .is_err(),
+                "{bad:?} should be rejected at assembly"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_family_covers_the_grid() {
+        let grid = ParamGrid::builder()
+            .alphas(vec![0.0, 0.5])
+            .days(vec![5, 10])
+            .ks(vec![1, 2])
+            .build()
+            .unwrap();
+        let family = PredictorSpec::family_from_grid(&grid);
+        assert_eq!(family.len(), 8);
+        assert!(family.contains(&PredictorSpec::Wcma {
+            alpha: 0.5,
+            days: 10,
+            k: 2
+        }));
+    }
+
+    #[test]
+    fn matrix_expansion_is_scenario_major() {
+        let scenarios = Catalog::builtin().scenarios()[..2].to_vec();
+        let matrix = FleetMatrix::new(
+            PredictorSpec::guideline_family(),
+            ManagerSpec::default_set(),
+            scenarios,
+        )
+        .unwrap();
+        let jobs = matrix.jobs();
+        assert_eq!(jobs.len(), matrix.job_count());
+        assert_eq!(jobs.len(), 5 * 3 * 2);
+        // Scenario-major: the first predictors×managers block is scenario 0.
+        assert!(jobs[..15].iter().all(|j| j.scenario_idx == 0));
+        assert!(jobs[15..].iter().all(|j| j.scenario_idx == 1));
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let scenarios = Catalog::builtin().scenarios()[..1].to_vec();
+        assert!(FleetMatrix::new(vec![], ManagerSpec::default_set(), scenarios.clone()).is_err());
+        assert!(
+            FleetMatrix::new(PredictorSpec::guideline_family(), vec![], scenarios.clone()).is_err()
+        );
+        assert!(FleetMatrix::new(
+            PredictorSpec::guideline_family(),
+            ManagerSpec::default_set(),
+            vec![]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,375 @@
+//! Reduction of job outcomes into a ranked, regression-friendly
+//! scorecard.
+//!
+//! Ranking uses a single *service score* per (predictor, manager) combo
+//! (lower is better):
+//!
+//! ```text
+//! score = 2·brownout_rate + (1 − utilization) + 0.5·MAPE
+//! ```
+//!
+//! Brownouts dominate (missed service is the failure mode harvested
+//! systems are provisioned against), wasted energy comes second, and raw
+//! prediction error acts as a tiebreaker that rewards accuracy even when
+//! a policy masks it. Per-scenario tables rank combos within each
+//! scenario; the overall table averages the per-scenario metrics
+//! (unweighted, so short harsh scenarios count) via
+//! [`pred_metrics::SummaryAggregate`] and re-ranks.
+//!
+//! **Denominator semantics:** brownout/utilization/duty are averaged
+//! over *all* of a combo's scenarios, while MAPE averages only the
+//! scenarios with protocol-passing predictions (via
+//! [`SummaryAggregate`], which skips zero-count runs — a polar-night
+//! scenario that the ROI filters empty carries management signal but no
+//! accuracy signal). Every entry carries its `predictions` count so a
+//! zero-evidence MAPE is distinguishable from a perfect one; renderers
+//! show `--` for it.
+//!
+//! JSON output is deterministic: entries carry explicit ranks, object
+//! keys have fixed order, and floats use shortest-round-trip formatting
+//! — byte-identical across runs and thread counts for the same inputs.
+
+use crate::engine::JobOutcome;
+use crate::json::Json;
+use crate::matrix::FleetMatrix;
+use pred_metrics::SummaryAggregate;
+
+const BROWNOUT_WEIGHT: f64 = 2.0;
+const WASTE_WEIGHT: f64 = 1.0;
+const MAPE_WEIGHT: f64 = 0.5;
+
+/// One ranked row: a (predictor, manager) combo's metrics, either within
+/// one scenario or aggregated across all of them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoreEntry {
+    /// Rank within its table (1 = best).
+    pub rank: usize,
+    /// Predictor label.
+    pub predictor: String,
+    /// Manager label.
+    pub manager: String,
+    /// Composite service score (lower is better).
+    pub score: f64,
+    /// Number of protocol-passing predictions behind `mape` (0 means
+    /// the ROI filtered every slot — e.g. polar night — and `mape`
+    /// carries no information; renderers show `--`).
+    pub predictions: usize,
+    /// MAPE (fraction) — per-scenario value or unweighted mean.
+    pub mape: f64,
+    /// Worst per-scenario MAPE (equals `mape` in per-scenario tables).
+    pub worst_mape: f64,
+    /// Brownout rate — per-scenario value or unweighted mean.
+    pub brownout_rate: f64,
+    /// Utilization — per-scenario value or unweighted mean.
+    pub utilization: f64,
+    /// Mean planned duty.
+    pub mean_duty: f64,
+}
+
+impl ScoreEntry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rank", Json::Num(self.rank as f64)),
+            ("predictor", Json::Str(self.predictor.clone())),
+            ("manager", Json::Str(self.manager.clone())),
+            ("score", Json::Num(self.score)),
+            ("predictions", Json::Num(self.predictions as f64)),
+            ("mape", Json::Num(self.mape)),
+            ("worst_mape", Json::Num(self.worst_mape)),
+            ("brownout_rate", Json::Num(self.brownout_rate)),
+            ("utilization", Json::Num(self.utilization)),
+            ("mean_duty", Json::Num(self.mean_duty)),
+        ])
+    }
+}
+
+/// The ranking of every combo within one scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioRanking {
+    /// Scenario name.
+    pub scenario: String,
+    /// Entries sorted best-first.
+    pub entries: Vec<ScoreEntry>,
+}
+
+/// The reduced fleet result.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scorecard {
+    /// The engine's master seed (recorded for reproducibility).
+    pub master_seed: u64,
+    /// Per-scenario rankings, in matrix scenario order.
+    pub per_scenario: Vec<ScenarioRanking>,
+    /// Overall ranking across scenarios, best-first.
+    pub overall: Vec<ScoreEntry>,
+}
+
+fn service_score(brownout_rate: f64, utilization: f64, mape: f64) -> f64 {
+    BROWNOUT_WEIGHT * brownout_rate + WASTE_WEIGHT * (1.0 - utilization) + MAPE_WEIGHT * mape
+}
+
+/// Total-order sort and 1-based rank assignment (ties broken by labels,
+/// so output order never depends on input order or float caprice).
+fn rank(entries: &mut [ScoreEntry]) {
+    entries.sort_by(|a, b| {
+        a.score
+            .total_cmp(&b.score)
+            .then_with(|| a.predictor.cmp(&b.predictor))
+            .then_with(|| a.manager.cmp(&b.manager))
+    });
+    for (index, entry) in entries.iter_mut().enumerate() {
+        entry.rank = index + 1;
+    }
+}
+
+impl Scorecard {
+    /// Reduces job outcomes (any order; they are re-sorted by matrix
+    /// coordinates internally).
+    pub fn build(matrix: &FleetMatrix, outcomes: &[JobOutcome], master_seed: u64) -> Scorecard {
+        let mut sorted: Vec<&JobOutcome> = outcomes.iter().collect();
+        sorted.sort_by_key(|o| {
+            (
+                o.spec.scenario_idx,
+                o.spec.predictor_idx,
+                o.spec.manager_idx,
+            )
+        });
+
+        // Per-scenario tables.
+        let mut per_scenario = Vec::with_capacity(matrix.scenarios.len());
+        for (scenario_idx, scenario) in matrix.scenarios.iter().enumerate() {
+            let mut entries = Vec::new();
+            for outcome in sorted
+                .iter()
+                .filter(|o| o.spec.scenario_idx == scenario_idx)
+            {
+                let brownout = outcome.report.brownout_rate();
+                let utilization = outcome.report.utilization;
+                let mape = outcome.summary.mape;
+                entries.push(ScoreEntry {
+                    rank: 0,
+                    predictor: outcome.predictor.clone(),
+                    manager: outcome.manager.clone(),
+                    score: service_score(brownout, utilization, mape),
+                    predictions: outcome.summary.count,
+                    mape,
+                    worst_mape: mape,
+                    brownout_rate: brownout,
+                    utilization,
+                    mean_duty: outcome.report.mean_duty,
+                });
+            }
+            rank(&mut entries);
+            per_scenario.push(ScenarioRanking {
+                scenario: scenario.name.clone(),
+                entries,
+            });
+        }
+
+        // Overall table: aggregate each combo across scenarios.
+        let mut overall = Vec::new();
+        for (predictor_idx, predictor) in matrix.predictors.iter().enumerate() {
+            for (manager_idx, manager) in matrix.managers.iter().enumerate() {
+                let combo: Vec<&&JobOutcome> = sorted
+                    .iter()
+                    .filter(|o| {
+                        o.spec.predictor_idx == predictor_idx && o.spec.manager_idx == manager_idx
+                    })
+                    .collect();
+                if combo.is_empty() {
+                    continue;
+                }
+                let aggregate = SummaryAggregate::of(combo.iter().map(|o| &o.summary));
+                let runs = combo.len() as f64;
+                let brownout = combo.iter().map(|o| o.report.brownout_rate()).sum::<f64>() / runs;
+                let utilization = combo.iter().map(|o| o.report.utilization).sum::<f64>() / runs;
+                let mean_duty = combo.iter().map(|o| o.report.mean_duty).sum::<f64>() / runs;
+                overall.push(ScoreEntry {
+                    rank: 0,
+                    predictor: predictor.label(),
+                    manager: manager.label(),
+                    score: service_score(brownout, utilization, aggregate.mean_mape),
+                    predictions: aggregate.predictions,
+                    mape: aggregate.mean_mape,
+                    worst_mape: aggregate.worst_mape,
+                    brownout_rate: brownout,
+                    utilization,
+                    mean_duty,
+                });
+            }
+        }
+        rank(&mut overall);
+
+        Scorecard {
+            master_seed,
+            per_scenario,
+            overall,
+        }
+    }
+
+    /// The best overall combo.
+    pub fn winner(&self) -> Option<&ScoreEntry> {
+        self.overall.first()
+    }
+
+    /// JSON form (deterministic; see module docs).
+    ///
+    /// `master_seed` is carried as a decimal *string*: JSON numbers are
+    /// doubles, which would silently corrupt seeds ≥ 2⁵³ — the one
+    /// field whose whole purpose is exact replay.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("master_seed", Json::Str(self.master_seed.to_string())),
+            (
+                "per_scenario",
+                Json::Arr(
+                    self.per_scenario
+                        .iter()
+                        .map(|ranking| {
+                            Json::obj([
+                                ("scenario", Json::Str(ranking.scenario.clone())),
+                                (
+                                    "entries",
+                                    Json::Arr(
+                                        ranking.entries.iter().map(ScoreEntry::to_json).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "overall",
+                Json::Arr(self.overall.iter().map(ScoreEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Pretty-printed deterministic JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render_pretty()
+    }
+
+    /// A plain-text ranking table for terminals.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<4}{:<26}{:<22}{:>8}{:>9}{:>11}{:>8}{:>8}",
+            "#", "predictor", "manager", "score", "MAPE%", "brownout%", "util%", "duty"
+        );
+        for entry in &self.overall {
+            let mape = if entry.predictions == 0 {
+                "--".to_string()
+            } else {
+                format!("{:.2}", entry.mape * 100.0)
+            };
+            let _ = writeln!(
+                out,
+                "{:<4}{:<26}{:<22}{:>8.3}{:>9}{:>11.2}{:>8.1}{:>8.3}",
+                entry.rank,
+                entry.predictor,
+                entry.manager,
+                entry.score,
+                mape,
+                entry.brownout_rate * 100.0,
+                entry.utilization * 100.0,
+                entry.mean_duty,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::engine::FleetEngine;
+    use crate::matrix::{FleetMatrix, ManagerSpec, PredictorSpec};
+
+    fn run() -> (FleetMatrix, Scorecard) {
+        let matrix = FleetMatrix::new(
+            vec![
+                PredictorSpec::Wcma {
+                    alpha: 0.7,
+                    days: 10,
+                    k: 2,
+                },
+                PredictorSpec::Persistence,
+            ],
+            vec![
+                ManagerSpec::EnergyNeutral {
+                    target_soc: 0.5,
+                    gain: 0.25,
+                },
+                ManagerSpec::Greedy,
+            ],
+            vec![
+                Catalog::builtin().get("desert-clear-sky").unwrap().clone(),
+                Catalog::builtin().get("marine-fog").unwrap().clone(),
+            ],
+        )
+        .unwrap();
+        let scorecard = FleetEngine::new(11).run(&matrix).unwrap().scorecard;
+        (matrix, scorecard)
+    }
+
+    #[test]
+    fn ranks_are_dense_and_sorted() {
+        let (_, scorecard) = run();
+        assert_eq!(scorecard.overall.len(), 4);
+        for (index, entry) in scorecard.overall.iter().enumerate() {
+            assert_eq!(entry.rank, index + 1);
+            if index > 0 {
+                assert!(entry.score >= scorecard.overall[index - 1].score);
+            }
+        }
+        for ranking in &scorecard.per_scenario {
+            assert_eq!(ranking.entries.len(), 4);
+            assert_eq!(ranking.entries[0].rank, 1);
+        }
+    }
+
+    #[test]
+    fn managed_wcma_beats_greedy_overall() {
+        let (_, scorecard) = run();
+        let winner = scorecard.winner().unwrap();
+        assert!(
+            winner.manager.starts_with("neutral"),
+            "expected a managed policy to win, got {winner:?}"
+        );
+    }
+
+    #[test]
+    fn json_is_deterministic_and_parseable() {
+        let (_, a) = run();
+        let (_, b) = run();
+        let ja = a.to_json_string();
+        let jb = b.to_json_string();
+        assert_eq!(ja, jb);
+        let parsed = crate::json::Json::parse(&ja).unwrap();
+        assert_eq!(parsed.req_str("master_seed").unwrap(), "11");
+        assert_eq!(parsed.req("overall").unwrap().as_arr().unwrap().len(), 4);
+        assert!(!a.render_text().is_empty());
+    }
+
+    #[test]
+    fn huge_seeds_survive_json_exactly() {
+        // Above 2^53: a float field would silently round this.
+        let seed = u64::MAX - 1;
+        let (matrix, _) = run();
+        let result = FleetEngine::new(seed).run(&matrix).unwrap();
+        let text = result.scorecard.to_json_string();
+        let parsed = crate::json::Json::parse(&text).unwrap();
+        assert_eq!(
+            parsed
+                .req_str("master_seed")
+                .unwrap()
+                .parse::<u64>()
+                .unwrap(),
+            seed
+        );
+    }
+}

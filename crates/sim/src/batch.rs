@@ -1,0 +1,145 @@
+//! Batched node runs: many (predictor, manager, hardware) combinations
+//! over one slotted trace.
+//!
+//! This is the sequential building block the `scenario-fleet` crate's
+//! parallel engine schedules: one *batch* = one trace shared by N jobs.
+//! Keeping it here (rather than in the fleet layer) lets unit studies
+//! and benchmarks compare policies on a trace without pulling in the
+//! scenario machinery.
+
+use crate::hook::{NoFaults, SlotHook};
+use crate::manager::PowerManager;
+use crate::node::{simulate_node_hooked, NodeConfig, NodeReport};
+use solar_predict::Predictor;
+use solar_trace::SlotView;
+
+/// One unit of work in a batch.
+pub struct BatchJob {
+    /// Label carried through to the outcome (e.g. "wcma + neutral").
+    pub label: String,
+    /// The streaming predictor (consumed: driven over the whole view).
+    pub predictor: Box<dyn Predictor>,
+    /// The power-management policy.
+    pub manager: Box<dyn PowerManager>,
+    /// Node hardware.
+    pub config: NodeConfig,
+    /// Fault hook; use [`NoFaults`] for a clean run.
+    pub hook: Box<dyn SlotHook>,
+}
+
+impl BatchJob {
+    /// A faultless job.
+    pub fn new(
+        label: impl Into<String>,
+        predictor: Box<dyn Predictor>,
+        manager: Box<dyn PowerManager>,
+        config: NodeConfig,
+    ) -> Self {
+        BatchJob {
+            label: label.into(),
+            predictor,
+            manager,
+            config,
+            hook: Box::new(NoFaults),
+        }
+    }
+
+    /// Replaces the fault hook.
+    pub fn with_hook(mut self, hook: Box<dyn SlotHook>) -> Self {
+        self.hook = hook;
+        self
+    }
+}
+
+/// Outcome of one batch job.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// The job's label.
+    pub label: String,
+    /// The simulation report.
+    pub report: NodeReport,
+}
+
+/// Runs every job over `view`, in order.
+///
+/// # Panics
+///
+/// Panics if any job's predictor disagrees with the view's slot count
+/// (the same contract as [`simulate_node`](crate::simulate_node)).
+pub fn simulate_batch(view: &SlotView<'_>, jobs: Vec<BatchJob>) -> Vec<BatchOutcome> {
+    jobs.into_iter()
+        .map(|mut job| {
+            let report = simulate_node_hooked(
+                view,
+                job.predictor.as_mut(),
+                job.manager.as_mut(),
+                &job.config,
+                job.hook.as_mut(),
+            );
+            BatchOutcome {
+                label: job.label,
+                report,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{EnergyNeutralManager, GreedyManager};
+    use crate::panel::SolarPanel;
+    use crate::storage::EnergyStorage;
+    use crate::Load;
+    use solar_predict::PersistencePredictor;
+    use solar_trace::{PowerTrace, Resolution, SlotsPerDay};
+
+    fn config() -> NodeConfig {
+        NodeConfig {
+            panel: SolarPanel::new(0.01, 0.15).unwrap(),
+            storage: EnergyStorage::new(300.0, 150.0).unwrap(),
+            load: Load::new(0.05, 0.0001).unwrap(),
+        }
+    }
+
+    #[test]
+    fn batch_runs_all_jobs_and_keeps_labels() {
+        let day: Vec<f64> = (0..24)
+            .map(|h| if (6..18).contains(&h) { 500.0 } else { 0.0 })
+            .collect();
+        let samples: Vec<f64> = (0..25).flat_map(|_| day.clone()).collect();
+        let trace = PowerTrace::new("b", Resolution::from_minutes(60).unwrap(), samples).unwrap();
+        let view = SlotView::new(&trace, SlotsPerDay::new(24).unwrap()).unwrap();
+
+        struct KillPanel;
+        impl SlotHook for KillPanel {
+            fn on_slot(&mut self, _d: usize, _s: usize, h: &mut f64, _m: &mut f64) {
+                *h = 0.0;
+            }
+        }
+
+        let jobs = vec![
+            BatchJob::new(
+                "neutral",
+                Box::new(PersistencePredictor::new(24)),
+                Box::new(EnergyNeutralManager::default()),
+                config(),
+            ),
+            BatchJob::new(
+                "greedy-dead-panel",
+                Box::new(PersistencePredictor::new(24)),
+                Box::new(GreedyManager),
+                config(),
+            )
+            .with_hook(Box::new(KillPanel)),
+        ];
+        let outcomes = simulate_batch(&view, jobs);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].label, "neutral");
+        assert!(outcomes[0].report.harvested_j > 0.0);
+        // The dead-panel job harvested nothing but still balances.
+        assert_eq!(outcomes[1].report.harvested_j, 0.0);
+        assert!(outcomes[1].report.energy_balance_error_j() < 1e-9);
+        assert!(outcomes[1].report.brownouts > 0);
+    }
+}

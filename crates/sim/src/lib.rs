@@ -15,7 +15,13 @@
 //!   energy-neutral controller (after Kansal et al.), plus greedy and
 //!   fixed-duty baselines,
 //! * [`simulate_node`] — a slot-stepped simulation with full energy
-//!   accounting (conservation is property-tested).
+//!   accounting (conservation is property-tested),
+//! * [`SlotHook`] / [`simulate_node_hooked`] — per-slot fault injection
+//!   (dead panels, corrupted sensors) that cannot break the energy
+//!   ledger,
+//! * [`simulate_batch`] — many (predictor, manager, hardware, fault)
+//!   jobs over one trace, the unit the `scenario-fleet` engine
+//!   parallelises.
 //!
 //! # Example
 //!
@@ -44,18 +50,22 @@
 //! # }
 //! ```
 
+mod batch;
 mod error;
+mod hook;
 mod load;
 mod manager;
 mod node;
 mod panel;
 mod storage;
 
+pub use batch::{simulate_batch, BatchJob, BatchOutcome};
 pub use error::SimError;
+pub use hook::{NoFaults, SlotHook};
 pub use load::Load;
 pub use manager::{
     EnergyNeutralManager, FixedDutyManager, GreedyManager, PowerManager, SlotContext,
 };
-pub use node::{simulate_node, NodeConfig, NodeReport};
+pub use node::{simulate_node, simulate_node_hooked, NodeConfig, NodeReport};
 pub use panel::SolarPanel;
 pub use storage::{ChargeOutcome, EnergyStorage};

@@ -35,8 +35,7 @@ impl Load {
     /// Returns [`SimError::InvalidLoad`] unless
     /// `0 ≤ sleep_w < active_w` and both are finite.
     pub fn new(active_w: f64, sleep_w: f64) -> Result<Self, SimError> {
-        if !(active_w.is_finite() && sleep_w.is_finite() && 0.0 <= sleep_w && sleep_w < active_w)
-        {
+        if !(active_w.is_finite() && sleep_w.is_finite() && 0.0 <= sleep_w && sleep_w < active_w) {
             return Err(SimError::InvalidLoad {
                 message: format!("need 0 <= sleep ({sleep_w}) < active ({active_w})"),
             });

@@ -76,8 +76,7 @@ impl PowerManager for EnergyNeutralManager {
         let correction_w =
             self.gain * (soc - self.target_soc) * ctx.storage_capacity_j / ctx.slot_seconds;
         let budget_w = (ctx.predicted_harvest_w + correction_w).max(0.0);
-        let duty =
-            (budget_w - ctx.load_sleep_w) / (ctx.load_active_w - ctx.load_sleep_w);
+        let duty = (budget_w - ctx.load_sleep_w) / (ctx.load_active_w - ctx.load_sleep_w);
         duty.clamp(self.min_duty, self.max_duty)
     }
 

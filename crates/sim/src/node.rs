@@ -1,5 +1,6 @@
 //! The slot-stepped node simulation with full energy accounting.
 
+use crate::hook::{NoFaults, SlotHook};
 use crate::load::Load;
 use crate::manager::{PowerManager, SlotContext};
 use crate::panel::SolarPanel;
@@ -109,6 +110,27 @@ pub fn simulate_node(
     manager: &mut dyn PowerManager,
     config: &NodeConfig,
 ) -> NodeReport {
+    simulate_node_hooked(view, predictor, manager, config, &mut NoFaults)
+}
+
+/// [`simulate_node`] with a fault-injection [`SlotHook`].
+///
+/// The hook runs first in every slot and may rewrite the slot's
+/// harvested energy and the predictor's measured sample; everything
+/// downstream (accounting, prediction, planning) sees the hooked values,
+/// so the energy-balance identity of [`NodeReport`] continues to hold
+/// under arbitrary faults (property-tested).
+///
+/// # Panics
+///
+/// Panics if the predictor's slot count differs from the view's.
+pub fn simulate_node_hooked(
+    view: &SlotView<'_>,
+    predictor: &mut dyn Predictor,
+    manager: &mut dyn PowerManager,
+    config: &NodeConfig,
+    hook: &mut dyn SlotHook,
+) -> NodeReport {
     let n = view.slots_per_day();
     assert_eq!(
         predictor.slots_per_day(),
@@ -127,9 +149,15 @@ pub fn simulate_node(
 
     for day in 0..view.days() {
         for slot in 0..n {
-            // 1. Harvest the slot's actual energy.
+            // 0. Fault injection: the hook may rewrite what the panel
+            //    produced and what the sensor will report.
             let harvest_w = config.panel.power_w(view.mean_power(day, slot));
-            let harvest_j = harvest_w * slot_s;
+            let mut harvest_j = harvest_w * slot_s;
+            let mut measured = view.start_sample(day, slot);
+            hook.on_slot(day, slot, &mut harvest_j, &mut measured);
+            let harvest_j = harvest_j.max(0.0);
+
+            // 1. Harvest the slot's actual energy.
             report.harvested_j += harvest_j;
             let charge = storage.charge(harvest_j);
             report.charge_waste_j += charge.wasted_j;
@@ -149,7 +177,6 @@ pub fn simulate_node(
             report.leaked_j += storage.leak(slot_s);
 
             // 4. Observe, predict, plan the next slot.
-            let measured = view.start_sample(day, slot);
             let predicted = predictor.observe_and_predict(measured);
             let ctx = SlotContext {
                 predicted_harvest_w: config.panel.power_w(predicted),
@@ -214,8 +241,7 @@ mod tests {
     fn energy_is_conserved() {
         let trace = solar_trace(20);
         let view = SlotView::new(&trace, SlotsPerDay::new(24).unwrap()).unwrap();
-        let mut predictor =
-            WcmaPredictor::new(WcmaParams::new(0.5, 5, 2, 24).unwrap());
+        let mut predictor = WcmaPredictor::new(WcmaParams::new(0.5, 5, 2, 24).unwrap());
         let mut manager = EnergyNeutralManager::default();
         let report = simulate_node(&view, &mut predictor, &mut manager, &config());
         assert!(report.energy_balance_error_j() < 1e-6, "{report:?}");

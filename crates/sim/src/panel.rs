@@ -44,7 +44,10 @@ impl SolarPanel {
                 message: format!("efficiency {efficiency} must be in (0, 1]"),
             });
         }
-        Ok(SolarPanel { area_m2, efficiency })
+        Ok(SolarPanel {
+            area_m2,
+            efficiency,
+        })
     }
 
     /// Panel area in m².

@@ -7,7 +7,7 @@ use harvest_sim::{
 };
 use proptest::prelude::*;
 use solar_predict::PersistencePredictor;
-use solar_trace::{PowerTrace, Resolution, SlotsPerDay, SlotView};
+use solar_trace::{PowerTrace, Resolution, SlotView, SlotsPerDay};
 
 #[derive(Clone, Debug)]
 enum StorageOp {

@@ -38,9 +38,7 @@ impl ClearSkyModel {
             return 0.0;
         }
         match self {
-            ClearSkyModel::Haurwitz => {
-                1098.0 * sin_elevation * (-0.057 / sin_elevation).exp()
-            }
+            ClearSkyModel::Haurwitz => 1098.0 * sin_elevation * (-0.057 / sin_elevation).exp(),
             ClearSkyModel::KastenCzeplak => (910.0 * sin_elevation - 30.0).max(0.0),
         }
     }

@@ -1,6 +1,7 @@
 //! Deterministic synthetic-trace generation.
 
 use crate::geometry;
+use crate::sampling::poisson;
 use crate::site::SiteConfig;
 use crate::weather::DayCondition;
 use rand::{Rng, SeedableRng};
@@ -106,9 +107,7 @@ impl TraceGenerator {
         // AR(1) deviation, persisted across days so dawn continues the
         // previous evening's air mass rather than resetting.
         let mut ar_state = 0.0_f64;
-        let rho = weather
-            .ar_rho_per_minute
-            .powf(res.as_seconds_f64() / 60.0);
+        let rho = weather.ar_rho_per_minute.powf(res.as_seconds_f64() / 60.0);
         let innovation_scale = (1.0 - rho * rho).sqrt();
 
         for day in 0..days {
@@ -120,10 +119,9 @@ impl TraceGenerator {
             // Seasonal clearness modulation peaking at the summer solstice.
             let seasonal = self.config.weather.seasonal_amplitude
                 * (std::f64::consts::TAU * (doy as f64 - 172.0) / 365.0).cos();
-            let base_clearness = (params.clearness_mean
-                + seasonal
-                + params.clearness_std * normal(&mut rng))
-            .clamp(0.03, 1.08);
+            let base_clearness =
+                (params.clearness_mean + seasonal + params.clearness_std * normal(&mut rng))
+                    .clamp(0.03, 1.08);
             // Per-day linear trend: slow synoptic evolution across the
             // day.
             let drift_slope = weather.daily_drift_std * normal(&mut rng);
@@ -151,8 +149,7 @@ impl TraceGenerator {
                     samples.push(0.0);
                     continue;
                 }
-                ar_state = rho * ar_state
-                    + params.ar_sigma * innovation_scale * normal(&mut rng);
+                ar_state = rho * ar_state + params.ar_sigma * innovation_scale * normal(&mut rng);
                 let drift = drift_slope * (t_h - 12.0) / 12.0;
                 let front_shift: f64 = fronts
                     .iter()
@@ -178,12 +175,7 @@ impl TraceGenerator {
     }
 
     /// Samples the day's cloud-transit events over the daylight window.
-    fn sample_transits(
-        &self,
-        doy: u32,
-        rate_per_hour: f64,
-        rng: &mut ChaCha8Rng,
-    ) -> Vec<Transit> {
+    fn sample_transits(&self, doy: u32, rate_per_hour: f64, rng: &mut ChaCha8Rng) -> Vec<Transit> {
         let day_len = geometry::day_length_hours(self.config.latitude_deg, doy);
         if day_len <= 0.0 || rate_per_hour <= 0.0 {
             return Vec::new();
@@ -215,23 +207,6 @@ fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
-/// Poisson draw via Knuth's method (rates here are small: tens at most).
-fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
-    if lambda <= 0.0 {
-        return 0;
-    }
-    let l = (-lambda).exp();
-    let mut k = 0usize;
-    let mut p = 1.0;
-    loop {
-        p *= rng.gen::<f64>();
-        if p <= l || k > 10_000 {
-            return k;
-        }
-        k += 1;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,23 +215,35 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = TraceGenerator::new(Site::Spmd.config(), 9).generate_days(5).unwrap();
-        let b = TraceGenerator::new(Site::Spmd.config(), 9).generate_days(5).unwrap();
-        let c = TraceGenerator::new(Site::Spmd.config(), 10).generate_days(5).unwrap();
+        let a = TraceGenerator::new(Site::Spmd.config(), 9)
+            .generate_days(5)
+            .unwrap();
+        let b = TraceGenerator::new(Site::Spmd.config(), 9)
+            .generate_days(5)
+            .unwrap();
+        let c = TraceGenerator::new(Site::Spmd.config(), 10)
+            .generate_days(5)
+            .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
 
     #[test]
     fn sites_with_same_seed_differ() {
-        let a = TraceGenerator::new(Site::Npcs.config(), 3).generate_days(2).unwrap();
-        let b = TraceGenerator::new(Site::Pfci.config(), 3).generate_days(2).unwrap();
+        let a = TraceGenerator::new(Site::Npcs.config(), 3)
+            .generate_days(2)
+            .unwrap();
+        let b = TraceGenerator::new(Site::Pfci.config(), 3)
+            .generate_days(2)
+            .unwrap();
         assert_ne!(a.samples(), b.samples());
     }
 
     #[test]
     fn night_is_dark_and_day_is_bright() {
-        let trace = TraceGenerator::new(Site::Pfci.config(), 1).generate_days(10).unwrap();
+        let trace = TraceGenerator::new(Site::Pfci.config(), 1)
+            .generate_days(10)
+            .unwrap();
         let spd = trace.samples_per_day();
         for day in 0..trace.days() {
             let d = trace.day(day).unwrap();
@@ -272,7 +259,9 @@ mod tests {
     fn clear_desert_noon_is_physical() {
         // Winter-only noon peaks near 600 W/m² at 33°N; spanning into
         // summer the annual peak must reach the ~1 kW/m² regime.
-        let trace = TraceGenerator::new(Site::Pfci.config(), 2).generate_days(200).unwrap();
+        let trace = TraceGenerator::new(Site::Pfci.config(), 2)
+            .generate_days(200)
+            .unwrap();
         let peak = trace.peak_power();
         assert!(peak > 800.0 && peak < 1250.0, "peak {peak}");
     }
@@ -282,14 +271,22 @@ mod tests {
         // Desert sites must have lower day-to-day and intra-day
         // variability than the temperate/marine sites.
         let cv = |site: Site| {
-            let t = TraceGenerator::new(site.config(), 11).generate_days(60).unwrap();
+            let t = TraceGenerator::new(site.config(), 11)
+                .generate_days(60)
+                .unwrap();
             TraceStats::of(&t).daily_energy_cv
         };
         let pfci = cv(Site::Pfci);
         let ornl = cv(Site::Ornl);
         let spmd = cv(Site::Spmd);
-        assert!(pfci < ornl, "PFCI {pfci} should be steadier than ORNL {ornl}");
-        assert!(pfci < spmd, "PFCI {pfci} should be steadier than SPMD {spmd}");
+        assert!(
+            pfci < ornl,
+            "PFCI {pfci} should be steadier than ORNL {ornl}"
+        );
+        assert!(
+            pfci < spmd,
+            "PFCI {pfci} should be steadier than SPMD {spmd}"
+        );
     }
 
     #[test]
@@ -302,7 +299,9 @@ mod tests {
 
     #[test]
     fn zero_days_is_an_error() {
-        assert!(TraceGenerator::new(Site::Hsu.config(), 5).generate_days(0).is_err());
+        assert!(TraceGenerator::new(Site::Hsu.config(), 5)
+            .generate_days(0)
+            .is_err());
     }
 
     #[test]

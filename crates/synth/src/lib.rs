@@ -39,10 +39,13 @@
 pub mod clearsky;
 mod generator;
 pub mod geometry;
+pub mod sampling;
 mod site;
+mod site_builder;
 pub mod weather;
 
 pub use clearsky::ClearSkyModel;
 pub use generator::TraceGenerator;
 pub use site::{Site, SiteConfig};
+pub use site_builder::SiteConfigBuilder;
 pub use weather::{DayCondition, WeatherModel};

@@ -1,0 +1,53 @@
+//! Small distribution samplers shared across the workspace.
+//!
+//! Both the weather generator (cloud transits, frontal passages) and
+//! the fault layer in `scenario-fleet` (telemetry-gap placement) need
+//! Poisson counts; keeping one implementation here means a numerical
+//! fix reaches every caller.
+
+use rand::Rng;
+
+/// Knuth's Poisson sampler.
+///
+/// Intended for the small rates used in this workspace (tens at most):
+/// its run time is linear in the draw, and `(-lambda).exp()` underflows
+/// to 0 near `lambda ≈ 745`, which the iteration cap turns into a
+/// bounded (if meaningless) result rather than an infinite loop.
+pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut count = 0usize;
+    let mut product = 1.0;
+    loop {
+        product *= rng.gen::<f64>();
+        if product <= limit || count > 10_000 {
+            return count;
+        }
+        count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zero_and_negative_rates_give_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(poisson(0.0, &mut rng), 0);
+        assert_eq!(poisson(-3.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn mean_tracks_lambda() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| poisson(2.5, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean {mean}");
+    }
+}

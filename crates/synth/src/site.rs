@@ -79,38 +79,31 @@ impl Site {
                 // Front Range convection: fewer stable clear days than the
                 // generic temperate preset (paper finds SPMD harder than
                 // ECSU/HSU, just below ORNL).
-                w.transition = [
-                    [0.46, 0.40, 0.14],
-                    [0.34, 0.45, 0.21],
-                    [0.26, 0.45, 0.29],
-                ];
+                w.transition = [[0.46, 0.40, 0.14], [0.34, 0.45, 0.21], [0.26, 0.45, 0.29]];
                 w.conditions[1].ar_sigma = 0.085;
                 (39.74, Resolution::FIVE_MINUTES, w, 0x5350)
             }
             Site::Ecsu => {
                 let mut w = WeatherModel::temperate();
                 // Coastal NC: slightly steadier than the continental preset.
-                w.transition = [
-                    [0.54, 0.35, 0.11],
-                    [0.38, 0.44, 0.18],
-                    [0.30, 0.44, 0.26],
-                ];
+                w.transition = [[0.54, 0.35, 0.11], [0.38, 0.44, 0.18], [0.30, 0.44, 0.26]];
                 w.conditions[1].transits_per_hour = 2.6;
                 (36.29, Resolution::FIVE_MINUTES, w, 0x4543)
             }
             Site::Ornl => {
                 let mut w = WeatherModel::temperate();
                 // The paper's hardest site: even more broken-cloud churn.
-                w.transition = [
-                    [0.50, 0.39, 0.11],
-                    [0.24, 0.52, 0.24],
-                    [0.12, 0.45, 0.43],
-                ];
+                w.transition = [[0.50, 0.39, 0.11], [0.24, 0.52, 0.24], [0.12, 0.45, 0.43]];
                 w.conditions[1].transits_per_hour = 4.2;
                 w.conditions[1].ar_sigma = 0.095;
                 (35.93, Resolution::ONE_MINUTE, w, 0x4F52)
             }
-            Site::Hsu => (40.88, Resolution::ONE_MINUTE, WeatherModel::marine(), 0x4853),
+            Site::Hsu => (
+                40.88,
+                Resolution::ONE_MINUTE,
+                WeatherModel::marine(),
+                0x4853,
+            ),
             Site::Npcs => {
                 let mut w = WeatherModel::desert();
                 // Slightly less stable than PFCI, matching the paper's
@@ -120,7 +113,12 @@ impl Site {
                 w.conditions[1].transits_per_hour = 2.5;
                 (36.10, Resolution::ONE_MINUTE, w, 0x4E50)
             }
-            Site::Pfci => (33.45, Resolution::ONE_MINUTE, WeatherModel::desert(), 0x5046),
+            Site::Pfci => (
+                33.45,
+                Resolution::ONE_MINUTE,
+                WeatherModel::desert(),
+                0x5046,
+            ),
         };
         SiteConfig {
             name: self.code().to_string(),

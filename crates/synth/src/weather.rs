@@ -118,11 +118,7 @@ impl WeatherModel {
     /// occasional convective clouds (monsoon-season afternoons).
     pub fn desert() -> Self {
         WeatherModel {
-            transition: [
-                [0.84, 0.13, 0.03],
-                [0.52, 0.36, 0.12],
-                [0.40, 0.35, 0.25],
-            ],
+            transition: [[0.84, 0.13, 0.03], [0.52, 0.36, 0.12], [0.40, 0.35, 0.25]],
             conditions: [
                 ConditionParams {
                     clearness_mean: 0.96,
@@ -158,11 +154,7 @@ impl WeatherModel {
     /// style): frequent mixed days, deep convective clouds.
     pub fn temperate() -> Self {
         WeatherModel {
-            transition: [
-                [0.50, 0.38, 0.12],
-                [0.36, 0.45, 0.19],
-                [0.28, 0.45, 0.27],
-            ],
+            transition: [[0.50, 0.38, 0.12], [0.36, 0.45, 0.19], [0.28, 0.45, 0.27]],
             conditions: [
                 ConditionParams {
                     clearness_mean: 0.93,
@@ -198,11 +190,7 @@ impl WeatherModel {
     /// morning attenuation, volatile afternoons.
     pub fn marine() -> Self {
         WeatherModel {
-            transition: [
-                [0.48, 0.37, 0.15],
-                [0.34, 0.44, 0.22],
-                [0.26, 0.42, 0.32],
-            ],
+            transition: [[0.48, 0.37, 0.15], [0.34, 0.44, 0.22], [0.26, 0.42, 0.32]],
             conditions: [
                 ConditionParams {
                     clearness_mean: 0.90,
@@ -231,6 +219,87 @@ impl WeatherModel {
             transit_depth: (0.30, 0.75),
             sensor_noise_std: 0.005,
             seasonal_amplitude: 0.04,
+        }
+    }
+
+    /// A monsoon climate (subtropical wet/dry, Indian-plateau style):
+    /// clear and stable through the dry winter, then persistently
+    /// overcast with deep convective transits — the strong *negative*
+    /// seasonal clearness swing peaking mid-summer is the defining
+    /// feature, and is what stresses history-based predictors whose `D`
+    /// window straddles the monsoon onset.
+    pub fn monsoon() -> Self {
+        WeatherModel {
+            transition: [[0.62, 0.27, 0.11], [0.28, 0.44, 0.28], [0.14, 0.36, 0.50]],
+            conditions: [
+                ConditionParams {
+                    clearness_mean: 0.95,
+                    clearness_std: 0.04,
+                    ar_sigma: 0.018,
+                    transits_per_hour: 0.4,
+                },
+                ConditionParams {
+                    clearness_mean: 0.60,
+                    clearness_std: 0.15,
+                    ar_sigma: 0.085,
+                    transits_per_hour: 4.0,
+                },
+                ConditionParams {
+                    clearness_mean: 0.24,
+                    clearness_std: 0.09,
+                    ar_sigma: 0.050,
+                    transits_per_hour: 1.8,
+                },
+            ],
+            ar_rho_per_minute: 0.99,
+            daily_drift_std: 0.11,
+            fronts_per_day: 2.6,
+            front_std: 0.36,
+            transit_mean_minutes: 8.0,
+            transit_depth: (0.40, 0.88),
+            sensor_noise_std: 0.006,
+            // Negative: clearness *drops* toward the summer solstice
+            // (wet season), the mirror image of the temperate presets.
+            seasonal_amplitude: -0.18,
+        }
+    }
+
+    /// A high-latitude maritime climate (coastal-arctic style): solid
+    /// overcast most of the time, weak and slow-moving convection. The
+    /// interesting stress for predictors comes from the site latitude
+    /// pairing — near-polar winters compress daylight to a few low-sun
+    /// hours, so almost every slot sits near the ROI floor.
+    pub fn arctic() -> Self {
+        WeatherModel {
+            transition: [[0.38, 0.38, 0.24], [0.24, 0.42, 0.34], [0.12, 0.30, 0.58]],
+            conditions: [
+                ConditionParams {
+                    clearness_mean: 0.82,
+                    clearness_std: 0.06,
+                    ar_sigma: 0.020,
+                    transits_per_hour: 0.7,
+                },
+                ConditionParams {
+                    clearness_mean: 0.48,
+                    clearness_std: 0.13,
+                    ar_sigma: 0.055,
+                    transits_per_hour: 2.2,
+                },
+                ConditionParams {
+                    clearness_mean: 0.20,
+                    clearness_std: 0.07,
+                    ar_sigma: 0.035,
+                    transits_per_hour: 1.0,
+                },
+            ],
+            ar_rho_per_minute: 0.995,
+            daily_drift_std: 0.08,
+            fronts_per_day: 1.2,
+            front_std: 0.26,
+            transit_mean_minutes: 14.0,
+            transit_depth: (0.30, 0.80),
+            sensor_noise_std: 0.006,
+            seasonal_amplitude: 0.05,
         }
     }
 

@@ -110,12 +110,7 @@ mod tests {
 
     fn sample_trace() -> PowerTrace {
         let samples: Vec<f64> = (0..24).map(|i| i as f64 * 1.5 + 0.123456789).collect();
-        PowerTrace::new(
-            "round-trip",
-            Resolution::from_minutes(60).unwrap(),
-            samples,
-        )
-        .unwrap()
+        PowerTrace::new("round-trip", Resolution::from_minutes(60).unwrap(), samples).unwrap()
     }
 
     #[test]

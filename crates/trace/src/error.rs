@@ -70,10 +70,16 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::InvalidResolution { seconds } => {
-                write!(f, "invalid resolution: {seconds} s must be positive and divide 86400")
+                write!(
+                    f,
+                    "invalid resolution: {seconds} s must be positive and divide 86400"
+                )
             }
             TraceError::InvalidSlots { n } => {
-                write!(f, "invalid slot count: N={n} must be at least 2 and divide 86400")
+                write!(
+                    f,
+                    "invalid slot count: N={n} must be at least 2 and divide 86400"
+                )
             }
             TraceError::TooShort { provided, required } => {
                 write!(f, "trace too short: {provided} samples provided, at least {required} (one day) required")

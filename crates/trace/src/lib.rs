@@ -43,6 +43,7 @@
 
 pub mod csv;
 mod error;
+pub mod hash;
 pub mod resample;
 mod slotting;
 pub mod stats;

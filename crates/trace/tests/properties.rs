@@ -2,7 +2,7 @@
 //! DESIGN.md §6.
 
 use proptest::prelude::*;
-use solar_trace::{resample, PowerTrace, Resolution, SlotsPerDay, SlotView};
+use solar_trace::{resample, PowerTrace, Resolution, SlotView, SlotsPerDay};
 
 /// Strategy: a trace of `days` days at 30-minute resolution with
 /// non-negative bounded samples.

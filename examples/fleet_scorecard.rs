@@ -1,0 +1,79 @@
+//! Fleet scorecard: evaluate a predictor family × power-manager ×
+//! scenario matrix in parallel and print the ranked results.
+//!
+//! Run with (seed and thread count optional):
+//!
+//! ```text
+//! cargo run --release --example fleet_scorecard -- 42 8
+//! ```
+//!
+//! The run is deterministic for a given seed: the scorecard JSON (also
+//! written to `target/fleet_scorecard.json`) is byte-identical across
+//! runs and thread counts.
+
+use scenario_fleet::{Catalog, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec};
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(42);
+    let threads: Option<usize> = args.next().map(|s| s.parse()).transpose()?;
+
+    // The whole built-in catalog (9 scenarios), 5 predictors, 3 managers.
+    let catalog = Catalog::builtin();
+    let matrix = FleetMatrix::new(
+        PredictorSpec::guideline_family(),
+        ManagerSpec::default_set(),
+        catalog.scenarios().to_vec(),
+    )?;
+    println!(
+        "fleet: {} predictors × {} managers × {} scenarios = {} jobs (seed {seed})",
+        matrix.predictors.len(),
+        matrix.managers.len(),
+        matrix.scenarios.len(),
+        matrix.job_count(),
+    );
+    println!("scenarios: {}\n", catalog.names().join(", "));
+
+    let mut engine = FleetEngine::new(seed);
+    if let Some(threads) = threads {
+        engine = engine.with_threads(threads);
+    }
+    let started = std::time::Instant::now();
+    let result = engine.run(&matrix)?;
+    println!(
+        "evaluated {} jobs in {:.2?} on {} threads\n",
+        result.outcomes.len(),
+        started.elapsed(),
+        threads.unwrap_or_else(rayon::current_num_threads),
+    );
+
+    println!("=== overall ranking (score = 2·brownout + waste + 0.5·MAPE) ===");
+    print!("{}", result.scorecard.render_text());
+
+    println!("\n=== per-scenario winners ===");
+    for ranking in &result.scorecard.per_scenario {
+        let best = &ranking.entries[0];
+        println!(
+            "{:<24} {} + {}  (MAPE {:.2}%, brownout {:.2}%)",
+            ranking.scenario,
+            best.predictor,
+            best.manager,
+            best.mape * 100.0,
+            best.brownout_rate * 100.0,
+        );
+    }
+
+    let json = result.scorecard.to_json_string();
+    let path = std::path::Path::new("target").join("fleet_scorecard.json");
+    if std::fs::create_dir_all("target").is_ok() && std::fs::write(&path, &json).is_ok() {
+        println!("\nscorecard JSON written to {}", path.display());
+    }
+
+    let winner = result.scorecard.winner().expect("non-empty matrix");
+    println!(
+        "\nwinner: {} + {} (score {:.3})",
+        winner.predictor, winner.manager, winner.score
+    );
+    Ok(())
+}

@@ -47,14 +47,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     for (ai, &alpha) in grid.alphas().iter().enumerate() {
         alpha_table.push_row(vec![format!("{alpha:.1}"), pct(result.mape(ai, di, ki))]);
     }
-    println!("MAPE vs alpha at (D={}, K={}):\n{alpha_table}", best.days, best.k);
+    println!(
+        "MAPE vs alpha at (D={}, K={}):\n{alpha_table}",
+        best.days, best.k
+    );
 
     // The D landscape at the optimal (alpha, K): the paper's Fig. 7 cut.
     let mut d_table = TextTable::new(vec!["D", "MAPE"]);
     for (d, mape) in result.mape_vs_days(best.alpha, best.k).expect("on grid") {
         d_table.push_row(vec![d.to_string(), pct(mape)]);
     }
-    println!("MAPE vs D at (alpha={}, K={}):\n{d_table}", best.alpha, best.k);
+    println!(
+        "MAPE vs D at (alpha={}, K={}):\n{d_table}",
+        best.alpha, best.k
+    );
 
     if let Some(at2) = result.best_at_k(2) {
         println!(

@@ -20,8 +20,8 @@ fn hw_cost_models_agree_on_scaling() {
     // arithmetic), and a positive persistence-path cost.
     let calibrated = CalibratedCycleModel::paper();
     let float = OpCostModel::software_float();
-    let per_k_calibrated =
-        calibrated.cycles(&PredictionKernel::new(5, 0.5)) - calibrated.cycles(&PredictionKernel::new(4, 0.5));
+    let per_k_calibrated = calibrated.cycles(&PredictionKernel::new(5, 0.5))
+        - calibrated.cycles(&PredictionKernel::new(4, 0.5));
     let per_k_analytic = float.cycles(PredictionKernel::new(5, 0.5).op_counts())
         - float.cycles(PredictionKernel::new(4, 0.5).op_counts());
     let ratio = per_k_analytic / per_k_calibrated;
@@ -101,6 +101,10 @@ fn overhead_stays_below_five_percent_across_paper_rates() {
     let kernel = PredictionKernel::new(2, 0.7);
     for n in SlotsPerDay::PAPER_VALUES {
         let budget = SamplingSchedule::new(n as usize).daily_budget(&supply, &adc, &model, &kernel);
-        assert!(budget.overhead_pct() < 5.0, "N={n}: {:.2}%", budget.overhead_pct());
+        assert!(
+            budget.overhead_pct() < 5.0,
+            "N={n}: {:.2}%",
+            budget.overhead_pct()
+        );
     }
 }

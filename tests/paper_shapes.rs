@@ -48,9 +48,9 @@ fn site_difficulty_ordering_matches_paper() {
             );
         }
     }
-    let hardest = Site::ALL.into_iter().max_by(|&a, &b| {
-        mape(a).partial_cmp(&mape(b)).unwrap()
-    });
+    let hardest = Site::ALL
+        .into_iter()
+        .max_by(|&a, &b| mape(a).partial_cmp(&mape(b)).unwrap());
     assert_eq!(hardest, Some(Site::Ornl));
 }
 

@@ -4,7 +4,9 @@
 
 use param_explore::{sweep, ParamGrid};
 use pred_metrics::EvalProtocol;
-use solar_predict::{run_predictor, EwmaPredictor, PersistencePredictor, WcmaParams, WcmaPredictor};
+use solar_predict::{
+    run_predictor, EwmaPredictor, PersistencePredictor, WcmaParams, WcmaPredictor,
+};
 use solar_synth::{Site, TraceGenerator};
 use solar_trace::{SlotView, SlotsPerDay};
 
@@ -26,7 +28,11 @@ fn full_pipeline_produces_sane_numbers() {
     // One record per slot except the trace's final slot.
     assert_eq!(log.len(), view.total_slots() - 1);
     let summary = EvalProtocol::paper().evaluate(&log);
-    assert!(summary.count > 500, "enough evaluation points: {}", summary.count);
+    assert!(
+        summary.count > 500,
+        "enough evaluation points: {}",
+        summary.count
+    );
     // Sane solar prediction: MAPE within (0, 60%) and MAPE' above MAPE.
     assert!(summary.mape > 0.005 && summary.mape < 0.6, "{summary}");
     assert!(summary.mape_prime > summary.mape, "{summary}");
@@ -75,7 +81,10 @@ fn wcma_beats_naive_baselines_on_variable_site() {
         .evaluate(&run_predictor(&view, &mut PersistencePredictor::new(48)))
         .mape;
     let ewma = protocol
-        .evaluate(&run_predictor(&view, &mut EwmaPredictor::new(0.5, 48).unwrap()))
+        .evaluate(&run_predictor(
+            &view,
+            &mut EwmaPredictor::new(0.5, 48).unwrap(),
+        ))
         .mape;
     assert!(wcma < pers, "WCMA {wcma} vs persistence {pers}");
     assert!(wcma < ewma, "WCMA {wcma} vs EWMA {ewma}");

@@ -1,0 +1,222 @@
+//! Offline stand-in for the subset of Criterion.rs this workspace's
+//! benches use: groups, throughput annotation, `bench_function` /
+//! `bench_with_input`, and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Measurement model: each benchmark closure is warmed up once, then
+//! timed over adaptive batches until ~200 ms or 50 batches have elapsed,
+//! and the mean per-iteration wall time is printed together with any
+//! declared throughput. No statistics, plots, or baselines — this exists
+//! so `cargo bench` runs and reports honest ballpark numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call (also primes caches/allocations).
+        std::hint::black_box(routine());
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < budget && iters < 50 {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.mean = start.elapsed() / self.iters as u32;
+    }
+}
+
+fn print_result(group: Option<&str>, id: &BenchmarkId, b: &Bencher, tp: Option<Throughput>) {
+    let name = match group {
+        Some(g) => format!("{g}/{}", id.0),
+        None => id.0.clone(),
+    };
+    let mean_s = b.mean.as_secs_f64();
+    let rate = tp.map(|t| match t {
+        Throughput::Elements(n) if mean_s > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 / mean_s)
+        }
+        Throughput::Bytes(n) if mean_s > 0.0 => {
+            format!("  {:>12.0} B/s", n as f64 / mean_s)
+        }
+        _ => String::new(),
+    });
+    println!(
+        "bench {name:<48} {:>12.3?} /iter ({} iters){}",
+        b.mean,
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        print_result(Some(&self.name), &id, &b, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        print_result(Some(&self.name), &id, &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        print_result(None, &id, &b, None);
+        self
+    }
+}
+
+/// Collects benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

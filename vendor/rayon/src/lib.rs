@@ -1,0 +1,350 @@
+//! Offline stand-in for the subset of `rayon` the fleet engine uses:
+//! `par_iter()` on slices (plus `into_par_iter()` on ranges), the `map` /
+//! `collect` adaptors, and `ThreadPoolBuilder::install` for pinning a
+//! thread count.
+//!
+//! Execution model: a parallel iterator here is an indexable source
+//! (`len` + `item(i)`); `collect` drives it with `std::thread::scope`
+//! workers pulling indices from a shared atomic counter, then reassembles
+//! results in index order. Work stealing, splitting heuristics, and
+//! nested pools are intentionally absent — scheduling differs from real
+//! rayon, but the observable contract the workspace relies on (same
+//! inputs ⇒ same ordered output, any thread count) is identical.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static NUM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of worker threads `collect` will use (the installed pool's
+/// size, or available parallelism).
+pub fn current_num_threads() -> usize {
+    let forced = NUM_THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type kept for API compatibility; building cannot fail here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pins the pool to `num_threads` workers (0 = automatic).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count override (this shim has no persistent workers;
+/// threads are spawned per `collect`).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in force.
+    ///
+    /// The override is process-global in this shim, so concurrent
+    /// `install`s from different threads are serialized by a mutex
+    /// (real rayon pools are independent; callers here never nest
+    /// installs — a nested install on the same thread would deadlock).
+    /// The previous value is restored by an RAII guard, so a panic in
+    /// `op` cannot leave the override corrupted.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        static INSTALL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        // A panic inside a previous `op` poisons the lock after the
+        // guard below has already restored the override; the poison
+        // carries no state here, so clear it.
+        let _serialize = INSTALL_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                NUM_THREADS_OVERRIDE.store(self.0, Ordering::Relaxed);
+            }
+        }
+        let _restore = Restore(NUM_THREADS_OVERRIDE.swap(self.num_threads, Ordering::Relaxed));
+        op()
+    }
+}
+
+/// An indexable parallel source.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the item at `index` (called at most once per index).
+    fn item(&self, index: usize) -> Self::Item;
+
+    /// Maps items through `f` in parallel.
+    fn map<U: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Drives the iterator and collects into `C`.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion out of a driven parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection by running the iterator to completion.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par_iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par_iter: P) -> Self {
+        drive(&par_iter)
+    }
+}
+
+/// Runs the source across worker threads, preserving index order.
+fn drive<P: ParallelIterator>(source: &P) -> Vec<P::Item> {
+    let len = source.len();
+    let workers = current_num_threads().clamp(1, len.max(1));
+    if workers <= 1 || len <= 1 {
+        return (0..len).map(|i| source.item(i)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= len {
+                            break;
+                        }
+                        local.push((index, source.item(index)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut pairs: Vec<(usize, P::Item)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+        pairs.sort_by_key(|&(index, _)| index);
+        pairs.into_iter().map(|(_, item)| item).collect()
+    })
+}
+
+/// Parallel iterator over a slice.
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn item(&self, index: usize) -> &'data T {
+        &self.slice[index]
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn item(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+/// Map adaptor.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P: ParallelIterator, U: Send, F> ParallelIterator for Map<P, F>
+where
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item(&self, index: usize) -> U {
+        (self.f)(self.base.item(index))
+    }
+}
+
+/// `.par_iter()` by reference.
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a reference).
+    type Item: Send + 'data;
+
+    /// Starts parallel iteration over references.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SliceIter<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> SliceIter<'data, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// `.into_par_iter()` by value.
+pub trait IntoParallelIterator {
+    /// The iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+
+    /// Starts parallel iteration.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+pub mod prelude {
+    //! The imports parallel call sites need.
+
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[99], 99 * 99);
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 2);
+        assert_ne!(NUM_THREADS_OVERRIDE.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn install_restores_after_panic_and_serializes() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let outcome = std::panic::catch_unwind(|| pool.install(|| panic!("boom")));
+        assert!(outcome.is_err());
+        assert_eq!(NUM_THREADS_OVERRIDE.load(Ordering::Relaxed), 0);
+        // Concurrent installs from several threads must each see their
+        // own count and leave the override clean afterwards.
+        std::thread::scope(|scope| {
+            for threads in 1..=4usize {
+                scope.spawn(move || {
+                    let pool = ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .unwrap();
+                    let seen = pool.install(current_num_threads);
+                    assert_eq!(seen, threads);
+                });
+            }
+        });
+        assert_eq!(NUM_THREADS_OVERRIDE.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let input: Vec<u64> = (0..257).collect();
+        let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let four = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let a: Vec<u64> = one.install(|| input.par_iter().map(|&x| x + 1).collect());
+        let b: Vec<u64> = four.install(|| input.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(a, b);
+    }
+}
