@@ -1,0 +1,87 @@
+//! Tuning-loop economics: what incremental re-scoring saves when one
+//! predictor-axis value changes between rounds — the [`FleetCache`]
+//! contract that makes the per-regime search affordable — plus the cost
+//! of a whole smoke-scale tuning loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fleet_tuner::{FleetTuner, TunerConfig};
+use scenario_fleet::{Catalog, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec};
+use std::hint::black_box;
+
+/// Two fast scenarios × 5 predictors × 1 manager — a typical search
+/// round's working set.
+fn base_matrix() -> FleetMatrix {
+    let catalog = Catalog::builtin();
+    FleetMatrix::new(
+        PredictorSpec::guideline_family(),
+        vec![ManagerSpec::EnergyNeutral {
+            target_soc: 0.5,
+            gain: 0.25,
+        }],
+        vec![
+            catalog.get("desert-clear-sky").unwrap().clone(),
+            catalog.get("aging-node").unwrap().clone(),
+        ],
+    )
+    .unwrap()
+}
+
+/// The matrix after a search step: one new candidate on the predictor
+/// axis, everything else unchanged.
+fn grown_matrix() -> FleetMatrix {
+    let mut matrix = base_matrix();
+    matrix.predictors.push(PredictorSpec::Wcma {
+        alpha: 0.85,
+        days: 12,
+        k: 3,
+    });
+    matrix
+}
+
+fn bench_rescoring(c: &mut Criterion) {
+    let base = base_matrix();
+    let grown = grown_matrix();
+    let mut group = c.benchmark_group("rescoring_one_axis_change");
+    group.sample_size(10);
+
+    // Full re-run: every job of the grown matrix from scratch.
+    group.bench_function("full", |b| {
+        let engine = FleetEngine::new(0xCAFE);
+        b.iter(|| black_box(engine.run(&grown).unwrap()));
+    });
+
+    // Incremental: a warm cache answers the unchanged jobs; only the
+    // new predictor's jobs run. The per-iteration cache clone is part
+    // of the measured cost (it is what a real loop pays to keep the
+    // warm state intact).
+    group.bench_function("incremental", |b| {
+        let engine = FleetEngine::new(0xCAFE);
+        let mut warm = engine.new_cache();
+        engine.run_cached(&base, &mut warm).unwrap();
+        b.iter(|| {
+            let mut cache = warm.clone();
+            black_box(engine.run_cached(&grown, &mut cache).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_tuning_loop(c: &mut Criterion) {
+    let catalog = Catalog::builtin();
+    let scenarios = vec![
+        catalog.get("desert-clear-sky").unwrap().clone(),
+        catalog.get("marine-fog").unwrap().clone(),
+    ];
+    let mut group = c.benchmark_group("tuning_loop");
+    group.sample_size(10);
+    group.bench_function("smoke_two_regimes", |b| {
+        b.iter(|| {
+            let tuner = FleetTuner::new(TunerConfig::smoke(0xBEEF)).unwrap();
+            black_box(tuner.tune(&scenarios).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rescoring, bench_tuning_loop);
+criterion_main!(benches);

@@ -23,7 +23,7 @@
 //! * [`dynamic`] — the machinery behind the paper's §IV-C dynamic
 //!   parameter selection: per-step prediction ensembles over (α, K), plus
 //!   a *causal* dynamic selector extending the paper's clairvoyant study.
-//! * [`FixedWcmaPredictor`](fixed_point::FixedWcmaPredictor) — a Q16.16
+//! * [`FixedWcmaPredictor`] — a Q16.16
 //!   fixed-point kernel mirroring what an MSP430 would actually run.
 //! * [`run_predictor`] — drives any predictor over a
 //!   [`solar_trace::SlotView`] and produces a
@@ -67,8 +67,10 @@ mod runner;
 mod wcma;
 
 pub use baseline::{MovingAveragePredictor, PersistencePredictor};
+pub use dynamic::CausalDynamicWcma;
 pub use error::ParamError;
 pub use ewma::EwmaPredictor;
+pub use fixed_point::FixedWcmaPredictor;
 pub use history::DayHistory;
 pub use params::{KWindowPolicy, WcmaParams, WcmaParamsBuilder};
 pub use predictor::Predictor;

@@ -112,6 +112,63 @@ impl ParamGrid {
         *self.ks.last().expect("non-empty by construction")
     }
 
+    /// A refinement grid centred on one configuration: for each axis,
+    /// the centre value plus its midpoints toward the nearest grid
+    /// neighbours (α), and the integer midpoints toward the nearest
+    /// neighbours (D, K). This is the coarse-to-fine step a tuning loop
+    /// iterates: evaluate a coarse grid, pick the best cell, refine
+    /// around it, re-score, repeat until the budget runs out.
+    ///
+    /// The centre itself is always in the refined grid, so a refinement
+    /// round can never lose the incumbent. Values are deduplicated and
+    /// sorted, keeping the K-axis contract (strictly ascending).
+    ///
+    /// Returns `None` if any centre coordinate is not on this grid.
+    pub fn refined_around(&self, alpha: f64, days: usize, k: usize) -> Option<ParamGrid> {
+        let ai = self.alpha_index(alpha)?;
+        let di = self.days_index(days)?;
+        let ki = self.k_index(k)?;
+
+        let mut alphas = vec![alpha];
+        if ai > 0 {
+            alphas.push((self.alphas[ai - 1] + alpha) / 2.0);
+        }
+        if ai + 1 < self.alphas.len() {
+            alphas.push((alpha + self.alphas[ai + 1]) / 2.0);
+        }
+        alphas.sort_by(f64::total_cmp);
+        alphas.dedup();
+
+        // Integer midpoints round *away* from the centre, so adjacent
+        // values stay reachable (midpoint of 1 and 2 is 1 again under
+        // flooring both ways — the search would never try K = 2).
+        let mut day_values = vec![days];
+        if di > 0 {
+            day_values.push((self.days[di - 1] + days) / 2);
+        }
+        if di + 1 < self.days.len() {
+            day_values.push((days + self.days[di + 1]).div_ceil(2));
+        }
+        day_values.sort_unstable();
+        day_values.dedup();
+
+        let mut ks = vec![k];
+        if ki > 0 {
+            ks.push((self.ks[ki - 1] + k) / 2);
+        }
+        if ki + 1 < self.ks.len() {
+            ks.push((k + self.ks[ki + 1]).div_ceil(2));
+        }
+        ks.sort_unstable();
+        ks.dedup();
+
+        Some(ParamGrid {
+            alphas,
+            days: day_values,
+            ks,
+        })
+    }
+
     /// Index of an exact α value, if present.
     pub fn alpha_index(&self, alpha: f64) -> Option<usize> {
         self.alphas.iter().position(|&a| a == alpha)
@@ -220,6 +277,52 @@ mod tests {
         assert_eq!(g.alpha_index(0.75), None);
         assert_eq!(g.days_index(2), Some(0));
         assert_eq!(g.k_index(6), Some(5));
+    }
+
+    #[test]
+    fn refined_grid_keeps_centre_and_halves_spacing() {
+        let g = ParamGrid::builder()
+            .alphas(vec![0.0, 0.5, 1.0])
+            .days(vec![2, 10, 20])
+            .ks(vec![1, 4, 6])
+            .build()
+            .unwrap();
+        let r = g.refined_around(0.5, 10, 4).unwrap();
+        assert_eq!(r.alphas(), &[0.25, 0.5, 0.75]);
+        assert_eq!(r.days(), &[6, 10, 15]);
+        assert_eq!(r.ks(), &[2, 4, 5]);
+        // Refinement of a refinement keeps shrinking around the centre.
+        let rr = r.refined_around(0.5, 10, 4).unwrap();
+        assert_eq!(rr.alphas(), &[0.375, 0.5, 0.625]);
+        // Off-grid centres are rejected.
+        assert!(g.refined_around(0.3, 10, 4).is_none());
+        assert!(g.refined_around(0.5, 11, 4).is_none());
+        assert!(g.refined_around(0.5, 10, 5).is_none());
+    }
+
+    #[test]
+    fn refined_grid_at_axis_edges_stays_valid() {
+        let g = ParamGrid::builder()
+            .alphas(vec![0.0, 1.0])
+            .days(vec![2, 3])
+            .ks(vec![1, 2])
+            .build()
+            .unwrap();
+        let r = g.refined_around(0.0, 2, 1).unwrap();
+        assert_eq!(r.alphas(), &[0.0, 0.5]);
+        // Integer midpoints collapse onto neighbours without duplicates
+        // or K-order violations.
+        assert_eq!(r.days(), &[2, 3]);
+        assert_eq!(r.ks(), &[1, 2]);
+        // A single-point grid refines to itself.
+        let point = ParamGrid::builder()
+            .alphas(vec![0.7])
+            .days(vec![10])
+            .ks(vec![2])
+            .build()
+            .unwrap();
+        let rp = point.refined_around(0.7, 10, 2).unwrap();
+        assert_eq!(rp.configs(), 1);
     }
 
     #[test]

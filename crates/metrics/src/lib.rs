@@ -39,6 +39,7 @@
 //! ```
 
 mod aggregate;
+mod cost;
 mod diurnal;
 mod error_fn;
 mod record;
@@ -46,6 +47,7 @@ mod roi;
 mod summary;
 
 pub use aggregate::SummaryAggregate;
+pub use cost::{CostAggregate, RunCost};
 pub use diurnal::DiurnalProfile;
 pub use error_fn::{
     ErrorFunction, MaeAccumulator, MapeAccumulator, MbeAccumulator, RmseAccumulator,

@@ -412,9 +412,10 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// The built-in catalog: nine regimes spanning geography, climate,
-    /// hardware tier, and fault mode. Every entry validates; a unit
-    /// test enforces it stays that way.
+    /// The built-in catalog: eleven regimes spanning geography (both
+    /// hemispheres and the equator), climate, hardware tier, and fault
+    /// mode. Every entry validates; a unit test enforces it stays that
+    /// way.
     pub fn builtin() -> Self {
         let mut catalog = Catalog::new();
         let entries = vec![
@@ -469,6 +470,32 @@ impl Catalog {
                 days: 365,
                 slots_per_day: 48,
                 node: NodeProfile::Mote,
+                faults: vec![],
+            },
+            Scenario {
+                name: "southern-four-seasons".into(),
+                summary: "Patagonian mid-latitude site: seasons phase-inverted vs the north".into(),
+                site: SiteSpec::Custom {
+                    latitude_deg: -43.0,
+                    resolution_minutes: 5,
+                    climate: Climate::Temperate,
+                },
+                days: 150,
+                slots_per_day: 48,
+                node: NodeProfile::Mote,
+                faults: vec![],
+            },
+            Scenario {
+                name: "equatorial-rainband".into(),
+                summary: "Near-equator site: flat day length, afternoon convective storms".into(),
+                site: SiteSpec::Custom {
+                    latitude_deg: 1.5,
+                    resolution_minutes: 5,
+                    climate: Climate::Monsoon,
+                },
+                days: 90,
+                slots_per_day: 48,
+                node: NodeProfile::TinyMote,
                 faults: vec![],
             },
             Scenario {
@@ -585,8 +612,17 @@ mod tests {
         for scenario in catalog.scenarios() {
             scenario.validate().unwrap();
         }
-        // At least one faulted, one custom-site, and one non-Mote entry.
+        // At least one faulted, one custom-site, one southern-hemisphere,
+        // one near-equator, and one non-Mote entry.
         assert!(catalog.scenarios().iter().any(|s| !s.faults.is_empty()));
+        assert!(catalog.scenarios().iter().any(|s| matches!(
+            s.site,
+            SiteSpec::Custom { latitude_deg, .. } if latitude_deg < 0.0
+        )));
+        assert!(catalog.scenarios().iter().any(|s| matches!(
+            s.site,
+            SiteSpec::Custom { latitude_deg, .. } if latitude_deg.abs() < 10.0
+        )));
         assert!(catalog
             .scenarios()
             .iter()

@@ -24,18 +24,32 @@
 //!    accuracy buys (brownouts, utilization).
 //!
 //! Both passes realize the identical fault sequence (same seed).
+//!
+//! # Incremental re-scoring
+//!
+//! A tuning loop re-runs near-identical matrices dozens of times,
+//! changing only the predictor axis between rounds. [`FleetCache`]
+//! makes that cheap: it memoizes generated traces per scenario and
+//! finished [`JobOutcome`]s per (scenario, predictor, manager) triple,
+//! so [`FleetEngine::run_cached`] evaluates **only the jobs whose axis
+//! value changed**. Because every job is a pure function of its triple
+//! and the master seed, a cached outcome is bit-identical to a fresh
+//! one — the resulting scorecard JSON is byte-identical to a full
+//! re-run (pinned by test).
 
 use crate::catalog::Scenario;
 use crate::faults::{storage_capacity_factor, FaultInjector};
 use crate::matrix::{FleetMatrix, JobSpec};
 use crate::scorecard::Scorecard;
 use harvest_sim::{simulate_node_hooked, NodeReport, SlotHook};
-use pred_metrics::{ErrorSummary, EvalProtocol};
+use pred_metrics::{ErrorSummary, EvalProtocol, RunCost};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 use solar_predict::run_predictor_observed;
 use solar_synth::TraceGenerator;
 use solar_trace::{PowerTrace, SlotView, SlotsPerDay};
+use std::collections::HashMap;
+use std::time::Instant;
 
 /// Outcome of one (scenario, predictor, manager) job.
 #[derive(Clone, Debug)]
@@ -52,6 +66,9 @@ pub struct JobOutcome {
     pub summary: ErrorSummary,
     /// Management outcome (simulation pass).
     pub report: NodeReport,
+    /// What the job cost: wall time (both passes; non-deterministic)
+    /// and the predictor's peak candidate count (deterministic).
+    pub cost: RunCost,
 }
 
 /// Everything one fleet run produces.
@@ -61,6 +78,48 @@ pub struct FleetResult {
     pub outcomes: Vec<JobOutcome>,
     /// The reduced, ranked scorecard.
     pub scorecard: Scorecard,
+    /// Jobs answered from the cache (0 for a fresh run).
+    pub cached_jobs: usize,
+}
+
+/// Memo of traces and job outcomes across runs of one engine — the
+/// incremental re-scoring state. Create with [`FleetEngine::new_cache`];
+/// feed to [`FleetEngine::run_cached`]. The cache is bound to the
+/// engine's master seed and protocol and refuses to serve any other.
+#[derive(Clone, Debug, Default)]
+pub struct FleetCache {
+    master_seed: u64,
+    protocol: Option<EvalProtocol>,
+    /// Traces keyed by the scenario's full JSON form (not just its
+    /// name, so a mutated same-name scenario can never alias).
+    traces: HashMap<String, PowerTrace>,
+    /// Outcomes keyed by (scenario JSON, predictor label, manager
+    /// label); labels are injective over specs by contract.
+    outcomes: HashMap<(String, String, String), JobOutcome>,
+}
+
+impl FleetCache {
+    /// Number of memoized job outcomes.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the cache holds no outcomes.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Number of memoized scenario traces.
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Aggregate cost of every distinct job this cache has evaluated —
+    /// the true cost of an incremental loop, with re-served jobs
+    /// counted once (order-independent, so stable despite the map).
+    pub fn cost(&self) -> pred_metrics::CostAggregate {
+        pred_metrics::CostAggregate::of(self.outcomes.values().map(|o| o.cost))
+    }
 }
 
 /// The parallel fleet evaluator.
@@ -100,42 +159,138 @@ impl FleetEngine {
         self.master_seed
     }
 
-    /// Runs the whole matrix.
+    /// An empty cache bound to this engine's seed and protocol.
+    pub fn new_cache(&self) -> FleetCache {
+        FleetCache {
+            master_seed: self.master_seed,
+            protocol: Some(self.protocol),
+            traces: HashMap::new(),
+            outcomes: HashMap::new(),
+        }
+    }
+
+    /// Runs the whole matrix from scratch.
     ///
     /// # Errors
     ///
     /// Returns the first trace-generation or hardware-construction
     /// error; per-job panics (contract violations) propagate.
     pub fn run(&self, matrix: &FleetMatrix) -> Result<FleetResult, String> {
-        let run_all = || -> Result<Vec<JobOutcome>, String> {
-            // Phase 1: one trace per scenario, generated in parallel and
-            // shared read-only by every job of that scenario.
-            let traces: Vec<Result<PowerTrace, String>> = (0..matrix.scenarios.len())
-                .into_par_iter()
-                .map(|idx| self.generate_trace(&matrix.scenarios[idx]))
-                .collect();
-            let traces: Vec<PowerTrace> = traces.into_iter().collect::<Result<Vec<_>, String>>()?;
+        let mut cache = self.new_cache();
+        self.run_cached(matrix, &mut cache)
+    }
 
-            // Phase 2: the job matrix.
-            let jobs = matrix.jobs();
-            let outcomes: Vec<Result<JobOutcome, String>> = jobs
-                .par_iter()
-                .map(|job| self.evaluate(matrix, job, &traces[job.scenario_idx]))
-                .collect();
-            outcomes.into_iter().collect()
-        };
-        let outcomes = match self.threads {
+    /// Runs the matrix, reusing every trace and job outcome already in
+    /// `cache` and evaluating only what changed since the cache was
+    /// filled. New traces and outcomes are added to the cache.
+    ///
+    /// The scorecard is **byte-identical** to what [`FleetEngine::run`]
+    /// would produce for the same matrix: jobs are pure functions of
+    /// (scenario, predictor, manager, master seed), so a memoized
+    /// outcome equals a recomputed one. Only the non-deterministic
+    /// wall-time accounting (never rendered into JSON) can differ.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cache is bound to a different seed or
+    /// protocol, or on the first trace-generation/hardware error.
+    pub fn run_cached(
+        &self,
+        matrix: &FleetMatrix,
+        cache: &mut FleetCache,
+    ) -> Result<FleetResult, String> {
+        let unbound =
+            cache.protocol.is_none() && cache.outcomes.is_empty() && cache.traces.is_empty();
+        if !unbound
+            && (cache.master_seed != self.master_seed || cache.protocol != Some(self.protocol))
+        {
+            return Err("fleet cache is bound to a different master seed or protocol".to_string());
+        }
+        cache.master_seed = self.master_seed;
+        cache.protocol = Some(self.protocol);
+        match self.threads {
             Some(threads) => ThreadPoolBuilder::new()
                 .num_threads(threads)
                 .build()
                 .map_err(|e| e.to_string())?
-                .install(run_all),
-            None => run_all(),
-        }?;
+                .install(|| self.run_cached_inner(matrix, cache)),
+            None => self.run_cached_inner(matrix, cache),
+        }
+    }
+
+    fn run_cached_inner(
+        &self,
+        matrix: &FleetMatrix,
+        cache: &mut FleetCache,
+    ) -> Result<FleetResult, String> {
+        // Stable per-scenario cache keys: the full JSON form.
+        let scenario_keys: Vec<String> = matrix
+            .scenarios
+            .iter()
+            .map(|s| s.to_json().render())
+            .collect();
+        let predictor_labels: Vec<String> = matrix.predictors.iter().map(|p| p.label()).collect();
+        let manager_labels: Vec<String> = matrix.managers.iter().map(|m| m.label()).collect();
+
+        // Phase 1: traces for scenarios the cache has not seen, in
+        // parallel, shared read-only by every job of that scenario.
+        let missing: Vec<usize> = (0..matrix.scenarios.len())
+            .filter(|&idx| !cache.traces.contains_key(&scenario_keys[idx]))
+            .collect();
+        let generated: Vec<Result<PowerTrace, String>> = missing
+            .par_iter()
+            .map(|&idx| self.generate_trace(&matrix.scenarios[idx]))
+            .collect();
+        for (&idx, trace) in missing.iter().zip(generated) {
+            cache.traces.insert(scenario_keys[idx].clone(), trace?);
+        }
+
+        // Phase 2: only the jobs the cache cannot answer. Keys are
+        // built once per job (the scenario key alone is a rendered JSON
+        // document) and borrowed for every lookup; only fresh inserts
+        // pay a key clone.
+        let jobs = matrix.jobs();
+        let job_keys: Vec<(String, String, String)> = jobs
+            .iter()
+            .map(|job| {
+                (
+                    scenario_keys[job.scenario_idx].clone(),
+                    predictor_labels[job.predictor_idx].clone(),
+                    manager_labels[job.manager_idx].clone(),
+                )
+            })
+            .collect();
+        let fresh: Vec<usize> = (0..jobs.len())
+            .filter(|&idx| !cache.outcomes.contains_key(&job_keys[idx]))
+            .collect();
+        let cached_jobs = jobs.len() - fresh.len();
+        let evaluated: Vec<Result<JobOutcome, String>> = fresh
+            .par_iter()
+            .map(|&idx| {
+                let job = &jobs[idx];
+                self.evaluate(matrix, job, &cache.traces[&scenario_keys[job.scenario_idx]])
+            })
+            .collect();
+        for (&idx, outcome) in fresh.iter().zip(evaluated) {
+            cache.outcomes.insert(job_keys[idx].clone(), outcome?);
+        }
+
+        // Phase 3: assemble in job order (cached outcomes carry stale
+        // matrix coordinates from the run that produced them — rewrite).
+        let outcomes: Vec<JobOutcome> = jobs
+            .iter()
+            .zip(&job_keys)
+            .map(|(job, key)| {
+                let mut outcome = cache.outcomes[key].clone();
+                outcome.spec = *job;
+                outcome
+            })
+            .collect();
         let scorecard = Scorecard::build(matrix, &outcomes, self.master_seed);
         Ok(FleetResult {
             outcomes,
             scorecard,
+            cached_jobs,
         })
     }
 
@@ -165,6 +320,7 @@ impl FleetEngine {
         job: &JobSpec,
         trace: &PowerTrace,
     ) -> Result<JobOutcome, String> {
+        let started = Instant::now();
         let scenario = &matrix.scenarios[job.scenario_idx];
         let predictor_spec = &matrix.predictors[job.predictor_idx];
         let manager_spec = &matrix.managers[job.manager_idx];
@@ -209,6 +365,10 @@ impl FleetEngine {
             spec: *job,
             summary,
             report,
+            cost: RunCost {
+                wall_nanos: started.elapsed().as_nanos() as u64,
+                peak_candidates: predictor_spec.candidate_count(),
+            },
         })
     }
 }
@@ -249,9 +409,12 @@ mod tests {
     fn engine_runs_the_full_matrix() {
         let result = FleetEngine::new(42).run(&small_matrix()).unwrap();
         assert_eq!(result.outcomes.len(), 2 * 2 * 2);
+        assert_eq!(result.cached_jobs, 0);
         for outcome in &result.outcomes {
             assert!(outcome.summary.count > 0, "{}", outcome.scenario);
             assert!(outcome.summary.mape.is_finite());
+            assert!(outcome.cost.wall_nanos > 0);
+            assert_eq!(outcome.cost.peak_candidates, 1);
             assert!(
                 outcome.report.energy_balance_error_j()
                     < 1e-6 * outcome.report.harvested_j.max(1.0),
@@ -316,5 +479,70 @@ mod tests {
             assert!(outcome.report.harvested_j > 0.0);
             assert!(outcome.report.energy_balance_error_j() < 1e-6);
         }
+    }
+
+    #[test]
+    fn cache_answers_repeat_runs_without_re_evaluating() {
+        let matrix = small_matrix();
+        let engine = FleetEngine::new(9);
+        let mut cache = engine.new_cache();
+        let first = engine.run_cached(&matrix, &mut cache).unwrap();
+        assert_eq!(first.cached_jobs, 0);
+        assert_eq!(cache.len(), matrix.job_count());
+        assert_eq!(cache.trace_count(), matrix.scenarios.len());
+        let second = engine.run_cached(&matrix, &mut cache).unwrap();
+        assert_eq!(second.cached_jobs, matrix.job_count());
+        assert_eq!(
+            first.scorecard.to_json_string(),
+            second.scorecard.to_json_string()
+        );
+    }
+
+    #[test]
+    fn incremental_predictor_axis_change_matches_full_run_byte_for_byte() {
+        // The tuning-loop pattern: score family A, then grow the axis.
+        let base = small_matrix();
+        let mut grown = base.clone();
+        grown.predictors.push(PredictorSpec::Ewma { gamma: 0.5 });
+
+        let engine = FleetEngine::new(21);
+        let mut cache = engine.new_cache();
+        engine.run_cached(&base, &mut cache).unwrap();
+        let incremental = engine.run_cached(&grown, &mut cache).unwrap();
+        // Only the new predictor's jobs ran.
+        assert_eq!(incremental.cached_jobs, base.job_count());
+
+        let full = FleetEngine::new(21).run(&grown).unwrap();
+        assert_eq!(
+            incremental.scorecard.to_json_string(),
+            full.scorecard.to_json_string(),
+            "incremental re-scoring must be byte-identical to a full run"
+        );
+    }
+
+    #[test]
+    fn cache_rejects_mismatched_engines() {
+        let matrix = small_matrix();
+        let mut cache = FleetEngine::new(1).new_cache();
+        assert!(FleetEngine::new(2).run_cached(&matrix, &mut cache).is_err());
+        let strict = FleetEngine::new(1).with_protocol(EvalProtocol::new(0.2, 10));
+        assert!(strict.run_cached(&matrix, &mut cache).is_err());
+    }
+
+    #[test]
+    fn renamed_scenario_is_not_served_from_cache() {
+        // Same site config, different name ⇒ different trace seed; the
+        // JSON cache key must keep them apart.
+        let mut matrix = small_matrix();
+        let engine = FleetEngine::new(4);
+        let mut cache = engine.new_cache();
+        let before = engine.run_cached(&matrix, &mut cache).unwrap();
+        matrix.scenarios[0].name = "desert-clear-sky-b".into();
+        let after = engine.run_cached(&matrix, &mut cache).unwrap();
+        assert_eq!(after.cached_jobs, matrix.job_count() / 2);
+        assert_ne!(
+            before.outcomes[0].summary, after.outcomes[0].summary,
+            "renamed scenario must re-evaluate under its own seed"
+        );
     }
 }

@@ -53,7 +53,7 @@ mod matrix;
 mod scorecard;
 
 pub use catalog::{Catalog, Climate, NodeProfile, Scenario, SiteSpec};
-pub use engine::{FleetEngine, FleetResult, JobOutcome};
+pub use engine::{FleetCache, FleetEngine, FleetResult, JobOutcome};
 pub use faults::{storage_capacity_factor, FaultInjector, FaultSpec};
 pub use matrix::{FleetMatrix, JobSpec, ManagerSpec, PredictorSpec};
 pub use scorecard::{ScenarioRanking, ScoreEntry, Scorecard};

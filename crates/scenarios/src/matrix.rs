@@ -9,8 +9,8 @@ use crate::catalog::Scenario;
 use harvest_sim::{EnergyNeutralManager, FixedDutyManager, GreedyManager, PowerManager};
 use param_explore::ParamGrid;
 use solar_predict::{
-    EwmaPredictor, MovingAveragePredictor, PersistencePredictor, Predictor, WcmaParams,
-    WcmaPredictor,
+    CausalDynamicWcma, EwmaPredictor, FixedWcmaPredictor, MovingAveragePredictor,
+    PersistencePredictor, Predictor, WcmaParams, WcmaPredictor,
 };
 
 /// A buildable predictor configuration.
@@ -24,6 +24,30 @@ pub enum PredictorSpec {
         days: usize,
         /// Conditioning window K (slots).
         k: usize,
+    },
+    /// The Q16.16 fixed-point WCMA kernel at fixed (α, D, K) — what a
+    /// deployed MCU runs; lets tuned integer parameters be ranked under
+    /// faults next to the float kernel.
+    WcmaQ16 {
+        /// Persistence weight α ∈ [0, 1].
+        alpha: f64,
+        /// History depth D (days).
+        days: usize,
+        /// Conditioning window K (slots).
+        k: usize,
+    },
+    /// The causal dynamic-(α, K) selector: scores every (α, K) candidate
+    /// by discounted recent error and predicts with the current best.
+    DynamicCausal {
+        /// History depth D (days).
+        days: usize,
+        /// Candidates use `K = 1 ..= k_max`.
+        k_max: usize,
+        /// Candidate α values (all in [0, 1]).
+        alphas: Vec<f64>,
+        /// Per-slot error-score discount in `(0, 1)` — the selector's
+        /// memory-length threshold.
+        score_decay: f64,
     },
     /// The Kansal et al. EWMA baseline.
     Ewma {
@@ -41,10 +65,30 @@ pub enum PredictorSpec {
 
 impl PredictorSpec {
     /// Short stable label for reports and JSON.
+    ///
+    /// Labels are **injective over specs** (every parameter appears):
+    /// the incremental re-scoring cache keys job outcomes by label, so
+    /// two distinct specs must never share one.
     pub fn label(&self) -> String {
-        match *self {
+        match self {
             PredictorSpec::Wcma { alpha, days, k } => {
                 format!("wcma(a={alpha},D={days},K={k})")
+            }
+            PredictorSpec::WcmaQ16 { alpha, days, k } => {
+                format!("wcma-q16(a={alpha},D={days},K={k})")
+            }
+            PredictorSpec::DynamicCausal {
+                days,
+                k_max,
+                alphas,
+                score_decay,
+            } => {
+                let alphas = alphas
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("dyn(D={days},Kmax={k_max},a=[{alphas}],decay={score_decay})")
             }
             PredictorSpec::Ewma { gamma } => format!("ewma(g={gamma})"),
             PredictorSpec::MovingAverage { days } => format!("ma(D={days})"),
@@ -52,16 +96,39 @@ impl PredictorSpec {
         }
     }
 
+    /// Number of candidate configurations the predictor weighs per slot
+    /// — 1 for fixed predictors, `|α| · K_max` for the dynamic selector.
+    /// Deterministic (spec-derived), so it may appear in byte-pinned
+    /// scorecard JSON, unlike wall time.
+    pub fn candidate_count(&self) -> usize {
+        match self {
+            PredictorSpec::DynamicCausal { k_max, alphas, .. } => alphas.len() * k_max,
+            _ => 1,
+        }
+    }
+
     /// Builds a fresh predictor for discretization `n`.
     pub fn build(&self, n: usize) -> Result<Box<dyn Predictor>, String> {
-        match *self {
-            PredictorSpec::Wcma { alpha, days, k } => Ok(Box::new(WcmaPredictor::new(
+        match self {
+            &PredictorSpec::Wcma { alpha, days, k } => Ok(Box::new(WcmaPredictor::new(
                 WcmaParams::new(alpha, days, k, n).map_err(|e| e.to_string())?,
             ))),
-            PredictorSpec::Ewma { gamma } => Ok(Box::new(
+            &PredictorSpec::WcmaQ16 { alpha, days, k } => Ok(Box::new(FixedWcmaPredictor::new(
+                WcmaParams::new(alpha, days, k, n).map_err(|e| e.to_string())?,
+            ))),
+            PredictorSpec::DynamicCausal {
+                days,
+                k_max,
+                alphas,
+                score_decay,
+            } => Ok(Box::new(
+                CausalDynamicWcma::new(*days, *k_max, alphas.clone(), *score_decay, n)
+                    .map_err(|e| e.to_string())?,
+            )),
+            &PredictorSpec::Ewma { gamma } => Ok(Box::new(
                 EwmaPredictor::new(gamma, n).map_err(|e| e.to_string())?,
             )),
-            PredictorSpec::MovingAverage { days } => Ok(Box::new(
+            &PredictorSpec::MovingAverage { days } => Ok(Box::new(
                 MovingAveragePredictor::new(days, n).map_err(|e| e.to_string())?,
             )),
             PredictorSpec::Persistence => Ok(Box::new(PersistencePredictor::new(n))),
@@ -86,6 +153,26 @@ impl PredictorSpec {
             PredictorSpec::MovingAverage { days: 5 },
             PredictorSpec::Persistence,
         ]
+    }
+
+    /// The guideline family plus the two deployment-grade citizens at
+    /// guideline parameters — the Q16.16 fixed-point kernel and the
+    /// causal dynamic-(α, K) selector — so both rank under faults next
+    /// to the float predictors.
+    pub fn extended_family() -> Vec<PredictorSpec> {
+        let mut family = Self::guideline_family();
+        family.push(PredictorSpec::WcmaQ16 {
+            alpha: 0.7,
+            days: 10,
+            k: 2,
+        });
+        family.push(PredictorSpec::DynamicCausal {
+            days: 10,
+            k_max: 6,
+            alphas: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            score_decay: 0.85,
+        });
+        family
     }
 
     /// Expands a [`ParamGrid`] into a WCMA predictor family — the bridge
@@ -296,6 +383,66 @@ mod tests {
         .build(48)
         .is_err());
         assert!(PredictorSpec::Ewma { gamma: -0.1 }.build(48).is_err());
+        assert!(PredictorSpec::WcmaQ16 {
+            alpha: -0.5,
+            days: 10,
+            k: 2
+        }
+        .build(48)
+        .is_err());
+        assert!(PredictorSpec::DynamicCausal {
+            days: 10,
+            k_max: 48,
+            alphas: vec![0.5],
+            score_decay: 0.85
+        }
+        .build(48)
+        .is_err());
+        assert!(PredictorSpec::DynamicCausal {
+            days: 10,
+            k_max: 6,
+            alphas: vec![0.5],
+            score_decay: 1.0
+        }
+        .build(48)
+        .is_err());
+    }
+
+    #[test]
+    fn extended_family_builds_and_has_unique_labels() {
+        let family = PredictorSpec::extended_family();
+        assert_eq!(family.len(), 7);
+        let mut labels: Vec<String> = family.iter().map(PredictorSpec::label).collect();
+        for spec in &family {
+            spec.build(48).unwrap();
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), family.len(), "labels must be injective");
+    }
+
+    #[test]
+    fn candidate_counts_reflect_per_slot_work() {
+        assert_eq!(PredictorSpec::Persistence.candidate_count(), 1);
+        assert_eq!(
+            PredictorSpec::WcmaQ16 {
+                alpha: 0.7,
+                days: 10,
+                k: 2
+            }
+            .candidate_count(),
+            1
+        );
+        assert_eq!(
+            PredictorSpec::DynamicCausal {
+                days: 10,
+                k_max: 6,
+                alphas: vec![0.0, 0.5, 1.0],
+                score_decay: 0.85
+            }
+            .candidate_count(),
+            18
+        );
     }
 
     #[test]

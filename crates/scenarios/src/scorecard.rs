@@ -28,11 +28,16 @@
 //! JSON output is deterministic: entries carry explicit ranks, object
 //! keys have fixed order, and floats use shortest-round-trip formatting
 //! — byte-identical across runs and thread counts for the same inputs.
+//! Cost accounting follows the [`pred_metrics::cost`] split: per-entry
+//! `peak_candidates` is spec-derived and appears in JSON; wall time is
+//! non-deterministic and appears **only** in [`Scorecard::render_text`]
+//! (a wall-time field in the JSON would break the byte-identity
+//! contract between runs and between full and incremental re-scoring).
 
 use crate::engine::JobOutcome;
 use crate::json::Json;
 use crate::matrix::FleetMatrix;
-use pred_metrics::SummaryAggregate;
+use pred_metrics::{CostAggregate, SummaryAggregate};
 
 const BROWNOUT_WEIGHT: f64 = 2.0;
 const WASTE_WEIGHT: f64 = 1.0;
@@ -54,6 +59,10 @@ pub struct ScoreEntry {
     /// the ROI filtered every slot — e.g. polar night — and `mape`
     /// carries no information; renderers show `--`).
     pub predictions: usize,
+    /// Largest per-slot candidate count any of the combo's jobs paid
+    /// (1 for fixed predictors, `|α| · K_max` for dynamic selectors) —
+    /// the deterministic half of the tuning-cost accounting.
+    pub peak_candidates: usize,
     /// MAPE (fraction) — per-scenario value or unweighted mean.
     pub mape: f64,
     /// Worst per-scenario MAPE (equals `mape` in per-scenario tables).
@@ -74,6 +83,7 @@ impl ScoreEntry {
             ("manager", Json::Str(self.manager.clone())),
             ("score", Json::Num(self.score)),
             ("predictions", Json::Num(self.predictions as f64)),
+            ("peak_candidates", Json::Num(self.peak_candidates as f64)),
             ("mape", Json::Num(self.mape)),
             ("worst_mape", Json::Num(self.worst_mape)),
             ("brownout_rate", Json::Num(self.brownout_rate)),
@@ -101,6 +111,15 @@ pub struct Scorecard {
     pub per_scenario: Vec<ScenarioRanking>,
     /// Overall ranking across scenarios, best-first.
     pub overall: Vec<ScoreEntry>,
+    /// Aggregated cost of evaluating every job in the matrix once.
+    /// **Cumulative across cache reuse**: a job served from a warm
+    /// [`crate::FleetCache`] contributes the wall time of its original
+    /// evaluation, so a mostly-cached run reports what the results
+    /// *cost to obtain*, not what this re-run spent (use
+    /// [`crate::FleetResult::cached_jobs`] for the split). Wall time is
+    /// non-deterministic and is rendered by [`Scorecard::render_text`]
+    /// only — never into the byte-pinned JSON.
+    pub cost: CostAggregate,
 }
 
 fn service_score(brownout_rate: f64, utilization: f64, mape: f64) -> f64 {
@@ -151,6 +170,7 @@ impl Scorecard {
                     manager: outcome.manager.clone(),
                     score: service_score(brownout, utilization, mape),
                     predictions: outcome.summary.count,
+                    peak_candidates: outcome.cost.peak_candidates,
                     mape,
                     worst_mape: mape,
                     brownout_rate: brownout,
@@ -189,6 +209,11 @@ impl Scorecard {
                     manager: manager.label(),
                     score: service_score(brownout, utilization, aggregate.mean_mape),
                     predictions: aggregate.predictions,
+                    peak_candidates: combo
+                        .iter()
+                        .map(|o| o.cost.peak_candidates)
+                        .max()
+                        .unwrap_or(0),
                     mape: aggregate.mean_mape,
                     worst_mape: aggregate.worst_mape,
                     brownout_rate: brownout,
@@ -203,6 +228,7 @@ impl Scorecard {
             master_seed,
             per_scenario,
             overall,
+            cost: CostAggregate::of(sorted.iter().map(|o| o.cost)),
         }
     }
 
@@ -256,8 +282,8 @@ impl Scorecard {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<4}{:<26}{:<22}{:>8}{:>9}{:>11}{:>8}{:>8}",
-            "#", "predictor", "manager", "score", "MAPE%", "brownout%", "util%", "duty"
+            "{:<4}{:<51}{:<22}{:>8}{:>9}{:>11}{:>8}{:>8}{:>7}",
+            "#", "predictor", "manager", "score", "MAPE%", "brownout%", "util%", "duty", "cand"
         );
         for entry in &self.overall {
             let mape = if entry.predictions == 0 {
@@ -267,7 +293,7 @@ impl Scorecard {
             };
             let _ = writeln!(
                 out,
-                "{:<4}{:<26}{:<22}{:>8.3}{:>9}{:>11.2}{:>8.1}{:>8.3}",
+                "{:<4}{:<51}{:<22}{:>8.3}{:>9}{:>11.2}{:>8.1}{:>8.3}{:>7}",
                 entry.rank,
                 entry.predictor,
                 entry.manager,
@@ -276,8 +302,10 @@ impl Scorecard {
                 entry.brownout_rate * 100.0,
                 entry.utilization * 100.0,
                 entry.mean_duty,
+                entry.peak_candidates,
             );
         }
+        let _ = writeln!(out, "evaluation cost (incl. cached work): {}", self.cost);
         out
     }
 }
@@ -353,6 +381,18 @@ mod tests {
         assert_eq!(parsed.req_str("master_seed").unwrap(), "11");
         assert_eq!(parsed.req("overall").unwrap().as_arr().unwrap().len(), 4);
         assert!(!a.render_text().is_empty());
+    }
+
+    #[test]
+    fn cost_shows_in_text_but_wall_time_never_reaches_json() {
+        let (_, scorecard) = run();
+        assert_eq!(scorecard.cost.jobs, scorecard.overall.len() * 2);
+        assert!(scorecard.cost.total_wall_nanos > 0);
+        assert!(scorecard.render_text().contains("evaluation cost"));
+        let json = scorecard.to_json_string();
+        assert!(!json.contains("wall"), "wall time is non-deterministic");
+        // Candidate counts are deterministic and do reach JSON.
+        assert!(json.contains("\"peak_candidates\""));
     }
 
     #[test]

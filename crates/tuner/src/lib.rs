@@ -1,0 +1,56 @@
+//! Per-regime parameter tuning — the closed scorecard → parameter-search
+//! → re-score loop.
+//!
+//! The DATE'10 paper chooses its predictor parameters (α, D, K) once,
+//! globally, from measured error (Table III). Fleet-scale related work
+//! (Basha et al.'s in-network prediction, universal-predictor studies)
+//! shows one-size-fits-all solar predictors degrade across sites — so
+//! this crate searches parameters **per climate regime** instead:
+//!
+//! ```text
+//! Catalog ──► group_by_regime ──► per-regime FleetEngine scorecards
+//!                  ▲                         │
+//!                  │            coarse-to-fine (α, D, K) search
+//!                  │            (ParamGrid::refined_around)
+//!                  └── TuningReport ◄────────┘
+//!         (winner table — the fleet Table III)
+//! ```
+//!
+//! Every candidate is scored by a full fleet evaluation (accuracy under
+//! measurement faults *and* managed-node outcome under physical
+//! faults), re-scored incrementally through one shared
+//! [`scenario_fleet::FleetCache`], and the winners are re-ranked
+//! through the deployable kernels: the Q16.16 fixed-point port and the
+//! causal dynamic-(α, K) selector with a per-regime tuned decay
+//! threshold. The output [`TuningReport`] is deterministic for a given
+//! seed — byte-identical JSON across runs and thread counts (pinned by
+//! `tests/tuning.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use fleet_tuner::{FleetTuner, TunerConfig};
+//! use scenario_fleet::Catalog;
+//!
+//! let catalog = Catalog::builtin();
+//! let scenarios = vec![
+//!     catalog.get("desert-clear-sky").unwrap().clone(),
+//!     catalog.get("marine-fog").unwrap().clone(),
+//! ];
+//! let tuner = FleetTuner::new(TunerConfig::smoke(42)).unwrap();
+//! let report = tuner.tune(&scenarios).unwrap();
+//! assert_eq!(report.regimes.len(), 2); // desert + marine
+//! for row in &report.regimes {
+//!     assert!(row.tuned_score <= row.global_score + 1e-12);
+//! }
+//! ```
+
+mod regime;
+mod report;
+mod search;
+mod tuner;
+
+pub use regime::{group_by_regime, Regime};
+pub use report::{RegimeRow, TunedParams, TuningReport};
+pub use search::{search_wcma, SearchBudget, SearchResult};
+pub use tuner::{FleetTuner, TunerConfig, GUIDELINE};

@@ -1,0 +1,150 @@
+//! Climate-regime classification of scenarios.
+//!
+//! The tuner searches parameters *per regime*, not per scenario: a
+//! regime groups every scenario whose weather statistics come from the
+//! same climate family, so the tuned parameters have more than one
+//! training world and the per-regime winner table stays readable. Paper
+//! measurement sites map onto the same five families the custom-site
+//! builder exposes (desert, temperate, marine, monsoon, arctic), using
+//! the climates the DATE'10 paper's Table I describes for each site.
+
+use scenario_fleet::{Climate, Scenario, SiteSpec};
+use solar_synth::Site;
+
+/// The climate regime of a scenario — the tuner's grouping key.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Regime {
+    /// Stable high-insolation regimes (PFCI, NPCS, `Climate::Desert`).
+    Desert,
+    /// Continental/humid mid-latitude regimes (SPMD, ECSU, ORNL,
+    /// `Climate::Temperate`).
+    Temperate,
+    /// Foggy coastal regimes (HSU, `Climate::Marine`).
+    Marine,
+    /// Wet/dry monsoon regimes, including the near-equator rainband.
+    Monsoon,
+    /// High-latitude regimes with polar-night tails.
+    Arctic,
+}
+
+impl Regime {
+    /// All regimes, in stable report order.
+    pub const ALL: [Regime; 5] = [
+        Regime::Desert,
+        Regime::Temperate,
+        Regime::Marine,
+        Regime::Monsoon,
+        Regime::Arctic,
+    ];
+
+    /// Stable identifier used in reports and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Regime::Desert => "desert",
+            Regime::Temperate => "temperate",
+            Regime::Marine => "marine",
+            Regime::Monsoon => "monsoon",
+            Regime::Arctic => "arctic",
+        }
+    }
+
+    /// Classifies a scenario by its site's climate family.
+    pub fn of(scenario: &Scenario) -> Regime {
+        match &scenario.site {
+            SiteSpec::Paper(site) => match site {
+                // Table I: PFCI (Phoenix) and NPCS (Las Vegas) are the
+                // paper's desert sites; HSU is the foggy coast; the
+                // rest are continental/humid.
+                Site::Pfci | Site::Npcs => Regime::Desert,
+                Site::Hsu => Regime::Marine,
+                Site::Spmd | Site::Ecsu | Site::Ornl => Regime::Temperate,
+            },
+            SiteSpec::Custom { climate, .. } => match climate {
+                Climate::Desert => Regime::Desert,
+                Climate::Temperate => Regime::Temperate,
+                Climate::Marine => Regime::Marine,
+                Climate::Monsoon => Regime::Monsoon,
+                Climate::Arctic => Regime::Arctic,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Regime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Scenarios grouped by regime, in [`Regime::ALL`] order; regimes with
+/// no scenarios are omitted. Within a group, catalog order is kept.
+pub fn group_by_regime(scenarios: &[Scenario]) -> Vec<(Regime, Vec<Scenario>)> {
+    Regime::ALL
+        .into_iter()
+        .filter_map(|regime| {
+            let members: Vec<Scenario> = scenarios
+                .iter()
+                .filter(|s| Regime::of(s) == regime)
+                .cloned()
+                .collect();
+            if members.is_empty() {
+                None
+            } else {
+                Some((regime, members))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenario_fleet::Catalog;
+
+    #[test]
+    fn every_builtin_scenario_classifies() {
+        let catalog = Catalog::builtin();
+        let groups = group_by_regime(catalog.scenarios());
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, catalog.len(), "grouping must partition");
+        // The builtin catalog covers every regime family.
+        assert_eq!(groups.len(), Regime::ALL.len());
+    }
+
+    #[test]
+    fn paper_sites_follow_table_one() {
+        let catalog = Catalog::builtin();
+        assert_eq!(
+            Regime::of(catalog.get("desert-clear-sky").unwrap()),
+            Regime::Desert
+        );
+        assert_eq!(
+            Regime::of(catalog.get("marine-fog").unwrap()),
+            Regime::Marine
+        );
+        assert_eq!(
+            Regime::of(catalog.get("continental-storms").unwrap()),
+            Regime::Temperate
+        );
+        assert_eq!(
+            Regime::of(catalog.get("southern-four-seasons").unwrap()),
+            Regime::Temperate
+        );
+        assert_eq!(
+            Regime::of(catalog.get("equatorial-rainband").unwrap()),
+            Regime::Monsoon
+        );
+        assert_eq!(
+            Regime::of(catalog.get("arctic-winter").unwrap()),
+            Regime::Arctic
+        );
+    }
+
+    #[test]
+    fn regime_identifiers_are_stable_and_displayable() {
+        for regime in Regime::ALL {
+            assert!(!regime.as_str().is_empty());
+            assert_eq!(regime.to_string(), regime.as_str());
+        }
+    }
+}

@@ -19,10 +19,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let seed: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(42);
     let threads: Option<usize> = args.next().map(|s| s.parse()).transpose()?;
 
-    // The whole built-in catalog (9 scenarios), 5 predictors, 3 managers.
+    // The whole built-in catalog, the extended predictor family (the
+    // guideline five plus the Q16 kernel and the causal dynamic
+    // selector), 3 managers.
     let catalog = Catalog::builtin();
     let matrix = FleetMatrix::new(
-        PredictorSpec::guideline_family(),
+        PredictorSpec::extended_family(),
         ManagerSpec::default_set(),
         catalog.scenarios().to_vec(),
     )?;

@@ -119,6 +119,59 @@ fn grid_predictor_family_runs_through_the_fleet() {
 }
 
 #[test]
+fn extended_family_ranks_under_faults_and_caches_identically() {
+    // The Q16 kernel and the causal dynamic selector are full fleet
+    // citizens: they run through faulted scenarios like any other spec,
+    // and the incremental cache reproduces a cold run byte-for-byte
+    // when the axis grows by one of them.
+    let catalog = Catalog::builtin();
+    let scenarios = vec![
+        catalog.get("aging-node").unwrap().clone(),
+        catalog.get("gappy-telemetry-desert").unwrap().clone(),
+    ];
+    let managers = vec![ManagerSpec::EnergyNeutral {
+        target_soc: 0.5,
+        gain: 0.25,
+    }];
+    let base = FleetMatrix::new(
+        PredictorSpec::guideline_family(),
+        managers.clone(),
+        scenarios.clone(),
+    )
+    .unwrap();
+    let grown = FleetMatrix::new(PredictorSpec::extended_family(), managers, scenarios).unwrap();
+
+    let engine = FleetEngine::new(77);
+    let mut cache = engine.new_cache();
+    engine.run_cached(&base, &mut cache).unwrap();
+    let incremental = engine.run_cached(&grown, &mut cache).unwrap();
+    assert_eq!(incremental.cached_jobs, base.job_count());
+    let full = FleetEngine::new(77).run(&grown).unwrap();
+    assert_eq!(
+        incremental.scorecard.to_json_string(),
+        full.scorecard.to_json_string()
+    );
+
+    // The dynamic selector's per-slot candidate budget is visible in
+    // the deterministic cost accounting.
+    let dynamic_entry = full
+        .scorecard
+        .overall
+        .iter()
+        .find(|e| e.predictor.starts_with("dyn("))
+        .expect("dynamic selector ranked");
+    assert_eq!(dynamic_entry.peak_candidates, 30);
+    for outcome in &full.outcomes {
+        assert!(
+            outcome.report.energy_balance_error_j() < 1e-6 * outcome.report.harvested_j.max(1.0),
+            "{} + {}: fault run broke the ledger",
+            outcome.scenario,
+            outcome.predictor
+        );
+    }
+}
+
+#[test]
 fn every_builtin_scenario_survives_a_full_engine_pass() {
     let matrix = FleetMatrix::new(
         vec![PredictorSpec::Persistence],

@@ -1,0 +1,144 @@
+//! Tuning-loop integration tests: report determinism across thread
+//! counts (mirroring `tests/fleet.rs`) and the no-regression property —
+//! per-regime tuned parameters never lose to the global default on
+//! their own training scenarios.
+
+use fleet_tuner::{FleetTuner, SearchBudget, TunerConfig, GUIDELINE};
+use param_explore::ParamGrid;
+use proptest::prelude::*;
+use scenario_fleet::{Catalog, FleetEngine, FleetMatrix, ManagerSpec, Scenario};
+
+fn small_config(seed: u64) -> TunerConfig {
+    TunerConfig {
+        grid: ParamGrid::builder()
+            .alphas(vec![0.0, 1.0])
+            .days(vec![5, 10])
+            .ks(vec![1, 2])
+            .build()
+            .unwrap(),
+        budget: SearchBudget {
+            max_rounds: 1,
+            max_candidates: 16,
+        },
+        dynamic_decays: vec![0.85],
+        dynamic_alphas: vec![0.0, 0.5, 1.0],
+        ..TunerConfig::new(seed)
+    }
+}
+
+fn training_scenarios() -> Vec<Scenario> {
+    let catalog = Catalog::builtin();
+    ["desert-clear-sky", "marine-fog", "aging-node"]
+        .iter()
+        .map(|name| catalog.get(name).expect("builtin scenario").clone())
+        .collect()
+}
+
+#[test]
+fn tuning_report_json_is_byte_identical_across_thread_counts() {
+    let scenarios = training_scenarios();
+    let reference = {
+        let mut config = small_config(2010);
+        config.threads = Some(1);
+        FleetTuner::new(config)
+            .unwrap()
+            .tune(&scenarios)
+            .unwrap()
+            .to_json_string()
+    };
+    for threads in [2, 4] {
+        let mut config = small_config(2010);
+        config.threads = Some(threads);
+        let json = FleetTuner::new(config)
+            .unwrap()
+            .tune(&scenarios)
+            .unwrap()
+            .to_json_string();
+        assert_eq!(json, reference, "thread count {threads} changed the report");
+    }
+    // And the default (all cores) tuner agrees too.
+    let default_json = FleetTuner::new(small_config(2010))
+        .unwrap()
+        .tune(&scenarios)
+        .unwrap()
+        .to_json_string();
+    assert_eq!(default_json, reference);
+}
+
+#[test]
+fn report_covers_every_regime_and_carries_deployment_scores() {
+    let report = FleetTuner::new(small_config(7))
+        .unwrap()
+        .tune(&training_scenarios())
+        .unwrap();
+    // desert (desert-clear-sky), marine (marine-fog), temperate (aging-node).
+    assert_eq!(report.regimes.len(), 3);
+    for row in &report.regimes {
+        assert!(!row.scenarios.is_empty());
+        assert!(row.q16_score.is_finite());
+        assert!(row.dynamic_score.is_finite());
+        assert!(row.candidates > 0);
+    }
+    // The JSON parses back and the winner table renders.
+    let parsed = scenario_fleet::json::Json::parse(&report.to_json_string()).unwrap();
+    assert_eq!(parsed.req("regimes").unwrap().as_arr().unwrap().len(), 3);
+    assert!(!report.render_text().is_empty());
+}
+
+/// Re-scores a parameter triple on one regime's scenarios with a fresh
+/// engine — independent of the tuner's own evaluation path.
+fn independent_score(
+    seed: u64,
+    scenarios: &[Scenario],
+    spec: scenario_fleet::PredictorSpec,
+) -> f64 {
+    let matrix = FleetMatrix::new(
+        vec![spec],
+        vec![ManagerSpec::EnergyNeutral {
+            target_soc: 0.5,
+            gain: 0.25,
+        }],
+        scenarios.to_vec(),
+    )
+    .unwrap();
+    let result = FleetEngine::new(seed).run(&matrix).unwrap();
+    result.scorecard.overall[0].score
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The tentpole property: for any seed, every regime's tuned
+    /// parameters score at least as well as the global default
+    /// (the paper's guideline) on the regime's own training scenarios —
+    /// verified through an independent engine, not the tuner's cache.
+    #[test]
+    fn tuned_params_never_lose_to_the_global_default_on_their_regime(seed in 0u64..500) {
+        let catalog = Catalog::builtin();
+        let scenarios: Vec<Scenario> = ["desert-clear-sky", "marine-fog"]
+            .iter()
+            .map(|name| catalog.get(name).unwrap().clone())
+            .collect();
+        let report = FleetTuner::new(small_config(seed))
+            .unwrap()
+            .tune(&scenarios)
+            .unwrap();
+        for row in &report.regimes {
+            let members: Vec<Scenario> = scenarios
+                .iter()
+                .filter(|s| row.scenarios.contains(&s.name))
+                .cloned()
+                .collect();
+            let tuned = independent_score(seed, &members, row.tuned.spec());
+            let global = independent_score(seed, &members, report.global.spec());
+            let guideline = independent_score(seed, &members, GUIDELINE.spec());
+            prop_assert!(
+                tuned <= global + 1e-12 && tuned <= guideline + 1e-12,
+                "{}: tuned {} vs global {} / guideline {}",
+                row.regime, tuned, global, guideline
+            );
+            // The report's own numbers agree with the independent engine.
+            prop_assert!((tuned - row.tuned_score).abs() < 1e-12);
+        }
+    }
+}

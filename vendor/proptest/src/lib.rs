@@ -280,7 +280,7 @@ pub mod collection {
 
     use super::{Strategy, TestRng};
 
-    /// Lengths acceptable to [`vec`]: an exact `usize` or a range.
+    /// Lengths acceptable to [`vec()`]: an exact `usize` or a range.
     pub trait SizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut TestRng) -> usize;
