@@ -74,5 +74,5 @@ pub use fixed_point::FixedWcmaPredictor;
 pub use history::DayHistory;
 pub use params::{KWindowPolicy, WcmaParams, WcmaParamsBuilder};
 pub use predictor::Predictor;
-pub use runner::{run_predictor, run_predictor_observed};
+pub use runner::{run_predictor, run_predictor_observed, StreamedPredictorRun};
 pub use wcma::{conditioning_ratio, WcmaPredictor, WcmaTerms, MAX_CONDITIONING_RATIO};

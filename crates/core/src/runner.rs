@@ -1,7 +1,7 @@
 //! Driving predictors over slotted traces.
 
 use crate::predictor::Predictor;
-use pred_metrics::{PredictionLog, PredictionRecord};
+use pred_metrics::{PredictionLog, PredictionRecord, RecordSink};
 use solar_trace::SlotView;
 
 /// Runs a streaming predictor over every slot of a view, in time order,
@@ -60,6 +60,10 @@ pub fn run_predictor(view: &SlotView<'_>, predictor: &mut dyn Predictor) -> Pred
 /// identical to [`run_predictor`] (which delegates here with the
 /// identity transform).
 ///
+/// This is a thin wrapper over [`StreamedPredictorRun`] — the push-style
+/// core that slot streams drive directly — so view-driven and
+/// stream-driven metrics passes are bit-identical by construction.
+///
 /// # Panics
 ///
 /// Panics if `predictor.slots_per_day() != view.slots_per_day()`.
@@ -76,29 +80,113 @@ pub fn run_predictor_observed(
         predictor.slots_per_day(),
         n
     );
-    let days = view.days();
-    let mut log = PredictionLog::with_capacity(n, days * n);
-    for day in 0..days {
+    let mut run = StreamedPredictorRun::with_capacity(predictor, n, view.days() * n);
+    for day in 0..view.days() {
         for slot in 0..n {
-            let measured = observe(day, slot, view.start_sample(day, slot));
-            let predicted = predictor.observe_and_predict(measured);
-            let (b_day, b_slot) = if slot + 1 == n {
-                (day + 1, 0)
-            } else {
-                (day, slot + 1)
-            };
-            if b_day < days {
-                log.push(PredictionRecord {
-                    day: day as u32,
-                    slot: slot as u32,
-                    predicted,
-                    actual_start: view.start_sample(b_day, b_slot),
-                    actual_mean: view.mean_power(day, slot),
-                });
-            }
+            let true_start = view.start_sample(day, slot);
+            let observed = observe(day, slot, true_start);
+            run.on_slot(day, slot, observed, true_start, view.mean_power(day, slot));
         }
     }
-    log
+    run.finish()
+}
+
+/// The metrics pass as a push-style state machine: feed slots in time
+/// order with [`StreamedPredictorRun::on_slot`], collect the sink with
+/// [`StreamedPredictorRun::finish`].
+///
+/// A prediction made at slot `n`'s boundary needs the *next* boundary
+/// sample as its MAPE′ reference, so the machine holds one pending
+/// record and completes it when the following slot arrives; the final
+/// slot of a run has no closing boundary and is dropped — exactly the
+/// semantics of [`run_predictor`], which wraps this type.
+///
+/// The sink decides what happens to completed records: a
+/// [`PredictionLog`] materializes them (the default; what
+/// [`run_predictor_observed`] collects), while a
+/// [`pred_metrics::StreamingEval`] folds each record straight into
+/// protocol accumulators so a multi-year pass needs O(1) memory.
+pub struct StreamedPredictorRun<'a, S: RecordSink = PredictionLog> {
+    predictor: &'a mut dyn Predictor,
+    sink: S,
+    /// `(day, slot, predicted, actual_mean)` of the just-entered slot,
+    /// awaiting the next boundary sample.
+    pending: Option<(u32, u32, f64, f64)>,
+}
+
+impl<'a> StreamedPredictorRun<'a, PredictionLog> {
+    /// Starts a log-collecting run at discretization `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictor.slots_per_day() != n`.
+    pub fn new(predictor: &'a mut dyn Predictor, n: usize) -> Self {
+        Self::with_capacity(predictor, n, 0)
+    }
+
+    /// [`StreamedPredictorRun::new`] with the log preallocated for
+    /// `slots` records — pass the expected slot count when the horizon
+    /// is known up front (a multi-year run logs tens of thousands of
+    /// records; growing by reallocation costs repeated copies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictor.slots_per_day() != n`.
+    pub fn with_capacity(predictor: &'a mut dyn Predictor, n: usize, slots: usize) -> Self {
+        Self::with_sink(predictor, n, PredictionLog::with_capacity(n, slots))
+    }
+}
+
+impl<'a, S: RecordSink> StreamedPredictorRun<'a, S> {
+    /// Starts a run feeding completed records into `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictor.slots_per_day() != n`.
+    pub fn with_sink(predictor: &'a mut dyn Predictor, n: usize, sink: S) -> Self {
+        assert_eq!(
+            predictor.slots_per_day(),
+            n,
+            "predictor configured for N={} but stream has N={}",
+            predictor.slots_per_day(),
+            n
+        );
+        StreamedPredictorRun {
+            predictor,
+            sink,
+            pending: None,
+        }
+    }
+
+    /// Feeds the slot at `(day, slot)`: the predictor observes
+    /// `observed` (possibly corrupted), while `true_start` and
+    /// `true_mean` are the ground-truth references entering the record.
+    pub fn on_slot(
+        &mut self,
+        day: usize,
+        slot: usize,
+        observed: f64,
+        true_start: f64,
+        true_mean: f64,
+    ) {
+        if let Some((p_day, p_slot, predicted, actual_mean)) = self.pending.take() {
+            self.sink.push_record(PredictionRecord {
+                day: p_day,
+                slot: p_slot,
+                predicted,
+                actual_start: true_start,
+                actual_mean,
+            });
+        }
+        let predicted = self.predictor.observe_and_predict(observed);
+        self.pending = Some((day as u32, slot as u32, predicted, true_mean));
+    }
+
+    /// Ends the run, dropping the final slot's pending record (it has no
+    /// closing boundary) and returning the sink.
+    pub fn finish(self) -> S {
+        self.sink
+    }
 }
 
 #[cfg(test)]

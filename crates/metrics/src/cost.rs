@@ -22,6 +22,13 @@ pub struct RunCost {
     /// Peak number of candidate configurations the predictor evaluated
     /// per slot (deterministic, spec-derived).
     pub peak_candidates: usize,
+    /// Peak bytes of trace-derived data the job held — the full
+    /// materialized trace on the cached path; on the streamed path one
+    /// day's buffer plus the metrics log when the horizon is short
+    /// enough to materialize it. Varies with cache policy and
+    /// warm/cold state, so it belongs in text reports only, never in
+    /// byte-pinned JSON.
+    pub peak_trace_bytes: usize,
 }
 
 /// Collapsed cost figures over a set of jobs.
@@ -36,6 +43,9 @@ pub struct CostAggregate {
     pub max_wall_nanos: u64,
     /// Largest per-job peak candidate count.
     pub peak_candidates: usize,
+    /// Largest per-job peak trace memory in bytes (text-report only,
+    /// like wall time — see [`RunCost::peak_trace_bytes`]).
+    pub peak_trace_bytes: usize,
 }
 
 impl CostAggregate {
@@ -54,6 +64,7 @@ impl CostAggregate {
         self.total_wall_nanos += cost.wall_nanos;
         self.max_wall_nanos = self.max_wall_nanos.max(cost.wall_nanos);
         self.peak_candidates = self.peak_candidates.max(cost.peak_candidates);
+        self.peak_trace_bytes = self.peak_trace_bytes.max(cost.peak_trace_bytes);
     }
 
     /// Merges another aggregate (e.g. per-round costs into a loop total).
@@ -62,6 +73,7 @@ impl CostAggregate {
         self.total_wall_nanos += other.total_wall_nanos;
         self.max_wall_nanos = self.max_wall_nanos.max(other.max_wall_nanos);
         self.peak_candidates = self.peak_candidates.max(other.peak_candidates);
+        self.peak_trace_bytes = self.peak_trace_bytes.max(other.peak_trace_bytes);
     }
 
     /// Total wall time in seconds.
@@ -74,11 +86,12 @@ impl std::fmt::Display for CostAggregate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} jobs in {:.3}s wall (max {:.3}s, peak {} candidates)",
+            "{} jobs in {:.3}s wall (max {:.3}s, peak {} candidates, peak trace {:.1} KiB)",
             self.jobs,
             self.total_wall_seconds(),
             self.max_wall_nanos as f64 / 1e9,
-            self.peak_candidates
+            self.peak_candidates,
+            self.peak_trace_bytes as f64 / 1024.0
         )
     }
 }
@@ -101,20 +114,24 @@ mod tests {
             RunCost {
                 wall_nanos: 100,
                 peak_candidates: 1,
+                peak_trace_bytes: 4096,
             },
             RunCost {
                 wall_nanos: 300,
                 peak_candidates: 30,
+                peak_trace_bytes: 1024,
             },
             RunCost {
                 wall_nanos: 200,
                 peak_candidates: 5,
+                peak_trace_bytes: 2048,
             },
         ]);
         assert_eq!(agg.jobs, 3);
         assert_eq!(agg.total_wall_nanos, 600);
         assert_eq!(agg.max_wall_nanos, 300);
         assert_eq!(agg.peak_candidates, 30);
+        assert_eq!(agg.peak_trace_bytes, 4096);
         assert!(!agg.to_string().is_empty());
     }
 
@@ -123,10 +140,12 @@ mod tests {
         let a = RunCost {
             wall_nanos: 10,
             peak_candidates: 2,
+            peak_trace_bytes: 100,
         };
         let b = RunCost {
             wall_nanos: 20,
             peak_candidates: 7,
+            peak_trace_bytes: 900,
         };
         let mut left = CostAggregate::of([a]);
         left.merge(&CostAggregate::of([b]));

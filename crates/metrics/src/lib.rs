@@ -54,4 +54,4 @@ pub use error_fn::{
 };
 pub use record::{PredictionLog, PredictionRecord};
 pub use roi::RoiFilter;
-pub use summary::{ErrorSummary, EvalProtocol};
+pub use summary::{ErrorSummary, EvalProtocol, RecordSink, StreamingEval};

@@ -1,7 +1,7 @@
 //! The paper's full evaluation protocol (§III–§IV-A) and its result type.
 
 use crate::error_fn::{MaeAccumulator, MapeAccumulator, MbeAccumulator, RmseAccumulator};
-use crate::record::PredictionLog;
+use crate::record::{PredictionLog, PredictionRecord};
 use crate::roi::RoiFilter;
 
 /// Aggregated error figures of one predictor run under one protocol.
@@ -117,37 +117,97 @@ impl EvalProtocol {
     /// Evaluates a prediction log under this protocol.
     ///
     /// The ROI peak is the largest mean slot power *in the log*, matching
-    /// the paper's per-data-set peak.
+    /// the paper's per-data-set peak. Delegates to [`StreamingEval`]
+    /// (one record at a time with the peak known up front), so log-based
+    /// and streaming evaluation are bit-identical by construction.
     pub fn evaluate(&self, log: &PredictionLog) -> ErrorSummary {
-        let peak = log.peak_actual_mean();
-        let mut mape = MapeAccumulator::new();
-        let mut mape_prime = MapeAccumulator::new();
-        let mut rmse = RmseAccumulator::new();
-        let mut mae = MaeAccumulator::new();
-        let mut mbe = MbeAccumulator::new();
+        let mut eval = StreamingEval::new(*self, log.peak_actual_mean());
         for r in log {
-            if !self.includes(r.day, r.actual_mean, peak) {
-                continue;
-            }
-            mape.add(r.actual_mean, r.predicted);
-            // MAPE′: same sample points, error against the slot-start
-            // sample, normalized by the same reference power so the two
-            // numbers differ only in the error definition (Eq. 6 vs 7).
-            if r.actual_mean != 0.0 {
-                mape_prime.add_abs_pct(((r.actual_start - r.predicted) / r.actual_mean).abs());
-            }
-            rmse.add(r.actual_mean, r.predicted);
-            mae.add(r.actual_mean, r.predicted);
-            mbe.add(r.actual_mean, r.predicted);
+            eval.push_record(*r);
         }
+        eval.finish()
+    }
+}
+
+/// A sink for completed [`PredictionRecord`]s — what a metrics pass
+/// feeds, whether it materializes the log ([`PredictionLog`]) or folds
+/// each record straight into protocol accumulators ([`StreamingEval`]).
+pub trait RecordSink {
+    /// Accepts the next record (records arrive in time order).
+    fn push_record(&mut self, record: PredictionRecord);
+}
+
+impl RecordSink for PredictionLog {
+    fn push_record(&mut self, record: PredictionRecord) {
+        self.push(record);
+    }
+}
+
+/// [`EvalProtocol::evaluate`] as a one-record-at-a-time fold: O(1)
+/// memory instead of a horizon-proportional log.
+///
+/// The paper's ROI filter needs the *global* peak mean power before any
+/// record can be judged, so the peak must be supplied up front. For a
+/// fleet scenario that is cheap: `actual_mean` is a property of the
+/// trace (and its climate dimming), identical for every job, so one
+/// generator pre-pass per scenario yields the peak all of its jobs
+/// share. Folding records in time order with that peak reproduces
+/// [`EvalProtocol::evaluate`] bit-for-bit (the log path delegates here;
+/// a test pins the equality).
+#[derive(Clone, Debug)]
+pub struct StreamingEval {
+    protocol: EvalProtocol,
+    peak: f64,
+    mape: MapeAccumulator,
+    mape_prime: MapeAccumulator,
+    rmse: RmseAccumulator,
+    mae: MaeAccumulator,
+    mbe: MbeAccumulator,
+}
+
+impl StreamingEval {
+    /// Starts an evaluation with the ROI peak known up front.
+    pub fn new(protocol: EvalProtocol, peak_actual_mean: f64) -> Self {
+        StreamingEval {
+            protocol,
+            peak: peak_actual_mean,
+            mape: MapeAccumulator::new(),
+            mape_prime: MapeAccumulator::new(),
+            rmse: RmseAccumulator::new(),
+            mae: MaeAccumulator::new(),
+            mbe: MbeAccumulator::new(),
+        }
+    }
+
+    /// Closes the evaluation.
+    pub fn finish(self) -> ErrorSummary {
         ErrorSummary {
-            mape: mape.value(),
-            mape_prime: mape_prime.value(),
-            rmse: rmse.value(),
-            mae: mae.value(),
-            mbe: mbe.value(),
-            count: mape.count(),
+            mape: self.mape.value(),
+            mape_prime: self.mape_prime.value(),
+            rmse: self.rmse.value(),
+            mae: self.mae.value(),
+            mbe: self.mbe.value(),
+            count: self.mape.count(),
         }
+    }
+}
+
+impl RecordSink for StreamingEval {
+    fn push_record(&mut self, r: PredictionRecord) {
+        if !self.protocol.includes(r.day, r.actual_mean, self.peak) {
+            return;
+        }
+        self.mape.add(r.actual_mean, r.predicted);
+        // MAPE′: same sample points, error against the slot-start
+        // sample, normalized by the same reference power so the two
+        // numbers differ only in the error definition (Eq. 6 vs 7).
+        if r.actual_mean != 0.0 {
+            self.mape_prime
+                .add_abs_pct(((r.actual_start - r.predicted) / r.actual_mean).abs());
+        }
+        self.rmse.add(r.actual_mean, r.predicted);
+        self.mae.add(r.actual_mean, r.predicted);
+        self.mbe.add(r.actual_mean, r.predicted);
     }
 }
 
@@ -226,6 +286,18 @@ mod tests {
         assert!((s.mape_pct() - 15.8).abs() < 1e-12);
         assert!((s.mape_prime_pct() - 42.0).abs() < 1e-12);
         assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn streaming_eval_with_precomputed_peak_matches_log_evaluation() {
+        let log = make_log();
+        let protocol = EvalProtocol::paper();
+        let from_log = protocol.evaluate(&log);
+        let mut streaming = StreamingEval::new(protocol, log.peak_actual_mean());
+        for r in &log {
+            streaming.push_record(*r);
+        }
+        assert_eq!(streaming.finish(), from_log);
     }
 
     #[test]

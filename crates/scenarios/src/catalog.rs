@@ -9,6 +9,7 @@
 //! reached: polar night, monsoon onset, hardware faults.
 
 use crate::faults::FaultSpec;
+use crate::fleet_faults::FleetFault;
 use crate::json::Json;
 use harvest_sim::{EnergyStorage, Load, NodeConfig, SolarPanel};
 use solar_synth::{Site, SiteConfig, SiteConfigBuilder, WeatherModel};
@@ -336,10 +337,13 @@ impl Scenario {
             fault
                 .validate()
                 .map_err(|e| format!("scenario {:?}: {e}", self.name))?;
-            if let FaultSpec::PanelOutage { start_day, .. } = fault {
+            if let FaultSpec::PanelOutage { start_day, .. }
+            | FaultSpec::ClimateDimming { start_day, .. }
+            | FaultSpec::PanelSoiling { start_day, .. } = fault
+            {
                 if *start_day >= self.days {
                     return Err(format!(
-                        "scenario {:?}: panel outage starts at day {start_day}, \
+                        "scenario {:?}: day-ranged fault starts at day {start_day}, \
                          past the {}-day horizon (it would silently never fire)",
                         self.name, self.days
                     ));
@@ -412,10 +416,12 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// The built-in catalog: eleven regimes spanning geography (both
-    /// hemispheres and the equator), climate, hardware tier, and fault
-    /// mode. Every entry validates; a unit test enforces it stays that
-    /// way.
+    /// The built-in catalog: thirteen regimes spanning geography (both
+    /// hemispheres and the equator), climate, hardware tier, fault
+    /// mode, and horizon — including multi-year entries (a two-year
+    /// temperate run and a three-year monsoon run with a la-niña-style
+    /// year-over-year anomaly) sized for the engine's streamed path.
+    /// Every entry validates; a unit test enforces it stays that way.
     pub fn builtin() -> Self {
         let mut catalog = Catalog::new();
         let entries = vec![
@@ -499,6 +505,42 @@ impl Catalog {
                 faults: vec![],
             },
             Scenario {
+                name: "biennial-temperate".into(),
+                summary: "Two full years at a mid-latitude continental site — the \
+                          multi-year horizon the streamed engine path evaluates \
+                          without materializing the trace"
+                    .into(),
+                site: SiteSpec::Custom {
+                    latitude_deg: 45.0,
+                    resolution_minutes: 5,
+                    climate: Climate::Temperate,
+                },
+                days: 730,
+                slots_per_day: 48,
+                node: NodeProfile::Mote,
+                faults: vec![],
+            },
+            Scenario {
+                name: "la-nina-triennium".into(),
+                summary: "Three monsoon years with a la-niña-style anomaly: the \
+                          middle year runs 18% dimmer, so day-of-year history \
+                          from year one misleads year two"
+                    .into(),
+                site: SiteSpec::Custom {
+                    latitude_deg: -8.0,
+                    resolution_minutes: 5,
+                    climate: Climate::Monsoon,
+                },
+                days: 1095,
+                slots_per_day: 48,
+                node: NodeProfile::Mote,
+                faults: vec![FaultSpec::ClimateDimming {
+                    start_day: 365,
+                    duration_days: 365,
+                    factor: 0.82,
+                }],
+            },
+            Scenario {
                 name: "arctic-winter".into(),
                 summary: "68°N polar night tail on a coin-cell mote".into(),
                 site: SiteSpec::Custom {
@@ -559,6 +601,33 @@ impl Catalog {
                 .expect("builtin catalog must validate");
         }
         catalog
+    }
+
+    /// The built-in correlated fleet-wide events: a mid-latitude storm
+    /// belt (one shared onset darkens every 30–52°N scenario for the
+    /// same six days) and a fleet-wide pollen season (every panel soils
+    /// on the same ramp while pyranometers stay clean). Attach to a
+    /// matrix with [`crate::FleetMatrix::with_fleet_faults`]; the
+    /// engine realizes each event from one shared seed and projects it
+    /// into every affected scenario — the correlation that independent
+    /// per-scenario faults cannot express.
+    pub fn builtin_fleet_events() -> Vec<FleetFault> {
+        vec![
+            FleetFault::RegionalStorm {
+                window_start_day: 21,
+                window_end_day: 35,
+                duration_days: 6,
+                depth: 0.75,
+                min_latitude_deg: 30.0,
+                max_latitude_deg: 52.0,
+            },
+            FleetFault::SeasonalSoiling {
+                window_start_day: 25,
+                window_end_day: 32,
+                duration_days: 10,
+                max_loss: 0.3,
+            },
+        ]
     }
 
     /// Adds a scenario after validating it; names must be unique.
@@ -631,6 +700,13 @@ mod tests {
             .scenarios()
             .iter()
             .any(|s| s.node != NodeProfile::Mote));
+        // Multi-year coverage: at least a 2-year and a 3-year horizon,
+        // and one with a year-over-year climate anomaly.
+        assert!(catalog.scenarios().iter().any(|s| s.days >= 730));
+        assert!(catalog.scenarios().iter().any(|s| s.days >= 1095));
+        assert!(catalog.scenarios().iter().any(|s| s.faults.iter().any(
+            |f| matches!(f, FaultSpec::ClimateDimming { start_day, .. } if *start_day >= 365)
+        )));
     }
 
     #[test]

@@ -50,6 +50,37 @@ pub enum FaultSpec {
         /// Mean gap length in slots (exponential).
         mean_slots: f64,
     },
+    /// The sky itself dims for a span of days: harvest *and* measurement
+    /// scale by `factor` — a persistent storm system or a year-over-year
+    /// climate anomaly (la-niña-style cloudier year). Unlike the sensor
+    /// faults, this is physical ground truth, so the engine also scales
+    /// the metrics-pass references by the same factor (see
+    /// [`FaultInjector::sky_factor`]): accuracy is judged against the
+    /// dimmed sky, not the counterfactual clean one. Deterministic (no
+    /// RNG), so a fleet-wide event projected into many scenarios hits
+    /// them all on the same days — the correlation the independent fault
+    /// kinds cannot express.
+    ClimateDimming {
+        /// First affected day (0-based).
+        start_day: usize,
+        /// Number of affected days.
+        duration_days: usize,
+        /// Remaining light fraction in `(0, 1]`.
+        factor: f64,
+    },
+    /// Dust/pollen accumulates on the panel, linearly ramping harvest
+    /// loss to `max_loss` over the span, then the panel is cleaned (rain
+    /// or maintenance). The pyranometer is mounted separately and stays
+    /// clean, so the predictor never sees the loss — the adversarial
+    /// gap between observed irradiance and harvested energy.
+    PanelSoiling {
+        /// First affected day (0-based).
+        start_day: usize,
+        /// Days over which the loss ramps to `max_loss`.
+        duration_days: usize,
+        /// Peak harvest fraction lost, in `(0, 1]`.
+        max_loss: f64,
+    },
 }
 
 impl FaultSpec {
@@ -85,6 +116,32 @@ impl FaultSpec {
                     return Err("trace_gap mean_slots must be at least 1".to_string());
                 }
             }
+            FaultSpec::ClimateDimming {
+                duration_days,
+                factor,
+                ..
+            } => {
+                if duration_days == 0 {
+                    return Err("climate_dimming duration_days must be at least 1".to_string());
+                }
+                if !(factor.is_finite() && 0.0 < factor && factor <= 1.0) {
+                    return Err(format!("climate_dimming factor {factor} must be in (0, 1]"));
+                }
+            }
+            FaultSpec::PanelSoiling {
+                duration_days,
+                max_loss,
+                ..
+            } => {
+                if duration_days == 0 {
+                    return Err("panel_soiling duration_days must be at least 1".to_string());
+                }
+                if !(max_loss.is_finite() && 0.0 < max_loss && max_loss <= 1.0) {
+                    return Err(format!(
+                        "panel_soiling max_loss {max_loss} must be in (0, 1]"
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -116,6 +173,26 @@ impl FaultSpec {
                 ("gaps_per_100_days", Json::Num(gaps_per_100_days)),
                 ("mean_slots", Json::Num(mean_slots)),
             ]),
+            FaultSpec::ClimateDimming {
+                start_day,
+                duration_days,
+                factor,
+            } => Json::obj([
+                ("kind", Json::Str("climate_dimming".into())),
+                ("start_day", Json::Num(start_day as f64)),
+                ("duration_days", Json::Num(duration_days as f64)),
+                ("factor", Json::Num(factor)),
+            ]),
+            FaultSpec::PanelSoiling {
+                start_day,
+                duration_days,
+                max_loss,
+            } => Json::obj([
+                ("kind", Json::Str("panel_soiling".into())),
+                ("start_day", Json::Num(start_day as f64)),
+                ("duration_days", Json::Num(duration_days as f64)),
+                ("max_loss", Json::Num(max_loss)),
+            ]),
         }
     }
 
@@ -135,6 +212,16 @@ impl FaultSpec {
             "trace_gap" => FaultSpec::TraceGap {
                 gaps_per_100_days: value.req_num("gaps_per_100_days")?,
                 mean_slots: value.req_num("mean_slots")?,
+            },
+            "climate_dimming" => FaultSpec::ClimateDimming {
+                start_day: value.req_index("start_day")? as usize,
+                duration_days: value.req_index("duration_days")? as usize,
+                factor: value.req_num("factor")?,
+            },
+            "panel_soiling" => FaultSpec::PanelSoiling {
+                start_day: value.req_index("start_day")? as usize,
+                duration_days: value.req_index("duration_days")? as usize,
+                max_loss: value.req_num("max_loss")?,
             },
             other => return Err(format!("unknown fault kind {other:?}")),
         };
@@ -163,6 +250,11 @@ pub struct FaultInjector {
     /// Absolute slot ranges `[start, end)` with zero harvest and zero
     /// measurement.
     gap_slots: Vec<(usize, usize)>,
+    /// Day ranges `[start, end)` where harvest and measurement scale by
+    /// a factor (dimming factors of overlapping spans multiply).
+    dimming_days: Vec<(usize, usize, f64)>,
+    /// Soiling ramps `(start, end, max_loss)` scaling harvest only.
+    soiling_days: Vec<(usize, usize, f64)>,
     /// Per-slot measurement dropout probability (probabilities of
     /// multiple dropout faults combine as independent events).
     dropout_rate: f64,
@@ -178,6 +270,8 @@ impl FaultInjector {
         let total_slots = days * slots_per_day;
         let mut outage_days = Vec::new();
         let mut gap_slots = Vec::new();
+        let mut dimming_days = Vec::new();
+        let mut soiling_days = Vec::new();
         let mut keep_rate = 1.0; // probability a sample survives all dropout faults
         for fault in faults {
             match *fault {
@@ -186,6 +280,22 @@ impl FaultInjector {
                     duration_days,
                 } => outage_days.push((start_day, start_day.saturating_add(duration_days))),
                 FaultSpec::StorageFade { .. } => {} // applied to hardware, not slots
+                FaultSpec::ClimateDimming {
+                    start_day,
+                    duration_days,
+                    factor,
+                } => {
+                    dimming_days.push((start_day, start_day.saturating_add(duration_days), factor))
+                }
+                FaultSpec::PanelSoiling {
+                    start_day,
+                    duration_days,
+                    max_loss,
+                } => soiling_days.push((
+                    start_day,
+                    start_day.saturating_add(duration_days),
+                    max_loss,
+                )),
                 FaultSpec::SensorDropout { rate } => keep_rate *= 1.0 - rate,
                 FaultSpec::TraceGap {
                     gaps_per_100_days,
@@ -207,6 +317,8 @@ impl FaultInjector {
         FaultInjector {
             outage_days,
             gap_slots,
+            dimming_days,
+            soiling_days,
             dropout_rate: 1.0 - keep_rate,
             slots_per_day,
             rng: ChaCha8Rng::seed_from_u64(seed ^ 0x6472_6f70), // "drop"
@@ -216,6 +328,35 @@ impl FaultInjector {
     /// The realized gap spans (absolute slot ranges), for diagnostics.
     pub fn gap_slots(&self) -> &[(usize, usize)] {
         &self.gap_slots
+    }
+
+    /// The sky's brightness factor on `day`: the product of every
+    /// active [`FaultSpec::ClimateDimming`] span (1.0 outside them).
+    /// Dimming is *physical sky state* — the engine scales the
+    /// metrics-pass ground-truth references by this factor so accuracy
+    /// is judged against the sky that actually existed, not the
+    /// counterfactual clean one. Sensor faults and panel soiling do
+    /// not contribute: they corrupt observation or harvest, not truth.
+    pub fn sky_factor(&self, day: usize) -> f64 {
+        let mut factor = 1.0;
+        for &(start, end, f) in &self.dimming_days {
+            if (start..end).contains(&day) {
+                factor *= f;
+            }
+        }
+        factor
+    }
+
+    /// The harvest fraction a soiling ramp leaves at `day`: loss ramps
+    /// linearly from 0 at `start` to `max_loss` at `end`, then the panel
+    /// is cleaned.
+    fn soiling_factor(day: usize, start: usize, end: usize, max_loss: f64) -> f64 {
+        if !(start..end).contains(&day) {
+            return 1.0;
+        }
+        let span = (end - start) as f64;
+        let progress = (day - start + 1) as f64 / span;
+        1.0 - max_loss * progress
     }
 }
 
@@ -239,6 +380,15 @@ impl SlotHook for FaultInjector {
         {
             *harvest_j = 0.0;
             *measured = 0.0;
+        }
+        for &(start, end, factor) in &self.dimming_days {
+            if (start..end).contains(&day) {
+                *harvest_j *= factor;
+                *measured *= factor;
+            }
+        }
+        for &(start, end, max_loss) in &self.soiling_days {
+            *harvest_j *= Self::soiling_factor(day, start, end, max_loss);
         }
         if self.dropout_rate > 0.0 && dropout_draw < self.dropout_rate {
             *measured = 0.0;
@@ -276,6 +426,95 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(FaultSpec::ClimateDimming {
+            start_day: 0,
+            duration_days: 0,
+            factor: 0.8
+        }
+        .validate()
+        .is_err());
+        assert!(FaultSpec::ClimateDimming {
+            start_day: 0,
+            duration_days: 10,
+            factor: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(FaultSpec::PanelSoiling {
+            start_day: 0,
+            duration_days: 10,
+            max_loss: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn sky_factor_is_the_dimming_product_and_ignores_other_faults() {
+        let faults = [
+            FaultSpec::ClimateDimming {
+                start_day: 2,
+                duration_days: 4,
+                factor: 0.5,
+            },
+            FaultSpec::ClimateDimming {
+                start_day: 4,
+                duration_days: 2,
+                factor: 0.8,
+            },
+            FaultSpec::PanelSoiling {
+                start_day: 0,
+                duration_days: 10,
+                max_loss: 0.9,
+            },
+            FaultSpec::SensorDropout { rate: 0.5 },
+        ];
+        let injector = FaultInjector::new(&faults, 1, 10, 24);
+        assert_eq!(injector.sky_factor(0), 1.0);
+        assert_eq!(injector.sky_factor(2), 0.5);
+        assert!((injector.sky_factor(4) - 0.4).abs() < 1e-12);
+        assert_eq!(injector.sky_factor(6), 1.0);
+    }
+
+    #[test]
+    fn dimming_scales_both_harvest_and_measurement() {
+        let faults = [FaultSpec::ClimateDimming {
+            start_day: 2,
+            duration_days: 3,
+            factor: 0.5,
+        }];
+        let mut injector = FaultInjector::new(&faults, 1, 10, 24);
+        let (mut h, mut m) = (10.0, 600.0);
+        injector.on_slot(3, 0, &mut h, &mut m);
+        assert_eq!((h, m), (5.0, 300.0));
+        let (mut h, mut m) = (10.0, 600.0);
+        injector.on_slot(6, 0, &mut h, &mut m);
+        assert_eq!((h, m), (10.0, 600.0));
+    }
+
+    #[test]
+    fn soiling_ramps_harvest_only_then_cleans() {
+        let faults = [FaultSpec::PanelSoiling {
+            start_day: 0,
+            duration_days: 10,
+            max_loss: 0.5,
+        }];
+        let mut injector = FaultInjector::new(&faults, 1, 20, 24);
+        // Day 9 is fully soiled: loss = max_loss.
+        let (mut h, mut m) = (10.0, 600.0);
+        injector.on_slot(9, 0, &mut h, &mut m);
+        assert!((h - 5.0).abs() < 1e-12, "h {h}");
+        assert_eq!(m, 600.0, "sensor stays clean");
+        // Day 4 is half-way: loss = 0.25.
+        let (mut h, mut m) = (10.0, 600.0);
+        injector.on_slot(4, 0, &mut h, &mut m);
+        assert!((h - 7.5).abs() < 1e-12, "h {h}");
+        let _ = m;
+        // Day 10: cleaned.
+        let (mut h, mut m) = (10.0, 600.0);
+        injector.on_slot(10, 0, &mut h, &mut m);
+        assert_eq!(h, 10.0);
+        let _ = m;
     }
 
     #[test]
@@ -292,6 +531,16 @@ mod tests {
             FaultSpec::TraceGap {
                 gaps_per_100_days: 3.0,
                 mean_slots: 4.0,
+            },
+            FaultSpec::ClimateDimming {
+                start_day: 365,
+                duration_days: 365,
+                factor: 0.82,
+            },
+            FaultSpec::PanelSoiling {
+                start_day: 30,
+                duration_days: 60,
+                max_loss: 0.4,
             },
         ];
         for spec in specs {

@@ -1,0 +1,331 @@
+//! Correlated fleet-wide fault events.
+//!
+//! The per-scenario [`FaultSpec`](crate::FaultSpec) machinery draws each
+//! scenario's faults from that scenario's own seed, so two scenarios
+//! never fail *together* — yet the deployments that motivate fleet
+//! evaluation (Basha et al.'s multi-node networks) fail together all the
+//! time: one regional storm darkens every node in the region on the same
+//! days, one pollen season soils every panel at once.
+//!
+//! A [`FleetFault`] is an event declared on the **matrix**, realized
+//! from **one shared event seed**, and projected into each affected
+//! scenario's fault list as plain [`FaultSpec`]s before the engine runs.
+//! Correlation therefore costs nothing downstream: caching, streaming,
+//! sharding, and byte-determinism all see ordinary scenarios whose JSON
+//! (and hence cache identity) already carries the projected faults.
+
+use crate::catalog::Scenario;
+use crate::faults::FaultSpec;
+use crate::json::Json;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One correlated fleet-wide event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FleetFault {
+    /// A synoptic storm system: every scenario whose site latitude lies
+    /// in `[min_latitude_deg, max_latitude_deg]` gets the *same*
+    /// [`FaultSpec::ClimateDimming`] span — onset drawn once from the
+    /// shared event seed inside the onset window.
+    RegionalStorm {
+        /// Earliest possible onset day (0-based).
+        window_start_day: usize,
+        /// Latest possible onset day (exclusive).
+        window_end_day: usize,
+        /// Storm length in days.
+        duration_days: usize,
+        /// Fraction of light removed while the storm sits (in `(0, 1)`).
+        depth: f64,
+        /// Southern edge of the affected band (degrees, north positive).
+        min_latitude_deg: f64,
+        /// Northern edge of the affected band.
+        max_latitude_deg: f64,
+    },
+    /// A fleet-wide soiling season (dust/pollen): every scenario gets
+    /// the same [`FaultSpec::PanelSoiling`] ramp, onset drawn once from
+    /// the shared event seed inside the onset window.
+    SeasonalSoiling {
+        /// Earliest possible onset day (0-based).
+        window_start_day: usize,
+        /// Latest possible onset day (exclusive).
+        window_end_day: usize,
+        /// Days over which the loss ramps to `max_loss`.
+        duration_days: usize,
+        /// Peak harvest fraction lost, in `(0, 1]`.
+        max_loss: f64,
+    },
+}
+
+impl FleetFault {
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            FleetFault::RegionalStorm {
+                window_start_day,
+                window_end_day,
+                duration_days,
+                depth,
+                min_latitude_deg,
+                max_latitude_deg,
+            } => {
+                if window_end_day <= window_start_day {
+                    return Err("regional_storm onset window must be non-empty".to_string());
+                }
+                if duration_days == 0 {
+                    return Err("regional_storm duration_days must be at least 1".to_string());
+                }
+                if !(depth.is_finite() && 0.0 < depth && depth < 1.0) {
+                    return Err(format!("regional_storm depth {depth} must be in (0, 1)"));
+                }
+                if !(min_latitude_deg.is_finite()
+                    && max_latitude_deg.is_finite()
+                    && min_latitude_deg <= max_latitude_deg)
+                {
+                    return Err("regional_storm latitude band is inverted".to_string());
+                }
+            }
+            FleetFault::SeasonalSoiling {
+                window_start_day,
+                window_end_day,
+                duration_days,
+                max_loss,
+            } => {
+                if window_end_day <= window_start_day {
+                    return Err("seasonal_soiling onset window must be non-empty".to_string());
+                }
+                if duration_days == 0 {
+                    return Err("seasonal_soiling duration_days must be at least 1".to_string());
+                }
+                if !(max_loss.is_finite() && 0.0 < max_loss && max_loss <= 1.0) {
+                    return Err(format!(
+                        "seasonal_soiling max_loss {max_loss} must be in (0, 1]"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The event's realized onset day for a given shared event seed —
+    /// one draw per event, identical for every scenario it touches.
+    pub fn onset_day(&self, event_seed: u64) -> usize {
+        let (start, end) = match *self {
+            FleetFault::RegionalStorm {
+                window_start_day,
+                window_end_day,
+                ..
+            }
+            | FleetFault::SeasonalSoiling {
+                window_start_day,
+                window_end_day,
+                ..
+            } => (window_start_day, window_end_day),
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(event_seed);
+        start + (rng.gen::<f64>() * (end - start) as f64) as usize
+    }
+
+    /// Whether the event touches `scenario` at all (latitude band for
+    /// storms; soiling is fleet-wide).
+    pub fn affects(&self, scenario: &Scenario) -> Result<bool, String> {
+        match *self {
+            FleetFault::RegionalStorm {
+                min_latitude_deg,
+                max_latitude_deg,
+                ..
+            } => {
+                let latitude = scenario.site_config()?.latitude_deg;
+                Ok((min_latitude_deg..=max_latitude_deg).contains(&latitude))
+            }
+            FleetFault::SeasonalSoiling { .. } => Ok(true),
+        }
+    }
+
+    /// Projects the realized event into `scenario`'s fault list: the
+    /// [`FaultSpec`]s to append, or empty when the scenario is outside
+    /// the affected region or the onset falls past its horizon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates site-configuration errors from the latitude lookup.
+    pub fn project(&self, event_seed: u64, scenario: &Scenario) -> Result<Vec<FaultSpec>, String> {
+        if !self.affects(scenario)? {
+            return Ok(Vec::new());
+        }
+        let onset = self.onset_day(event_seed);
+        if onset >= scenario.days {
+            return Ok(Vec::new());
+        }
+        Ok(match *self {
+            FleetFault::RegionalStorm {
+                duration_days,
+                depth,
+                ..
+            } => vec![FaultSpec::ClimateDimming {
+                start_day: onset,
+                duration_days,
+                factor: 1.0 - depth,
+            }],
+            FleetFault::SeasonalSoiling {
+                duration_days,
+                max_loss,
+                ..
+            } => vec![FaultSpec::PanelSoiling {
+                start_day: onset,
+                duration_days,
+                max_loss,
+            }],
+        })
+    }
+
+    /// JSON form (`{"kind": ..., ...}`).
+    pub fn to_json(&self) -> Json {
+        match *self {
+            FleetFault::RegionalStorm {
+                window_start_day,
+                window_end_day,
+                duration_days,
+                depth,
+                min_latitude_deg,
+                max_latitude_deg,
+            } => Json::obj([
+                ("kind", Json::Str("regional_storm".into())),
+                ("window_start_day", Json::Num(window_start_day as f64)),
+                ("window_end_day", Json::Num(window_end_day as f64)),
+                ("duration_days", Json::Num(duration_days as f64)),
+                ("depth", Json::Num(depth)),
+                ("min_latitude_deg", Json::Num(min_latitude_deg)),
+                ("max_latitude_deg", Json::Num(max_latitude_deg)),
+            ]),
+            FleetFault::SeasonalSoiling {
+                window_start_day,
+                window_end_day,
+                duration_days,
+                max_loss,
+            } => Json::obj([
+                ("kind", Json::Str("seasonal_soiling".into())),
+                ("window_start_day", Json::Num(window_start_day as f64)),
+                ("window_end_day", Json::Num(window_end_day as f64)),
+                ("duration_days", Json::Num(duration_days as f64)),
+                ("max_loss", Json::Num(max_loss)),
+            ]),
+        }
+    }
+
+    /// Parses and validates the JSON form.
+    pub fn from_json(value: &Json) -> Result<FleetFault, String> {
+        let fault = match value.req_str("kind")? {
+            "regional_storm" => FleetFault::RegionalStorm {
+                window_start_day: value.req_index("window_start_day")? as usize,
+                window_end_day: value.req_index("window_end_day")? as usize,
+                duration_days: value.req_index("duration_days")? as usize,
+                depth: value.req_num("depth")?,
+                min_latitude_deg: value.req_num("min_latitude_deg")?,
+                max_latitude_deg: value.req_num("max_latitude_deg")?,
+            },
+            "seasonal_soiling" => FleetFault::SeasonalSoiling {
+                window_start_day: value.req_index("window_start_day")? as usize,
+                window_end_day: value.req_index("window_end_day")? as usize,
+                duration_days: value.req_index("duration_days")? as usize,
+                max_loss: value.req_num("max_loss")?,
+            },
+            other => return Err(format!("unknown fleet fault kind {other:?}")),
+        };
+        fault.validate()?;
+        Ok(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    fn storm() -> FleetFault {
+        FleetFault::RegionalStorm {
+            window_start_day: 22,
+            window_end_day: 34,
+            duration_days: 4,
+            depth: 0.7,
+            min_latitude_deg: 30.0,
+            max_latitude_deg: 50.0,
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        let mut bad = storm();
+        if let FleetFault::RegionalStorm { window_end_day, .. } = &mut bad {
+            *window_end_day = 10;
+        }
+        assert!(bad.validate().is_err());
+        assert!(FleetFault::SeasonalSoiling {
+            window_start_day: 0,
+            window_end_day: 10,
+            duration_days: 0,
+            max_loss: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(FleetFault::SeasonalSoiling {
+            window_start_day: 0,
+            window_end_day: 10,
+            duration_days: 5,
+            max_loss: 1.5
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn json_round_trips_both_kinds() {
+        let soiling = FleetFault::SeasonalSoiling {
+            window_start_day: 20,
+            window_end_day: 30,
+            duration_days: 15,
+            max_loss: 0.3,
+        };
+        for fault in [storm(), soiling] {
+            let text = fault.to_json().render_pretty();
+            let back = FleetFault::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, fault);
+        }
+        assert!(
+            FleetFault::from_json(&Json::obj([("kind", Json::Str("locusts".into()))])).is_err()
+        );
+    }
+
+    #[test]
+    fn one_event_seed_hits_every_affected_scenario_on_the_same_days() {
+        let catalog = Catalog::builtin();
+        let fault = storm();
+        let desert = catalog.get("desert-clear-sky").unwrap(); // 33.4°N
+        let fourseasons = catalog.get("four-seasons").unwrap(); // 45°N
+        let a = fault.project(99, desert).unwrap();
+        let b = fault.project(99, fourseasons).unwrap();
+        assert_eq!(a, b, "correlated event must project identically");
+        assert_eq!(a.len(), 1);
+        // A southern-hemisphere site is outside the band.
+        let southern = catalog.get("southern-four-seasons").unwrap();
+        assert!(fault.project(99, southern).unwrap().is_empty());
+        // Different event seeds move the onset.
+        let onsets: std::collections::BTreeSet<usize> =
+            (0..40).map(|seed| fault.onset_day(seed)).collect();
+        assert!(onsets.len() > 1, "onset must depend on the event seed");
+    }
+
+    #[test]
+    fn onset_past_the_horizon_projects_nothing() {
+        let mut catalog_entry = Catalog::builtin().get("desert-clear-sky").unwrap().clone();
+        catalog_entry.days = 25;
+        let fault = FleetFault::RegionalStorm {
+            window_start_day: 30,
+            window_end_day: 31,
+            duration_days: 2,
+            depth: 0.5,
+            min_latitude_deg: -90.0,
+            max_latitude_deg: 90.0,
+        };
+        assert!(fault.project(1, &catalog_entry).unwrap().is_empty());
+    }
+}

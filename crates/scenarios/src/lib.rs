@@ -48,12 +48,16 @@
 mod catalog;
 mod engine;
 mod faults;
+mod fleet_faults;
 pub mod json;
 mod matrix;
 mod scorecard;
 
 pub use catalog::{Catalog, Climate, NodeProfile, Scenario, SiteSpec};
-pub use engine::{FleetCache, FleetEngine, FleetResult, JobOutcome};
+pub use engine::{
+    FleetCache, FleetEngine, FleetResult, JobOutcome, ShardedFleetResult, TraceCachePolicy,
+};
 pub use faults::{storage_capacity_factor, FaultInjector, FaultSpec};
+pub use fleet_faults::FleetFault;
 pub use matrix::{FleetMatrix, JobSpec, ManagerSpec, PredictorSpec};
-pub use scorecard::{ScenarioRanking, ScoreEntry, Scorecard};
+pub use scorecard::{ScenarioRanking, ScoreEntry, Scorecard, ScorecardShard, ShardManifest};

@@ -6,6 +6,7 @@
 //! stateful stream processors and must never be shared between runs.
 
 use crate::catalog::Scenario;
+use crate::fleet_faults::FleetFault;
 use harvest_sim::{EnergyNeutralManager, FixedDutyManager, GreedyManager, PowerManager};
 use param_explore::ParamGrid;
 use solar_predict::{
@@ -48,6 +49,10 @@ pub enum PredictorSpec {
         /// Per-slot error-score discount in `(0, 1)` — the selector's
         /// memory-length threshold.
         score_decay: f64,
+        /// Time-of-day score buckets: `None` keeps the kernel's default
+        /// (six, clamped to N); `Some(b)` pins an explicit count — 1
+        /// collapses to a single global score table.
+        buckets: Option<usize>,
     },
     /// The Kansal et al. EWMA baseline.
     Ewma {
@@ -82,13 +87,17 @@ impl PredictorSpec {
                 k_max,
                 alphas,
                 score_decay,
+                buckets,
             } => {
                 let alphas = alphas
                     .iter()
                     .map(|a| a.to_string())
                     .collect::<Vec<_>>()
                     .join(",");
-                format!("dyn(D={days},Kmax={k_max},a=[{alphas}],decay={score_decay})")
+                // Default buckets keep the historical label so tuned
+                // artifacts stay comparable across versions.
+                let buckets = buckets.map(|b| format!(",b={b}")).unwrap_or_default();
+                format!("dyn(D={days},Kmax={k_max},a=[{alphas}],decay={score_decay}{buckets})")
             }
             PredictorSpec::Ewma { gamma } => format!("ewma(g={gamma})"),
             PredictorSpec::MovingAverage { days } => format!("ma(D={days})"),
@@ -121,10 +130,20 @@ impl PredictorSpec {
                 k_max,
                 alphas,
                 score_decay,
-            } => Ok(Box::new(
-                CausalDynamicWcma::new(*days, *k_max, alphas.clone(), *score_decay, n)
+                buckets,
+            } => Ok(Box::new(match buckets {
+                None => CausalDynamicWcma::new(*days, *k_max, alphas.clone(), *score_decay, n)
                     .map_err(|e| e.to_string())?,
-            )),
+                Some(b) => CausalDynamicWcma::with_buckets(
+                    *days,
+                    *k_max,
+                    alphas.clone(),
+                    *score_decay,
+                    n,
+                    *b,
+                )
+                .map_err(|e| e.to_string())?,
+            })),
             &PredictorSpec::Ewma { gamma } => Ok(Box::new(
                 EwmaPredictor::new(gamma, n).map_err(|e| e.to_string())?,
             )),
@@ -155,10 +174,11 @@ impl PredictorSpec {
         ]
     }
 
-    /// The guideline family plus the two deployment-grade citizens at
+    /// The guideline family plus the deployment-grade citizens at
     /// guideline parameters — the Q16.16 fixed-point kernel and the
-    /// causal dynamic-(α, K) selector — so both rank under faults next
-    /// to the float predictors.
+    /// causal dynamic-(α, K) selector in both its default (six-bucket)
+    /// and single-global-score-table forms — so all rank under faults
+    /// next to the float predictors.
     pub fn extended_family() -> Vec<PredictorSpec> {
         let mut family = Self::guideline_family();
         family.push(PredictorSpec::WcmaQ16 {
@@ -171,6 +191,16 @@ impl PredictorSpec {
             k_max: 6,
             alphas: vec![0.0, 0.25, 0.5, 0.75, 1.0],
             score_decay: 0.85,
+            buckets: None,
+        });
+        // The non-default bucket count: one global score table, so the
+        // ranking measures what per-time-of-day selection buys.
+        family.push(PredictorSpec::DynamicCausal {
+            days: 10,
+            k_max: 6,
+            alphas: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            score_decay: 0.85,
+            buckets: Some(1),
         });
         family
     }
@@ -298,6 +328,10 @@ pub struct FleetMatrix {
     pub managers: Vec<ManagerSpec>,
     /// Scenario list.
     pub scenarios: Vec<Scenario>,
+    /// Correlated fleet-wide events, projected into every affected
+    /// scenario's fault list by the engine (empty = independent faults
+    /// only). Attach with [`FleetMatrix::with_fleet_faults`].
+    pub fleet_faults: Vec<FleetFault>,
 }
 
 impl FleetMatrix {
@@ -328,7 +362,17 @@ impl FleetMatrix {
             predictors,
             managers,
             scenarios,
+            fleet_faults: Vec::new(),
         })
+    }
+
+    /// Attaches correlated fleet-wide events after validating them.
+    pub fn with_fleet_faults(mut self, fleet_faults: Vec<FleetFault>) -> Result<Self, String> {
+        for fault in &fleet_faults {
+            fault.validate()?;
+        }
+        self.fleet_faults = fleet_faults;
+        Ok(self)
     }
 
     /// Total number of jobs.
@@ -394,7 +438,8 @@ mod tests {
             days: 10,
             k_max: 48,
             alphas: vec![0.5],
-            score_decay: 0.85
+            score_decay: 0.85,
+            buckets: None
         }
         .build(48)
         .is_err());
@@ -402,7 +447,18 @@ mod tests {
             days: 10,
             k_max: 6,
             alphas: vec![0.5],
-            score_decay: 1.0
+            score_decay: 1.0,
+            buckets: None
+        }
+        .build(48)
+        .is_err());
+        // Bucket counts above the discretization are rejected too.
+        assert!(PredictorSpec::DynamicCausal {
+            days: 10,
+            k_max: 6,
+            alphas: vec![0.5],
+            score_decay: 0.85,
+            buckets: Some(49)
         }
         .build(48)
         .is_err());
@@ -411,7 +467,15 @@ mod tests {
     #[test]
     fn extended_family_builds_and_has_unique_labels() {
         let family = PredictorSpec::extended_family();
-        assert_eq!(family.len(), 7);
+        assert_eq!(family.len(), 8);
+        // The bucket-count variant is present and distinguishable.
+        assert!(family.iter().any(|s| matches!(
+            s,
+            PredictorSpec::DynamicCausal {
+                buckets: Some(1),
+                ..
+            }
+        )));
         let mut labels: Vec<String> = family.iter().map(PredictorSpec::label).collect();
         for spec in &family {
             spec.build(48).unwrap();
@@ -438,7 +502,8 @@ mod tests {
                 days: 10,
                 k_max: 6,
                 alphas: vec![0.0, 0.5, 1.0],
-                score_decay: 0.85
+                score_decay: 0.85,
+                buckets: None
             }
             .candidate_count(),
             18

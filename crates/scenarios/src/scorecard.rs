@@ -1,5 +1,5 @@
 //! Reduction of job outcomes into a ranked, regression-friendly
-//! scorecard.
+//! scorecard — monolithic or sharded.
 //!
 //! Ranking uses a single *service score* per (predictor, manager) combo
 //! (lower is better):
@@ -25,19 +25,30 @@
 //! zero-evidence MAPE is distinguishable from a perfect one; renderers
 //! show `--` for it.
 //!
+//! # Shards
+//!
+//! A matrix too large for one JSON document ships as a
+//! [`ShardManifest`] plus one [`ScorecardShard`] per scenario subset.
+//! Because the overall table is a pure function of the per-scenario
+//! rankings (one shared code path, [`Scorecard::build`] uses it too),
+//! [`Scorecard::merge_shards`] reproduces the monolithic scorecard
+//! **byte-for-byte** from shards in any order — pinned by tests across
+//! thread counts and shard orderings.
+//!
 //! JSON output is deterministic: entries carry explicit ranks, object
 //! keys have fixed order, and floats use shortest-round-trip formatting
 //! — byte-identical across runs and thread counts for the same inputs.
 //! Cost accounting follows the [`pred_metrics::cost`] split: per-entry
-//! `peak_candidates` is spec-derived and appears in JSON; wall time is
-//! non-deterministic and appears **only** in [`Scorecard::render_text`]
-//! (a wall-time field in the JSON would break the byte-identity
-//! contract between runs and between full and incremental re-scoring).
+//! `peak_candidates` is spec-derived and appears in JSON; wall time and
+//! peak trace memory are non-deterministic (the latter varies with
+//! cache policy) and appear **only** in [`Scorecard::render_text`] (a
+//! wall-time field in the JSON would break the byte-identity contract
+//! between runs and between full and incremental re-scoring).
 
 use crate::engine::JobOutcome;
 use crate::json::Json;
 use crate::matrix::FleetMatrix;
-use pred_metrics::{CostAggregate, SummaryAggregate};
+use pred_metrics::{CostAggregate, ErrorSummary, SummaryAggregate};
 
 const BROWNOUT_WEIGHT: f64 = 2.0;
 const WASTE_WEIGHT: f64 = 1.0;
@@ -91,6 +102,22 @@ impl ScoreEntry {
             ("mean_duty", Json::Num(self.mean_duty)),
         ])
     }
+
+    fn from_json(value: &Json) -> Result<ScoreEntry, String> {
+        Ok(ScoreEntry {
+            rank: value.req_index("rank")? as usize,
+            predictor: value.req_str("predictor")?.to_string(),
+            manager: value.req_str("manager")?.to_string(),
+            score: value.req_num("score")?,
+            predictions: value.req_index("predictions")? as usize,
+            peak_candidates: value.req_index("peak_candidates")? as usize,
+            mape: value.req_num("mape")?,
+            worst_mape: value.req_num("worst_mape")?,
+            brownout_rate: value.req_num("brownout_rate")?,
+            utilization: value.req_num("utilization")?,
+            mean_duty: value.req_num("mean_duty")?,
+        })
+    }
 }
 
 /// The ranking of every combo within one scenario.
@@ -100,6 +127,31 @@ pub struct ScenarioRanking {
     pub scenario: String,
     /// Entries sorted best-first.
     pub entries: Vec<ScoreEntry>,
+}
+
+impl ScenarioRanking {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::Str(self.scenario.clone())),
+            (
+                "entries",
+                Json::Arr(self.entries.iter().map(ScoreEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<ScenarioRanking, String> {
+        Ok(ScenarioRanking {
+            scenario: value.req_str("scenario")?.to_string(),
+            entries: value
+                .req("entries")?
+                .as_arr()
+                .ok_or("entries must be an array")?
+                .iter()
+                .map(ScoreEntry::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
 }
 
 /// The reduced fleet result.
@@ -116,9 +168,10 @@ pub struct Scorecard {
     /// [`crate::FleetCache`] contributes the wall time of its original
     /// evaluation, so a mostly-cached run reports what the results
     /// *cost to obtain*, not what this re-run spent (use
-    /// [`crate::FleetResult::cached_jobs`] for the split). Wall time is
-    /// non-deterministic and is rendered by [`Scorecard::render_text`]
-    /// only — never into the byte-pinned JSON.
+    /// [`crate::FleetResult::cached_jobs`] for the split). Wall time and
+    /// peak trace memory are non-deterministic and are rendered by
+    /// [`Scorecard::render_text`] only — never into the byte-pinned
+    /// JSON.
     pub cost: CostAggregate,
 }
 
@@ -144,6 +197,24 @@ impl Scorecard {
     /// Reduces job outcomes (any order; they are re-sorted by matrix
     /// coordinates internally).
     pub fn build(matrix: &FleetMatrix, outcomes: &[JobOutcome], master_seed: u64) -> Scorecard {
+        let per_scenario = Self::per_scenario_rankings(matrix, outcomes);
+        let overall = Self::overall_from_per_scenario(&per_scenario);
+        Scorecard {
+            master_seed,
+            per_scenario,
+            overall,
+            // Sums and maxes of integers: order-insensitive, no sort
+            // needed.
+            cost: CostAggregate::of(outcomes.iter().map(|o| o.cost)),
+        }
+    }
+
+    /// The per-scenario ranking tables of a matrix's outcomes, in matrix
+    /// scenario order — the unit a [`ScorecardShard`] carries.
+    pub fn per_scenario_rankings(
+        matrix: &FleetMatrix,
+        outcomes: &[JobOutcome],
+    ) -> Vec<ScenarioRanking> {
         let mut sorted: Vec<&JobOutcome> = outcomes.iter().collect();
         sorted.sort_by_key(|o| {
             (
@@ -152,8 +223,6 @@ impl Scorecard {
                 o.spec.manager_idx,
             )
         });
-
-        // Per-scenario tables.
         let mut per_scenario = Vec::with_capacity(matrix.scenarios.len());
         for (scenario_idx, scenario) in matrix.scenarios.iter().enumerate() {
             let mut entries = Vec::new();
@@ -184,52 +253,182 @@ impl Scorecard {
                 entries,
             });
         }
+        per_scenario
+    }
 
-        // Overall table: aggregate each combo across scenarios.
+    /// The overall table as a pure function of the per-scenario tables —
+    /// the shared reduction behind both [`Scorecard::build`] and
+    /// [`Scorecard::merge_shards`], which is what makes merged output
+    /// byte-identical to monolithic output.
+    ///
+    /// An engine-built matrix is a full cross product (every combo in
+    /// every scenario table); a hand-assembled partial outcome set is
+    /// still handled gracefully — each combo aggregates over the
+    /// scenarios it appears in, like the pre-sharding reduction did.
+    fn overall_from_per_scenario(per_scenario: &[ScenarioRanking]) -> Vec<ScoreEntry> {
         let mut overall = Vec::new();
-        for (predictor_idx, predictor) in matrix.predictors.iter().enumerate() {
-            for (manager_idx, manager) in matrix.managers.iter().enumerate() {
-                let combo: Vec<&&JobOutcome> = sorted
-                    .iter()
-                    .filter(|o| {
-                        o.spec.predictor_idx == predictor_idx && o.spec.manager_idx == manager_idx
-                    })
-                    .collect();
-                if combo.is_empty() {
-                    continue;
+        // Union of combos across all scenario tables, first-seen order
+        // (for full products this is exactly the first table's set).
+        let mut combos: Vec<(&str, &str)> = Vec::new();
+        for ranking in per_scenario {
+            for entry in &ranking.entries {
+                let key = (entry.predictor.as_str(), entry.manager.as_str());
+                if !combos.contains(&key) {
+                    combos.push(key);
                 }
-                let aggregate = SummaryAggregate::of(combo.iter().map(|o| &o.summary));
-                let runs = combo.len() as f64;
-                let brownout = combo.iter().map(|o| o.report.brownout_rate()).sum::<f64>() / runs;
-                let utilization = combo.iter().map(|o| o.report.utilization).sum::<f64>() / runs;
-                let mean_duty = combo.iter().map(|o| o.report.mean_duty).sum::<f64>() / runs;
-                overall.push(ScoreEntry {
-                    rank: 0,
-                    predictor: predictor.label(),
-                    manager: manager.label(),
-                    score: service_score(brownout, utilization, aggregate.mean_mape),
-                    predictions: aggregate.predictions,
-                    peak_candidates: combo
-                        .iter()
-                        .map(|o| o.cost.peak_candidates)
-                        .max()
-                        .unwrap_or(0),
-                    mape: aggregate.mean_mape,
-                    worst_mape: aggregate.worst_mape,
-                    brownout_rate: brownout,
-                    utilization,
-                    mean_duty,
-                });
             }
         }
+        for (predictor, manager) in combos {
+            // Collect the combo's per-scenario entries in scenario order
+            // (the same accumulation order the per-outcome reduction
+            // used, so float sums are bit-identical).
+            let rows: Vec<&ScoreEntry> = per_scenario
+                .iter()
+                .filter_map(|ranking| {
+                    ranking
+                        .entries
+                        .iter()
+                        .find(|e| e.predictor == predictor && e.manager == manager)
+                })
+                .collect();
+            // Per-scenario MAPE entries reduce through the same
+            // aggregator as raw summaries (only mape/count feed the
+            // overall table's fields).
+            let summaries: Vec<ErrorSummary> = rows
+                .iter()
+                .map(|e| ErrorSummary {
+                    mape: e.mape,
+                    count: e.predictions,
+                    ..Default::default()
+                })
+                .collect();
+            let aggregate = SummaryAggregate::of(&summaries);
+            let runs = rows.len() as f64;
+            let brownout = rows.iter().map(|e| e.brownout_rate).sum::<f64>() / runs;
+            let utilization = rows.iter().map(|e| e.utilization).sum::<f64>() / runs;
+            let mean_duty = rows.iter().map(|e| e.mean_duty).sum::<f64>() / runs;
+            overall.push(ScoreEntry {
+                rank: 0,
+                predictor: predictor.to_string(),
+                manager: manager.to_string(),
+                score: service_score(brownout, utilization, aggregate.mean_mape),
+                predictions: aggregate.predictions,
+                peak_candidates: rows.iter().map(|e| e.peak_candidates).max().unwrap_or(0),
+                mape: aggregate.mean_mape,
+                worst_mape: aggregate.worst_mape,
+                brownout_rate: brownout,
+                utilization,
+                mean_duty,
+            });
+        }
         rank(&mut overall);
+        overall
+    }
 
-        Scorecard {
-            master_seed,
+    /// Reassembles the monolithic scorecard from shards (any order).
+    ///
+    /// The output is byte-identical to what [`Scorecard::build`] over
+    /// the full outcome set produces: per-scenario tables are
+    /// concatenated in manifest order and the overall table re-derives
+    /// through the shared reduction.
+    ///
+    /// # Errors
+    ///
+    /// Rejects missing/duplicate/foreign shards, seed mismatches, and
+    /// shards whose scenario lists disagree with the manifest.
+    pub fn merge_shards(
+        manifest: &ShardManifest,
+        shards: &[ScorecardShard],
+    ) -> Result<Scorecard, String> {
+        if shards.len() != manifest.shard_count {
+            return Err(format!(
+                "manifest expects {} shards, got {}",
+                manifest.shard_count,
+                shards.len()
+            ));
+        }
+        let mut by_index: Vec<Option<&ScorecardShard>> = vec![None; manifest.shard_count];
+        for shard in shards {
+            if shard.master_seed != manifest.master_seed {
+                return Err(format!(
+                    "shard {} carries seed {}, manifest has {}",
+                    shard.shard_index, shard.master_seed, manifest.master_seed
+                ));
+            }
+            let slot = by_index
+                .get_mut(shard.shard_index)
+                .ok_or_else(|| format!("shard index {} out of range", shard.shard_index))?;
+            if slot.is_some() {
+                return Err(format!("duplicate shard index {}", shard.shard_index));
+            }
+            *slot = Some(shard);
+        }
+        // Walk the manifest's global scenario order, consuming each
+        // shard's rankings positionally (names double-checked).
+        let mut cursors = vec![0usize; manifest.shard_count];
+        let mut per_scenario = Vec::with_capacity(manifest.scenarios.len());
+        let mut cost = CostAggregate::default();
+        for (name, shard_idx) in &manifest.scenarios {
+            // The manifest may come from untrusted JSON: its shard
+            // indices are not pre-validated.
+            let shard = by_index
+                .get(*shard_idx)
+                .and_then(|slot| *slot)
+                .ok_or_else(|| {
+                    format!("manifest names shard {shard_idx}, which is out of range")
+                })?;
+            let ranking = shard
+                .per_scenario
+                .get(cursors[*shard_idx])
+                .ok_or_else(|| format!("shard {shard_idx} is short a scenario"))?;
+            cursors[*shard_idx] += 1;
+            if &ranking.scenario != name {
+                return Err(format!(
+                    "shard {shard_idx} has scenario {:?} where manifest expects {name:?}",
+                    ranking.scenario
+                ));
+            }
+            per_scenario.push(ranking.clone());
+        }
+        for (idx, shard) in by_index.iter().enumerate() {
+            let shard = shard.expect("all shards present");
+            if cursors[idx] != shard.per_scenario.len() {
+                return Err(format!("shard {idx} has scenarios the manifest lacks"));
+            }
+            cost.merge(&shard.cost);
+        }
+        // Every scenario table must rank the same combo set — shards
+        // from runs over different predictor/manager axes (same seed,
+        // same scenario names) would otherwise corrupt the overall
+        // reduction.
+        let combo_set = |ranking: &ScenarioRanking| {
+            let mut combos: Vec<(String, String)> = ranking
+                .entries
+                .iter()
+                .map(|e| (e.predictor.clone(), e.manager.clone()))
+                .collect();
+            combos.sort();
+            combos
+        };
+        if let Some(first) = per_scenario.first() {
+            let reference = combo_set(first);
+            for ranking in &per_scenario[1..] {
+                if combo_set(ranking) != reference {
+                    return Err(format!(
+                        "scenario {:?} ranks a different combo set than {:?} — \
+                         shards come from different matrices",
+                        ranking.scenario, first.scenario
+                    ));
+                }
+            }
+        }
+        let overall = Self::overall_from_per_scenario(&per_scenario);
+        Ok(Scorecard {
+            master_seed: manifest.master_seed,
             per_scenario,
             overall,
-            cost: CostAggregate::of(sorted.iter().map(|o| o.cost)),
-        }
+            cost,
+        })
     }
 
     /// The best overall combo.
@@ -250,17 +449,7 @@ impl Scorecard {
                 Json::Arr(
                     self.per_scenario
                         .iter()
-                        .map(|ranking| {
-                            Json::obj([
-                                ("scenario", Json::Str(ranking.scenario.clone())),
-                                (
-                                    "entries",
-                                    Json::Arr(
-                                        ranking.entries.iter().map(ScoreEntry::to_json).collect(),
-                                    ),
-                                ),
-                            ])
-                        })
+                        .map(ScenarioRanking::to_json)
                         .collect(),
                 ),
             ),
@@ -307,6 +496,141 @@ impl Scorecard {
         }
         let _ = writeln!(out, "evaluation cost (incl. cached work): {}", self.cost);
         out
+    }
+}
+
+/// One shard of a sharded scorecard: the per-scenario ranking tables of
+/// a scenario subset. Produced by
+/// [`FleetEngine::run_sharded`](crate::FleetEngine::run_sharded);
+/// reassembled by [`Scorecard::merge_shards`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScorecardShard {
+    /// This shard's index in `0..shard_count`.
+    pub shard_index: usize,
+    /// The engine's master seed (merge refuses foreign shards).
+    pub master_seed: u64,
+    /// Rankings of this shard's scenarios, in global matrix order.
+    pub per_scenario: Vec<ScenarioRanking>,
+    /// Cost of this shard's jobs. Wall time and trace memory never
+    /// enter shard JSON (non-deterministic); only the deterministic
+    /// `jobs`/`peak_candidates` fields round-trip.
+    pub cost: CostAggregate,
+}
+
+impl ScorecardShard {
+    /// Deterministic JSON form (no wall time, no trace memory).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("shard_index", Json::Num(self.shard_index as f64)),
+            ("master_seed", Json::Str(self.master_seed.to_string())),
+            (
+                "per_scenario",
+                Json::Arr(
+                    self.per_scenario
+                        .iter()
+                        .map(ScenarioRanking::to_json)
+                        .collect(),
+                ),
+            ),
+            ("jobs", Json::Num(self.cost.jobs as f64)),
+            (
+                "peak_candidates",
+                Json::Num(self.cost.peak_candidates as f64),
+            ),
+        ])
+    }
+
+    /// Parses the JSON form. The non-deterministic cost fields (wall
+    /// time, trace memory) are not serialized and parse back as zero.
+    pub fn from_json(value: &Json) -> Result<ScorecardShard, String> {
+        Ok(ScorecardShard {
+            shard_index: value.req_index("shard_index")? as usize,
+            master_seed: value
+                .req_str("master_seed")?
+                .parse()
+                .map_err(|e| format!("bad master_seed: {e}"))?,
+            per_scenario: value
+                .req("per_scenario")?
+                .as_arr()
+                .ok_or("per_scenario must be an array")?
+                .iter()
+                .map(ScenarioRanking::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            cost: CostAggregate {
+                jobs: value.req_index("jobs")? as usize,
+                peak_candidates: value.req_index("peak_candidates")? as usize,
+                ..Default::default()
+            },
+        })
+    }
+
+    /// Parses a shard from JSON text.
+    pub fn from_json_str(text: &str) -> Result<ScorecardShard, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+}
+
+/// The index document of a sharded scorecard: which scenario lives in
+/// which shard, in global matrix order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardManifest {
+    /// The engine's master seed.
+    pub master_seed: u64,
+    /// Total shard count.
+    pub shard_count: usize,
+    /// `(scenario name, shard index)` in matrix scenario order.
+    pub scenarios: Vec<(String, usize)>,
+}
+
+impl ShardManifest {
+    /// Deterministic JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("master_seed", Json::Str(self.master_seed.to_string())),
+            ("shard_count", Json::Num(self.shard_count as f64)),
+            (
+                "scenarios",
+                Json::Arr(
+                    self.scenarios
+                        .iter()
+                        .map(|(name, shard)| {
+                            Json::obj([
+                                ("scenario", Json::Str(name.clone())),
+                                ("shard", Json::Num(*shard as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(value: &Json) -> Result<ShardManifest, String> {
+        Ok(ShardManifest {
+            master_seed: value
+                .req_str("master_seed")?
+                .parse()
+                .map_err(|e| format!("bad master_seed: {e}"))?,
+            shard_count: value.req_index("shard_count")? as usize,
+            scenarios: value
+                .req("scenarios")?
+                .as_arr()
+                .ok_or("scenarios must be an array")?
+                .iter()
+                .map(|entry| {
+                    Ok((
+                        entry.req_str("scenario")?.to_string(),
+                        entry.req_index("shard")? as usize,
+                    ))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        })
+    }
+
+    /// Parses a manifest from JSON text.
+    pub fn from_json_str(text: &str) -> Result<ShardManifest, String> {
+        Self::from_json(&Json::parse(text)?)
     }
 }
 
@@ -388,9 +712,14 @@ mod tests {
         let (_, scorecard) = run();
         assert_eq!(scorecard.cost.jobs, scorecard.overall.len() * 2);
         assert!(scorecard.cost.total_wall_nanos > 0);
+        assert!(scorecard.cost.peak_trace_bytes > 0);
         assert!(scorecard.render_text().contains("evaluation cost"));
         let json = scorecard.to_json_string();
         assert!(!json.contains("wall"), "wall time is non-deterministic");
+        assert!(
+            !json.contains("trace_bytes"),
+            "trace memory varies with cache policy"
+        );
         // Candidate counts are deterministic and do reach JSON.
         assert!(json.contains("\"peak_candidates\""));
     }
@@ -411,5 +740,76 @@ mod tests {
                 .unwrap(),
             seed
         );
+    }
+
+    #[test]
+    fn shard_and_manifest_json_round_trip() {
+        let (matrix, _) = run();
+        let sharded = FleetEngine::new(11).run_sharded(&matrix, 2).unwrap();
+        assert_eq!(sharded.shards.len(), 2);
+        for shard in &sharded.shards {
+            let text = shard.to_json().render_pretty();
+            assert!(!text.contains("wall"), "shard JSON must stay deterministic");
+            let back = ScorecardShard::from_json_str(&text).unwrap();
+            assert_eq!(back.shard_index, shard.shard_index);
+            assert_eq!(back.per_scenario, shard.per_scenario);
+            assert_eq!(back.cost.jobs, shard.cost.jobs);
+        }
+        let manifest_text = sharded.manifest.to_json().render_pretty();
+        let manifest_back = ShardManifest::from_json_str(&manifest_text).unwrap();
+        assert_eq!(manifest_back, sharded.manifest);
+    }
+
+    #[test]
+    fn partial_outcome_sets_build_without_panicking() {
+        // Scorecard::build is public API: a filtered outcome slice
+        // (missing jobs, even a whole scenario) must degrade to
+        // aggregating what is present, not panic.
+        let (matrix, _) = run();
+        let full = FleetEngine::new(11).run(&matrix).unwrap();
+        // Drop one job of scenario 0.
+        let partial: Vec<_> = full.outcomes.iter().skip(1).cloned().collect();
+        let card = Scorecard::build(&matrix, &partial, 11);
+        assert_eq!(card.overall.len(), 4, "all combos still appear");
+        // Drop ALL of scenario 0's jobs: combos come from scenario 1.
+        let tail: Vec<_> = full
+            .outcomes
+            .iter()
+            .filter(|o| o.spec.scenario_idx == 1)
+            .cloned()
+            .collect();
+        let card = Scorecard::build(&matrix, &tail, 11);
+        assert!(card.per_scenario[0].entries.is_empty());
+        assert_eq!(card.overall.len(), 4);
+        assert!(card.overall.iter().all(|e| e.score.is_finite()));
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_shards() {
+        let (matrix, _) = run();
+        let sharded = FleetEngine::new(11).run_sharded(&matrix, 2).unwrap();
+        // Missing shard.
+        assert!(Scorecard::merge_shards(&sharded.manifest, &sharded.shards[..1]).is_err());
+        // Duplicate shard.
+        let dupes = vec![sharded.shards[0].clone(), sharded.shards[0].clone()];
+        assert!(Scorecard::merge_shards(&sharded.manifest, &dupes).is_err());
+        // Foreign seed.
+        let mut foreign = sharded.shards.clone();
+        foreign[0].master_seed ^= 1;
+        assert!(Scorecard::merge_shards(&sharded.manifest, &foreign).is_err());
+        // Scenario-name mismatch.
+        let mut renamed = sharded.shards.clone();
+        renamed[0].per_scenario[0].scenario = "not-a-scenario".into();
+        assert!(Scorecard::merge_shards(&sharded.manifest, &renamed).is_err());
+        // Out-of-range shard index in a (possibly hand-edited) manifest
+        // must be an error, not a panic.
+        let mut bad_manifest = sharded.manifest.clone();
+        bad_manifest.scenarios[0].1 = 9;
+        assert!(Scorecard::merge_shards(&bad_manifest, &sharded.shards).is_err());
+        // Shards from a different matrix (same seed, same scenario
+        // names, different combo set) are rejected.
+        let mut foreign_matrix = sharded.shards.clone();
+        foreign_matrix[0].per_scenario[0].entries.pop();
+        assert!(Scorecard::merge_shards(&sharded.manifest, &foreign_matrix).is_err());
     }
 }

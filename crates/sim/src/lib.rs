@@ -58,6 +58,7 @@ mod manager;
 mod node;
 mod panel;
 mod storage;
+mod stream;
 
 pub use batch::{simulate_batch, BatchJob, BatchOutcome};
 pub use error::SimError;
@@ -69,3 +70,4 @@ pub use manager::{
 pub use node::{simulate_node, simulate_node_hooked, NodeConfig, NodeReport};
 pub use panel::SolarPanel;
 pub use storage::{ChargeOutcome, EnergyStorage};
+pub use stream::{simulate_node_streamed, NodeSimulation, SlotInput};

@@ -2,7 +2,7 @@
 
 use crate::hook::{NoFaults, SlotHook};
 use crate::load::Load;
-use crate::manager::{PowerManager, SlotContext};
+use crate::manager::PowerManager;
 use crate::panel::SolarPanel;
 use crate::storage::EnergyStorage;
 use solar_predict::Predictor;
@@ -121,6 +121,11 @@ pub fn simulate_node(
 /// so the energy-balance identity of [`NodeReport`] continues to hold
 /// under arbitrary faults (property-tested).
 ///
+/// This is a thin wrapper over the streaming core
+/// ([`crate::simulate_node_streamed`]): it feeds the view's slots
+/// through the same state machine, so view-driven and stream-driven
+/// simulations are bit-identical by construction.
+///
 /// # Panics
 ///
 /// Panics if the predictor's slot count differs from the view's.
@@ -139,79 +144,20 @@ pub fn simulate_node_hooked(
         predictor.slots_per_day(),
         n
     );
-    let slot_s = view.slot_seconds();
-    let mut storage = config.storage.clone();
-    let initial_level = storage.level_j();
-
-    let mut report = NodeReport::default();
-    let mut duty_sum = 0.0;
-    let mut planned_duty = 0.0;
-
-    for day in 0..view.days() {
-        for slot in 0..n {
-            // 0. Fault injection: the hook may rewrite what the panel
-            //    produced and what the sensor will report.
-            let harvest_w = config.panel.power_w(view.mean_power(day, slot));
-            let mut harvest_j = harvest_w * slot_s;
-            let mut measured = view.start_sample(day, slot);
-            hook.on_slot(day, slot, &mut harvest_j, &mut measured);
-            let harvest_j = harvest_j.max(0.0);
-
-            // 1. Harvest the slot's actual energy.
-            report.harvested_j += harvest_j;
-            let charge = storage.charge(harvest_j);
-            report.charge_waste_j += charge.wasted_j;
-
-            // 2. Run the load at the planned duty.
-            let want_j = config.load.energy_j(planned_duty, slot_s);
-            let level_before = storage.level_j();
-            let delivered = storage.discharge(want_j);
-            let withdrawn = level_before - storage.level_j();
-            report.consumed_j += delivered;
-            report.discharge_loss_j += withdrawn - delivered;
-            if delivered + 1e-12 < want_j {
-                report.brownouts += 1;
-            }
-
-            // 3. Leakage.
-            report.leaked_j += storage.leak(slot_s);
-
-            // 4. Observe, predict, plan the next slot.
-            let predicted = predictor.observe_and_predict(measured);
-            let ctx = SlotContext {
-                predicted_harvest_w: config.panel.power_w(predicted),
-                storage_level_j: storage.level_j(),
-                storage_capacity_j: storage.capacity_j(),
-                slot_seconds: slot_s,
-                load_active_w: config.load.active_w(),
-                load_sleep_w: config.load.sleep_w(),
-            };
-            planned_duty = manager.plan_duty(&ctx);
-            assert!(
-                (0.0..=1.0).contains(&planned_duty),
-                "manager {} produced duty {planned_duty}",
-                manager.name()
-            );
-            duty_sum += planned_duty;
-            report.slots += 1;
-        }
-    }
-
-    report.stored_delta_j = storage.level_j() - initial_level;
-    report.mean_duty = if report.slots > 0 {
-        duty_sum / report.slots as f64
-    } else {
-        0.0
-    };
-    // Released energy = harvest + net storage drawdown = consumed +
-    // every loss term, so the ratio is a true fraction.
-    let released = report.harvested_j - report.stored_delta_j;
-    report.utilization = if released > 0.0 {
-        report.consumed_j / released
-    } else {
-        0.0
-    };
-    report
+    let inputs = view.iter().map(|(id, start, mean)| crate::SlotInput {
+        day: id.day as usize,
+        slot: id.slot as usize,
+        start_sample: start,
+        mean_power: mean,
+    });
+    crate::simulate_node_streamed(
+        inputs,
+        view.slot_seconds(),
+        predictor,
+        manager,
+        config,
+        hook,
+    )
 }
 
 #[cfg(test)]

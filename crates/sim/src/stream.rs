@@ -1,0 +1,283 @@
+//! Streaming simulation: the slot-stepped node loop as a push-style
+//! state machine, so a slot source of any kind — a materialized
+//! `SlotView`, a synthetic generator stream, a network feed — can drive
+//! the simulation without a full-horizon trace in memory.
+//!
+//! [`simulate_node_hooked`](crate::simulate_node_hooked) is a thin
+//! wrapper over this core (it feeds a view's slots through the same
+//! machine), so the streamed and materialized paths are bit-identical by
+//! construction.
+
+use crate::hook::SlotHook;
+use crate::manager::{PowerManager, SlotContext};
+use crate::node::{NodeConfig, NodeReport};
+use solar_predict::Predictor;
+
+/// One slot of input to the simulation: the discretized trace values the
+/// loop consumes (mirrors `solar_trace::SlotView` accessors).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SlotInput {
+    /// 0-based day.
+    pub day: usize,
+    /// 0-based slot within the day.
+    pub slot: usize,
+    /// The measured sample at the slot boundary (predictor observation).
+    pub start_sample: f64,
+    /// Mean power over the slot (drives the slot's harvest).
+    pub mean_power: f64,
+}
+
+/// The node simulation as an incremental state machine: feed slots with
+/// [`NodeSimulation::on_slot`], collect the report with
+/// [`NodeSimulation::finish`].
+///
+/// Per slot the machine performs exactly the steps of
+/// [`crate::simulate_node`] (hook, harvest, load, leakage,
+/// observe/predict/plan) — the pull-style entry points are wrappers over
+/// this type.
+pub struct NodeSimulation<'a> {
+    predictor: &'a mut dyn Predictor,
+    manager: &'a mut dyn PowerManager,
+    hook: &'a mut dyn SlotHook,
+    config: NodeConfig,
+    storage_initial_j: f64,
+    slot_s: f64,
+    report: NodeReport,
+    duty_sum: f64,
+    planned_duty: f64,
+}
+
+impl<'a> NodeSimulation<'a> {
+    /// Starts a simulation of `config` at slot duration `slot_seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_seconds` is not positive, or if the predictor's
+    /// discretization disagrees with it (`slots_per_day × slot_seconds`
+    /// must be one day) — the same mismatch guard the view-driven entry
+    /// points enforce; running a predictor at the wrong N is always a
+    /// bug.
+    pub fn new(
+        predictor: &'a mut dyn Predictor,
+        manager: &'a mut dyn PowerManager,
+        config: &NodeConfig,
+        hook: &'a mut dyn SlotHook,
+        slot_seconds: f64,
+    ) -> Self {
+        assert!(
+            slot_seconds > 0.0,
+            "slot duration {slot_seconds} must be positive"
+        );
+        let day_seconds = predictor.slots_per_day() as f64 * slot_seconds;
+        assert!(
+            (day_seconds - 86_400.0).abs() < 1e-6,
+            "predictor configured for N={} but slots of {slot_seconds} s make a {day_seconds} s day",
+            predictor.slots_per_day()
+        );
+        let config = config.clone();
+        let storage_initial_j = config.storage.level_j();
+        NodeSimulation {
+            predictor,
+            manager,
+            hook,
+            config,
+            storage_initial_j,
+            slot_s: slot_seconds,
+            report: NodeReport::default(),
+            duty_sum: 0.0,
+            planned_duty: 0.0,
+        }
+    }
+
+    /// Advances the simulation by one slot.
+    pub fn on_slot(&mut self, input: SlotInput) {
+        let SlotInput {
+            day,
+            slot,
+            start_sample,
+            mean_power,
+        } = input;
+        // 0. Fault injection: the hook may rewrite what the panel
+        //    produced and what the sensor will report.
+        let harvest_w = self.config.panel.power_w(mean_power);
+        let mut harvest_j = harvest_w * self.slot_s;
+        let mut measured = start_sample;
+        self.hook.on_slot(day, slot, &mut harvest_j, &mut measured);
+        let harvest_j = harvest_j.max(0.0);
+
+        // 1. Harvest the slot's actual energy.
+        self.report.harvested_j += harvest_j;
+        let charge = self.config.storage.charge(harvest_j);
+        self.report.charge_waste_j += charge.wasted_j;
+
+        // 2. Run the load at the planned duty.
+        let want_j = self.config.load.energy_j(self.planned_duty, self.slot_s);
+        let level_before = self.config.storage.level_j();
+        let delivered = self.config.storage.discharge(want_j);
+        let withdrawn = level_before - self.config.storage.level_j();
+        self.report.consumed_j += delivered;
+        self.report.discharge_loss_j += withdrawn - delivered;
+        if delivered + 1e-12 < want_j {
+            self.report.brownouts += 1;
+        }
+
+        // 3. Leakage.
+        self.report.leaked_j += self.config.storage.leak(self.slot_s);
+
+        // 4. Observe, predict, plan the next slot.
+        let predicted = self.predictor.observe_and_predict(measured);
+        let ctx = SlotContext {
+            predicted_harvest_w: self.config.panel.power_w(predicted),
+            storage_level_j: self.config.storage.level_j(),
+            storage_capacity_j: self.config.storage.capacity_j(),
+            slot_seconds: self.slot_s,
+            load_active_w: self.config.load.active_w(),
+            load_sleep_w: self.config.load.sleep_w(),
+        };
+        self.planned_duty = self.manager.plan_duty(&ctx);
+        assert!(
+            (0.0..=1.0).contains(&self.planned_duty),
+            "manager {} produced duty {}",
+            self.manager.name(),
+            self.planned_duty
+        );
+        self.duty_sum += self.planned_duty;
+        self.report.slots += 1;
+    }
+
+    /// Finalizes the accounting and returns the report.
+    pub fn finish(mut self) -> NodeReport {
+        self.report.stored_delta_j = self.config.storage.level_j() - self.storage_initial_j;
+        self.report.mean_duty = if self.report.slots > 0 {
+            self.duty_sum / self.report.slots as f64
+        } else {
+            0.0
+        };
+        // Released energy = harvest + net storage drawdown = consumed +
+        // every loss term, so the ratio is a true fraction.
+        let released = self.report.harvested_j - self.report.stored_delta_j;
+        self.report.utilization = if released > 0.0 {
+            self.report.consumed_j / released
+        } else {
+            0.0
+        };
+        self.report
+    }
+}
+
+/// Simulates a node over any slot source — the streaming counterpart of
+/// [`crate::simulate_node_hooked`], which wraps this function with a
+/// view's slots. Slots must arrive in time order; memory use is O(1) in
+/// the horizon length.
+pub fn simulate_node_streamed(
+    slots: impl IntoIterator<Item = SlotInput>,
+    slot_seconds: f64,
+    predictor: &mut dyn Predictor,
+    manager: &mut dyn PowerManager,
+    config: &NodeConfig,
+    hook: &mut dyn SlotHook,
+) -> NodeReport {
+    let mut sim = NodeSimulation::new(predictor, manager, config, hook, slot_seconds);
+    for slot in slots {
+        sim.on_slot(slot);
+    }
+    sim.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::NoFaults;
+    use crate::manager::EnergyNeutralManager;
+    use crate::node::simulate_node;
+    use crate::panel::SolarPanel;
+    use crate::storage::EnergyStorage;
+    use crate::Load;
+    use solar_predict::{WcmaParams, WcmaPredictor};
+    use solar_trace::{PowerTrace, Resolution, SlotView, SlotsPerDay};
+
+    fn config() -> NodeConfig {
+        NodeConfig {
+            panel: SolarPanel::new(0.01, 0.15).unwrap(),
+            storage: EnergyStorage::with_losses(500.0, 250.0, 0.9, 0.9, 0.001).unwrap(),
+            load: Load::new(0.05, 0.0001).unwrap(),
+        }
+    }
+
+    #[test]
+    fn streamed_simulation_is_bit_identical_to_view_simulation() {
+        let day: Vec<f64> = (0..24)
+            .map(|h| {
+                if (6..18).contains(&h) {
+                    550.0 + h as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let samples: Vec<f64> = (0..25).flat_map(|_| day.clone()).collect();
+        let trace = PowerTrace::new("s", Resolution::from_minutes(60).unwrap(), samples).unwrap();
+        let view = SlotView::new(&trace, SlotsPerDay::new(24).unwrap()).unwrap();
+
+        let mut p1 = WcmaPredictor::new(WcmaParams::new(0.5, 5, 2, 24).unwrap());
+        let mut m1 = EnergyNeutralManager::default();
+        let via_view = simulate_node(&view, &mut p1, &mut m1, &config());
+
+        let mut p2 = WcmaPredictor::new(WcmaParams::new(0.5, 5, 2, 24).unwrap());
+        let mut m2 = EnergyNeutralManager::default();
+        let inputs = view.iter().map(|(id, start, mean)| SlotInput {
+            day: id.day as usize,
+            slot: id.slot as usize,
+            start_sample: start,
+            mean_power: mean,
+        });
+        let via_stream = simulate_node_streamed(
+            inputs,
+            view.slot_seconds(),
+            &mut p2,
+            &mut m2,
+            &config(),
+            &mut NoFaults,
+        );
+        assert_eq!(via_view, via_stream);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_report() {
+        let mut p = WcmaPredictor::new(WcmaParams::new(0.5, 5, 2, 24).unwrap());
+        let mut m = EnergyNeutralManager::default();
+        let report = simulate_node_streamed(
+            std::iter::empty(),
+            3600.0,
+            &mut p,
+            &mut m,
+            &config(),
+            &mut NoFaults,
+        );
+        assert_eq!(report.slots, 0);
+        assert_eq!(report.mean_duty, 0.0);
+        assert_eq!(report.utilization, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_slot_duration_panics() {
+        let mut p = WcmaPredictor::new(WcmaParams::new(0.5, 5, 2, 24).unwrap());
+        let mut m = EnergyNeutralManager::default();
+        let cfg = config();
+        let mut hook = NoFaults;
+        let _ = NodeSimulation::new(&mut p, &mut m, &cfg, &mut hook, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "predictor configured for")]
+    fn mismatched_discretization_panics() {
+        // A predictor built for N=24 fed 48-slot (1800 s) days is the
+        // silent-corruption case the guard exists for.
+        let mut p = WcmaPredictor::new(WcmaParams::new(0.5, 5, 2, 24).unwrap());
+        let mut m = EnergyNeutralManager::default();
+        let cfg = config();
+        let mut hook = NoFaults;
+        let _ = NodeSimulation::new(&mut p, &mut m, &cfg, &mut hook, 1800.0);
+    }
+}

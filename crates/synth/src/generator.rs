@@ -91,7 +91,23 @@ impl TraceGenerator {
     ) -> Result<(PowerTrace, Vec<DayCondition>), TraceError> {
         let res = self.config.resolution;
         let spd = res.samples_per_day();
-        let step_h = res.as_seconds_f64() / 3600.0;
+        let mut state = self.day_state();
+        let mut samples = Vec::with_capacity(days * spd);
+        let mut conditions = Vec::with_capacity(days);
+        let mut day_buf = Vec::with_capacity(spd);
+        for day in 0..days {
+            conditions.push(self.generate_day_into(&mut state, day, &mut day_buf));
+            samples.extend_from_slice(&day_buf);
+        }
+        let trace = PowerTrace::new(self.config.name.clone(), res, samples)?;
+        Ok((trace, conditions))
+    }
+
+    /// The carried generator state at day 0, burn-in included. Both the
+    /// batch path and the streaming path start here, so their RNG
+    /// streams are identical by construction.
+    pub(crate) fn day_state(&self) -> DayState {
+        let res = self.config.resolution;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ self.config.seed_stream);
         let weather = &self.config.weather;
 
@@ -102,76 +118,95 @@ impl TraceGenerator {
             condition = weather.step(condition, &mut rng);
         }
 
-        let mut samples = Vec::with_capacity(days * spd);
-        let mut conditions = Vec::with_capacity(days);
-        // AR(1) deviation, persisted across days so dawn continues the
-        // previous evening's air mass rather than resetting.
-        let mut ar_state = 0.0_f64;
         let rho = weather.ar_rho_per_minute.powf(res.as_seconds_f64() / 60.0);
-        let innovation_scale = (1.0 - rho * rho).sqrt();
-
-        for day in 0..days {
-            let doy = (day % 365) as u32 + 1;
-            condition = weather.step(condition, &mut rng);
-            conditions.push(condition);
-            let params = weather.params(condition);
-
-            // Seasonal clearness modulation peaking at the summer solstice.
-            let seasonal = self.config.weather.seasonal_amplitude
-                * (std::f64::consts::TAU * (doy as f64 - 172.0) / 365.0).cos();
-            let base_clearness =
-                (params.clearness_mean + seasonal + params.clearness_std * normal(&mut rng))
-                    .clamp(0.03, 1.08);
-            // Per-day linear trend: slow synoptic evolution across the
-            // day.
-            let drift_slope = weather.daily_drift_std * normal(&mut rng);
-            // Frontal passages: step changes in base clearness that
-            // persist for the rest of the day. These make hours-old
-            // conditioning ratios actively misleading, which is what
-            // bounds the useful Φ window (the paper's small optimal K).
-            let front_count = poisson(weather.fronts_per_day, &mut rng);
-            let mut fronts: Vec<(f64, f64)> = (0..front_count)
-                .map(|_| {
-                    let t_h = 6.0 + rng.gen::<f64>() * 12.0; // daylight hours
-                    (t_h, weather.front_std * normal(&mut rng))
-                })
-                .collect();
-            fronts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("front times are finite"));
-
-            let transits = self.sample_transits(doy, params.transits_per_hour, &mut rng);
-
-            for idx in 0..spd {
-                let t_h = idx as f64 * step_h;
-                let sin_h = geometry::sin_elevation_at(self.config.latitude_deg, doy, t_h);
-                let clear = self.config.clear_sky.ghi(sin_h);
-                if clear <= 0.0 {
-                    ar_state *= rho; // decay quietly overnight
-                    samples.push(0.0);
-                    continue;
-                }
-                ar_state = rho * ar_state + params.ar_sigma * innovation_scale * normal(&mut rng);
-                let drift = drift_slope * (t_h - 12.0) / 12.0;
-                let front_shift: f64 = fronts
-                    .iter()
-                    .take_while(|&&(t_f, _)| t_f <= t_h)
-                    .map(|&(_, delta)| delta)
-                    .sum();
-                let mut attenuation =
-                    (base_clearness + drift + front_shift + ar_state).clamp(0.02, 1.08);
-                for transit in &transits {
-                    attenuation *= transit.factor(t_h);
-                }
-                let noise = 1.0 + weather.sensor_noise_std * normal(&mut rng);
-                let value = (clear * attenuation * noise).max(0.0);
-                // Pyranometer noise floor: real instruments report ~0
-                // below ~1 W/m²; without this, grazing-sun samples of
-                // 1e-20 W/m² would appear and historical means at dawn
-                // slots would be meaninglessly tiny.
-                samples.push(if value < 1.0 { 0.0 } else { value });
-            }
+        DayState {
+            rng,
+            condition,
+            // AR(1) deviation, persisted across days so dawn continues
+            // the previous evening's air mass rather than resetting.
+            ar_state: 0.0,
+            rho,
+            innovation_scale: (1.0 - rho * rho).sqrt(),
         }
-        let trace = PowerTrace::new(self.config.name.clone(), res, samples)?;
-        Ok((trace, conditions))
+    }
+
+    /// Generates one day of samples into `out` (replacing its contents),
+    /// advancing the carried state; returns the day's condition. This is
+    /// the single source of every sample both `generate_*` and the
+    /// streaming [`crate::SlotStream`] emit.
+    pub(crate) fn generate_day_into(
+        &self,
+        state: &mut DayState,
+        day: usize,
+        out: &mut Vec<f64>,
+    ) -> DayCondition {
+        let res = self.config.resolution;
+        let spd = res.samples_per_day();
+        let step_h = res.as_seconds_f64() / 3600.0;
+        let weather = &self.config.weather;
+        let rng = &mut state.rng;
+        out.clear();
+
+        let doy = (day % 365) as u32 + 1;
+        state.condition = weather.step(state.condition, rng);
+        let condition = state.condition;
+        let params = weather.params(condition);
+
+        // Seasonal clearness modulation peaking at the summer solstice.
+        let seasonal = self.config.weather.seasonal_amplitude
+            * (std::f64::consts::TAU * (doy as f64 - 172.0) / 365.0).cos();
+        let base_clearness =
+            (params.clearness_mean + seasonal + params.clearness_std * normal(rng))
+                .clamp(0.03, 1.08);
+        // Per-day linear trend: slow synoptic evolution across the
+        // day.
+        let drift_slope = weather.daily_drift_std * normal(rng);
+        // Frontal passages: step changes in base clearness that
+        // persist for the rest of the day. These make hours-old
+        // conditioning ratios actively misleading, which is what
+        // bounds the useful Φ window (the paper's small optimal K).
+        let front_count = poisson(weather.fronts_per_day, rng);
+        let mut fronts: Vec<(f64, f64)> = (0..front_count)
+            .map(|_| {
+                let t_h = 6.0 + rng.gen::<f64>() * 12.0; // daylight hours
+                (t_h, weather.front_std * normal(rng))
+            })
+            .collect();
+        fronts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("front times are finite"));
+
+        let transits = self.sample_transits(doy, params.transits_per_hour, rng);
+
+        for idx in 0..spd {
+            let t_h = idx as f64 * step_h;
+            let sin_h = geometry::sin_elevation_at(self.config.latitude_deg, doy, t_h);
+            let clear = self.config.clear_sky.ghi(sin_h);
+            if clear <= 0.0 {
+                state.ar_state *= state.rho; // decay quietly overnight
+                out.push(0.0);
+                continue;
+            }
+            state.ar_state =
+                state.rho * state.ar_state + params.ar_sigma * state.innovation_scale * normal(rng);
+            let drift = drift_slope * (t_h - 12.0) / 12.0;
+            let front_shift: f64 = fronts
+                .iter()
+                .take_while(|&&(t_f, _)| t_f <= t_h)
+                .map(|&(_, delta)| delta)
+                .sum();
+            let mut attenuation =
+                (base_clearness + drift + front_shift + state.ar_state).clamp(0.02, 1.08);
+            for transit in &transits {
+                attenuation *= transit.factor(t_h);
+            }
+            let noise = 1.0 + weather.sensor_noise_std * normal(rng);
+            let value = (clear * attenuation * noise).max(0.0);
+            // Pyranometer noise floor: real instruments report ~0
+            // below ~1 W/m²; without this, grazing-sun samples of
+            // 1e-20 W/m² would appear and historical means at dawn
+            // slots would be meaninglessly tiny.
+            out.push(if value < 1.0 { 0.0 } else { value });
+        }
+        condition
     }
 
     /// Samples the day's cloud-transit events over the daylight window.
@@ -197,6 +232,17 @@ impl TraceGenerator {
             })
             .collect()
     }
+}
+
+/// The RNG/weather state carried from one generated day into the next.
+/// Shared by the batch and streaming generation paths.
+#[derive(Clone, Debug)]
+pub(crate) struct DayState {
+    rng: ChaCha8Rng,
+    condition: DayCondition,
+    ar_state: f64,
+    rho: f64,
+    innovation_scale: f64,
 }
 
 /// Standard normal draw via Box–Muller (keeps us off external

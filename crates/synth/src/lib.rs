@@ -42,10 +42,12 @@ pub mod geometry;
 pub mod sampling;
 mod site;
 mod site_builder;
+mod stream;
 pub mod weather;
 
 pub use clearsky::ClearSkyModel;
 pub use generator::TraceGenerator;
 pub use site::{Site, SiteConfig};
 pub use site_builder::SiteConfigBuilder;
+pub use stream::{SampleStream, SlotStream, StreamedSlot};
 pub use weather::{DayCondition, WeatherModel};

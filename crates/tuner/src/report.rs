@@ -241,6 +241,7 @@ mod tests {
             cost: CostAggregate::of([RunCost {
                 wall_nanos: 1234,
                 peak_candidates: 30,
+                peak_trace_bytes: 11_520,
             }]),
         }
     }

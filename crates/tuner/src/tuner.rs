@@ -26,7 +26,9 @@ use crate::regime::{group_by_regime, Regime};
 use crate::report::{RegimeRow, TunedParams, TuningReport};
 use crate::search::{search_wcma, SearchBudget, SearchResult};
 use param_explore::ParamGrid;
-use scenario_fleet::{FleetCache, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, Scenario};
+use scenario_fleet::{
+    FleetCache, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, Scenario, TraceCachePolicy,
+};
 
 /// Everything a tuning loop needs to know.
 #[derive(Clone, Debug)]
@@ -49,6 +51,15 @@ pub struct TunerConfig {
     /// The dynamic selector's K ceiling (clamped to the regime's
     /// discretization).
     pub dynamic_k_max: usize,
+    /// Route every engine evaluation through the sharded scorecard
+    /// reduction with this many shards (clamped to each pass's scenario
+    /// count). Sharded reduction is byte-identical to monolithic, so
+    /// the tuner consumes the results unchanged — `None` keeps the
+    /// monolithic path.
+    pub shards: Option<usize>,
+    /// Trace-cache policy of every engine evaluation (bounded budgets
+    /// stream the overflow; results are byte-identical either way).
+    pub cache_policy: TraceCachePolicy,
 }
 
 impl TunerConfig {
@@ -73,6 +84,8 @@ impl TunerConfig {
             dynamic_decays: vec![0.7, 0.85, 0.95],
             dynamic_alphas: vec![0.0, 0.25, 0.5, 0.75, 1.0],
             dynamic_k_max: 6,
+            shards: None,
+            cache_policy: TraceCachePolicy::unbounded(),
         }
     }
 
@@ -220,9 +233,12 @@ impl FleetTuner {
     /// Rejects configurations with empty manager or decay axes.
     pub fn new(config: TunerConfig) -> Result<Self, String> {
         config.validate()?;
-        let mut engine = FleetEngine::new(config.master_seed);
+        let mut engine = FleetEngine::new(config.master_seed).with_trace_cache(config.cache_policy);
         if let Some(threads) = config.threads {
             engine = engine.with_threads(threads);
+        }
+        if let Some(shards) = config.shards {
+            engine = engine.with_shards(shards);
         }
         Ok(FleetTuner { config, engine })
     }
@@ -309,6 +325,7 @@ impl FleetTuner {
                 k_max,
                 alphas: config.dynamic_alphas.clone(),
                 score_decay,
+                buckets: None,
             })
             .collect();
         let dynamic_scores = eval.score(&dynamic_specs)?;
@@ -465,6 +482,26 @@ mod tests {
         let mut config = tiny_config(1);
         config.budget.max_candidates = 0;
         assert!(FleetTuner::new(config).is_err());
+    }
+
+    #[test]
+    fn sharded_and_streamed_engines_reproduce_the_monolithic_report() {
+        // The tuner consumes sharded results unchanged: routing every
+        // evaluation through the sharded reduction — or a streaming
+        // trace-cache policy — must reproduce the monolithic report
+        // byte-for-byte.
+        let monolithic = FleetTuner::new(tiny_config(13))
+            .unwrap()
+            .tune(&tiny_scenarios())
+            .unwrap();
+        let mut sharded_config = tiny_config(13);
+        sharded_config.shards = Some(2);
+        sharded_config.cache_policy = TraceCachePolicy::streaming_only();
+        let sharded = FleetTuner::new(sharded_config)
+            .unwrap()
+            .tune(&tiny_scenarios())
+            .unwrap();
+        assert_eq!(monolithic.to_json_string(), sharded.to_json_string());
     }
 
     #[test]

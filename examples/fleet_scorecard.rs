@@ -1,33 +1,75 @@
 //! Fleet scorecard: evaluate a predictor family × power-manager ×
-//! scenario matrix in parallel and print the ranked results.
+//! scenario matrix through the streaming engine pipeline and print the
+//! ranked results.
 //!
-//! Run with (seed and thread count optional):
+//! Run with (all arguments optional):
 //!
 //! ```text
 //! cargo run --release --example fleet_scorecard -- 42 8
+//! cargo run --release --example fleet_scorecard -- 42 --shards 4
+//! cargo run --release --example fleet_scorecard -- --smoke
 //! ```
+//!
+//! * positional args: master seed, then worker-thread count;
+//! * `--shards N` — run the sharded reduction: shard JSONs plus the
+//!   manifest land in `target/`, and the example verifies the merged
+//!   scorecard is byte-identical to the monolithic one;
+//! * `--smoke` — a fast matrix that still spans a multi-year horizon:
+//!   four regimes including the 3-year la-niña entry, evaluated under a
+//!   bounded trace-cache budget so the multi-year scenario runs
+//!   streamed (no full-horizon trace in memory).
 //!
 //! The run is deterministic for a given seed: the scorecard JSON (also
 //! written to `target/fleet_scorecard.json`) is byte-identical across
-//! runs and thread counts.
+//! runs, thread counts, shard counts, and trace-cache policies.
 
-use scenario_fleet::{Catalog, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec};
+use scenario_fleet::{
+    Catalog, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, Scorecard, TraceCachePolicy,
+};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    let mut positional: Vec<u64> = Vec::new();
+    let mut shards: Option<usize> = None;
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
-    let seed: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(42);
-    let threads: Option<usize> = args.next().map(|s| s.parse()).transpose()?;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--shards" => {
+                let count = args.next().ok_or("--shards needs a count")?;
+                shards = Some(count.parse()?);
+            }
+            other => positional.push(other.parse()?),
+        }
+    }
+    let seed = positional.first().copied().unwrap_or(42);
+    let threads = positional.get(1).map(|&t| t as usize);
 
-    // The whole built-in catalog, the extended predictor family (the
-    // guideline five plus the Q16 kernel and the causal dynamic
-    // selector), 3 managers.
     let catalog = Catalog::builtin();
-    let matrix = FleetMatrix::new(
-        PredictorSpec::extended_family(),
-        ManagerSpec::default_set(),
-        catalog.scenarios().to_vec(),
-    )?;
+    let (scenarios, predictors) = if smoke {
+        // Four regimes spanning desert → polar plus the 3-year la-niña
+        // anomaly — the multi-year entry is the point of the smoke run.
+        let names = [
+            "desert-clear-sky",
+            "marine-fog",
+            "arctic-winter",
+            "la-nina-triennium",
+        ];
+        (
+            names
+                .iter()
+                .map(|name| catalog.get(name).expect("builtin").clone())
+                .collect::<Vec<_>>(),
+            PredictorSpec::guideline_family(),
+        )
+    } else {
+        (
+            catalog.scenarios().to_vec(),
+            PredictorSpec::extended_family(),
+        )
+    };
+    let matrix = FleetMatrix::new(predictors, ManagerSpec::default_set(), scenarios)?;
     println!(
         "fleet: {} predictors × {} managers × {} scenarios = {} jobs (seed {seed})",
         matrix.predictors.len(),
@@ -35,22 +77,60 @@ fn main() -> Result<(), Box<dyn Error>> {
         matrix.scenarios.len(),
         matrix.job_count(),
     );
-    println!("scenarios: {}\n", catalog.names().join(", "));
 
-    let mut engine = FleetEngine::new(seed);
+    // A bounded trace cache routes the large (multi-year) scenarios
+    // through the streamed path; results are byte-identical either way.
+    // The smoke budget is tight enough that the 3-year la-niña entry
+    // (≈2.4 MiB of 5-minute samples) must stream.
+    let budget: u64 = if smoke { 2 << 20 } else { 4 << 20 };
+    let mut engine = FleetEngine::new(seed).with_trace_cache(TraceCachePolicy::bounded(budget));
     if let Some(threads) = threads {
         engine = engine.with_threads(threads);
     }
+
     let started = std::time::Instant::now();
-    let result = engine.run(&matrix)?;
+    // One shared cache: the optional sharded pass below answers every
+    // job from it instead of re-evaluating the matrix.
+    let mut cache = engine.new_cache();
+    let result = engine.run_cached(&matrix, &mut cache)?;
     println!(
-        "evaluated {} jobs in {:.2?} on {} threads\n",
+        "evaluated {} jobs in {:.2?} on {} threads — {} streamed (trace cache ≤ {} MiB), {} materialized",
         result.outcomes.len(),
         started.elapsed(),
         threads.unwrap_or_else(rayon::current_num_threads),
+        result.streamed_jobs,
+        budget >> 20,
+        result.outcomes.len() - result.streamed_jobs,
     );
 
-    println!("=== overall ranking (score = 2·brownout + waste + 0.5·MAPE) ===");
+    if let Some(shard_count) = shards {
+        let sharded = engine.run_sharded_cached(&matrix, shard_count, &mut cache)?;
+        assert_eq!(
+            sharded.cached_jobs,
+            matrix.job_count(),
+            "the sharded pass must be answered entirely from the warm cache"
+        );
+        let merged = Scorecard::merge_shards(&sharded.manifest, &sharded.shards)?;
+        assert_eq!(
+            merged.to_json_string(),
+            result.scorecard.to_json_string(),
+            "merged shards must reproduce the monolithic scorecard byte-for-byte"
+        );
+        std::fs::create_dir_all("target")?;
+        let manifest_path = std::path::Path::new("target").join("fleet_manifest.json");
+        std::fs::write(&manifest_path, sharded.manifest.to_json().render_pretty())?;
+        for shard in &sharded.shards {
+            let path = std::path::Path::new("target")
+                .join(format!("fleet_shard_{}.json", shard.shard_index));
+            std::fs::write(&path, shard.to_json().render_pretty())?;
+        }
+        println!(
+            "sharded into {shard_count} shards (target/fleet_manifest.json + shards); \
+             merge verified byte-identical"
+        );
+    }
+
+    println!("\n=== overall ranking (score = 2·brownout + waste + 0.5·MAPE) ===");
     print!("{}", result.scorecard.render_text());
 
     println!("\n=== per-scenario winners ===");
