@@ -9,7 +9,7 @@
 //! reached: polar night, monsoon onset, hardware faults.
 
 use crate::faults::FaultSpec;
-use crate::fleet_faults::FleetFault;
+use crate::fleet_faults::{FalloffProfile, FleetFault, SpatialFalloff};
 use crate::json::Json;
 use harvest_sim::{EnergyStorage, Load, NodeConfig, SolarPanel};
 use solar_synth::{Site, SiteConfig, SiteConfigBuilder, WeatherModel};
@@ -85,6 +85,24 @@ pub enum SiteSpec {
         /// Climate family.
         climate: Climate,
     },
+    /// A custom site with continuous weather-shaping axes — the form
+    /// the parameterized catalog generators emit. Extends
+    /// [`SiteSpec::Custom`] with a cloudiness tilt on the climate's
+    /// weather model and a deterministic clear-sky turbidity loss, so
+    /// hundreds of distinct regimes fit between two climate presets.
+    Shaped {
+        /// Geographic latitude in degrees (north positive).
+        latitude_deg: f64,
+        /// Sample period in minutes (must divide a day).
+        resolution_minutes: u32,
+        /// Climate family.
+        climate: Climate,
+        /// Weather tilt in `[1/8, 8]`: `1.0` = the climate preset,
+        /// `> 1` cloudier, `< 1` clearer.
+        cloudiness: f64,
+        /// Clear-sky fraction removed by haze, in `[0, 0.8]`.
+        turbidity: f64,
+    },
 }
 
 impl SiteSpec {
@@ -104,6 +122,21 @@ impl SiteSpec {
                 )
                 .weather(climate.weather())
                 .build(),
+            SiteSpec::Shaped {
+                latitude_deg,
+                resolution_minutes,
+                climate,
+                cloudiness,
+                turbidity,
+            } => SiteConfigBuilder::new(name)
+                .latitude_deg(latitude_deg)
+                .resolution(
+                    Resolution::from_minutes(resolution_minutes).map_err(|e| e.to_string())?,
+                )
+                .weather(climate.weather())
+                .cloudiness(cloudiness)
+                .turbidity(turbidity)
+                .build(),
         }
     }
 
@@ -119,6 +152,19 @@ impl SiteSpec {
                 ("resolution_minutes", Json::Num(resolution_minutes as f64)),
                 ("climate", Json::Str(climate.as_str().into())),
             ]),
+            SiteSpec::Shaped {
+                latitude_deg,
+                resolution_minutes,
+                climate,
+                cloudiness,
+                turbidity,
+            } => Json::obj([
+                ("latitude_deg", Json::Num(latitude_deg)),
+                ("resolution_minutes", Json::Num(resolution_minutes as f64)),
+                ("climate", Json::Str(climate.as_str().into())),
+                ("cloudiness", Json::Num(cloudiness)),
+                ("turbidity", Json::Num(turbidity)),
+            ]),
         }
     }
 
@@ -131,11 +177,25 @@ impl SiteSpec {
                 .ok_or_else(|| format!("unknown site preset {code:?}"))?;
             return Ok(SiteSpec::Paper(site));
         }
+        let latitude_deg = value.req_num("latitude_deg")?;
+        let resolution_minutes =
+            u32::try_from(value.req_index("resolution_minutes")?).map_err(|e| e.to_string())?;
+        let climate = Climate::from_code(value.req_str("climate")?)?;
+        // The shaping axes travel together: a site carrying either is
+        // the generated form and must round-trip byte-exactly.
+        if value.get("cloudiness").is_some() || value.get("turbidity").is_some() {
+            return Ok(SiteSpec::Shaped {
+                latitude_deg,
+                resolution_minutes,
+                climate,
+                cloudiness: value.req_num("cloudiness")?,
+                turbidity: value.req_num("turbidity")?,
+            });
+        }
         Ok(SiteSpec::Custom {
-            latitude_deg: value.req_num("latitude_deg")?,
-            resolution_minutes: u32::try_from(value.req_index("resolution_minutes")?)
-                .map_err(|e| e.to_string())?,
-            climate: Climate::from_code(value.req_str("climate")?)?,
+            latitude_deg,
+            resolution_minutes,
+            climate,
         })
     }
 }
@@ -605,11 +665,12 @@ impl Catalog {
 
     /// The built-in correlated fleet-wide events: a mid-latitude storm
     /// belt (one shared onset darkens every 30–52°N scenario for the
-    /// same six days) and a fleet-wide pollen season (every panel soils
-    /// on the same ramp while pyranometers stay clean). Attach to a
-    /// matrix with [`crate::FleetMatrix::with_fleet_faults`]; the
-    /// engine realizes each event from one shared seed and projects it
-    /// into every affected scenario — the correlation that independent
+    /// same six days, expressed as a flat-profile [`SpatialFalloff`]
+    /// band) and a fleet-wide pollen season (every panel soils on the
+    /// same ramp while pyranometers stay clean). Attach to a matrix
+    /// with [`crate::FleetMatrix::with_fleet_faults`]; the engine
+    /// realizes each event from one shared seed and projects it into
+    /// every affected scenario — the correlation that independent
     /// per-scenario faults cannot express.
     pub fn builtin_fleet_events() -> Vec<FleetFault> {
         vec![
@@ -618,14 +679,39 @@ impl Catalog {
                 window_end_day: 35,
                 duration_days: 6,
                 depth: 0.75,
-                min_latitude_deg: 30.0,
-                max_latitude_deg: 52.0,
+                region: SpatialFalloff::band(30.0, 52.0),
             },
             FleetFault::SeasonalSoiling {
                 window_start_day: 25,
                 window_end_day: 32,
                 duration_days: 10,
                 max_loss: 0.3,
+                region: SpatialFalloff::global(),
+            },
+        ]
+    }
+
+    /// Graded variants of the built-in fleet events for spread-out
+    /// generated fleets: the same storm/soiling energy, but severity
+    /// decays with geodesic distance from an epicenter (cosine-tapered
+    /// storm centred on the 41°N belt, linear soiling plume from the
+    /// subtropics) instead of switching hard at a band edge — nearby
+    /// scenarios are hit hardest, distant ones shrug.
+    pub fn builtin_graded_fleet_events() -> Vec<FleetFault> {
+        vec![
+            FleetFault::RegionalStorm {
+                window_start_day: 21,
+                window_end_day: 35,
+                duration_days: 6,
+                depth: 0.75,
+                region: SpatialFalloff::new(41.0, 2600.0, FalloffProfile::Cosine),
+            },
+            FleetFault::SeasonalSoiling {
+                window_start_day: 25,
+                window_end_day: 32,
+                duration_days: 10,
+                max_loss: 0.3,
+                region: SpatialFalloff::new(28.0, 5500.0, FalloffProfile::Linear),
             },
         ]
     }
@@ -762,6 +848,66 @@ mod tests {
             assert!((faded.storage.capacity_j() - config.storage.capacity_j() * 0.5).abs() < 1e-9);
         }
         assert!(NodeProfile::Mote.node_config(0.0).is_err());
+    }
+
+    #[test]
+    fn builtin_fleet_events_validate_and_touch_the_catalog() {
+        let catalog = Catalog::builtin();
+        for events in [
+            Catalog::builtin_fleet_events(),
+            Catalog::builtin_graded_fleet_events(),
+        ] {
+            assert!(!events.is_empty());
+            for event in &events {
+                event.validate().unwrap();
+                assert!(
+                    catalog
+                        .scenarios()
+                        .iter()
+                        .any(|s| event.affects(s).unwrap()),
+                    "{event:?} affects no builtin scenario"
+                );
+            }
+        }
+        // The graded storm really grades: mid-falloff severity sits
+        // strictly between the epicentral value and zero.
+        let graded_storm = &Catalog::builtin_graded_fleet_events()[0];
+        let peak = graded_storm.severity_at(41.0);
+        let edgeward = graded_storm.severity_at(55.0);
+        assert!(peak > 0.0 && edgeward > 0.0 && edgeward < peak);
+    }
+
+    #[test]
+    fn shaped_sites_build_and_round_trip() {
+        let scenario = Scenario {
+            name: "shaped-coast".into(),
+            summary: "a hazier, cloudier marine coast".into(),
+            site: SiteSpec::Shaped {
+                latitude_deg: 38.5,
+                resolution_minutes: 5,
+                climate: Climate::Marine,
+                cloudiness: 1.5,
+                turbidity: 0.2,
+            },
+            days: 40,
+            slots_per_day: 48,
+            node: NodeProfile::Mote,
+            faults: vec![],
+        };
+        scenario.validate().unwrap();
+        let config = scenario.site_config().unwrap();
+        assert!((config.turbidity - 0.2).abs() < 1e-12);
+        // JSON round-trips byte-exactly and re-parses to equality.
+        let text = scenario.to_json().render_pretty();
+        let back = Scenario::from_json_str(&text).unwrap();
+        assert_eq!(back, scenario);
+        assert_eq!(back.to_json().render_pretty(), text);
+        // Out-of-range axes are rejected at validation.
+        let mut bad = scenario.clone();
+        if let SiteSpec::Shaped { cloudiness, .. } = &mut bad.site {
+            *cloudiness = 20.0;
+        }
+        assert!(bad.validate().is_err());
     }
 
     #[test]

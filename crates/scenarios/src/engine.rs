@@ -1290,8 +1290,7 @@ mod tests {
                 window_end_day: 30,
                 duration_days: 5,
                 depth: 0.8,
-                min_latitude_deg: -90.0,
-                max_latitude_deg: 90.0,
+                region: crate::SpatialFalloff::global(),
             }])
             .unwrap();
         let engine = FleetEngine::new(8);

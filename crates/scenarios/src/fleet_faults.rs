@@ -1,4 +1,4 @@
-//! Correlated fleet-wide fault events.
+//! Correlated fleet-wide fault events with spatial falloff.
 //!
 //! The per-scenario [`FaultSpec`](crate::FaultSpec) machinery draws each
 //! scenario's faults from that scenario's own seed, so two scenarios
@@ -13,6 +13,20 @@
 //! Correlation therefore costs nothing downstream: caching, streaming,
 //! sharding, and byte-determinism all see ordinary scenarios whose JSON
 //! (and hence cache identity) already carries the projected faults.
+//!
+//! # Spatial falloff
+//!
+//! Every event carries a [`SpatialFalloff`] region: an epicenter
+//! latitude, a geodesic radius, and a [`FalloffProfile`] describing how
+//! severity decays with distance. Sites in this workspace carry latitude
+//! only, so the geodesic distance between a site and the epicenter
+//! reduces to the meridian arc `|Δlat| · 111.195 km`. Severity is
+//! monotonically non-increasing in distance and exactly zero beyond the
+//! radius (pinned by tests); the legacy hard latitude band is the
+//! special case [`SpatialFalloff::band`] — a [`FalloffProfile::Flat`]
+//! profile whose radius spans half the band — and a flat profile with an
+//! effectively infinite radius ([`SpatialFalloff::global`]) reproduces
+//! the old fleet-wide projection.
 
 use crate::catalog::Scenario;
 use crate::faults::FaultSpec;
@@ -20,13 +34,187 @@ use crate::json::Json;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+/// How an event's severity decays with geodesic distance from its
+/// epicenter (inside the radius; beyond it severity is exactly zero).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FalloffProfile {
+    /// Full severity everywhere inside the radius — the hard-edged
+    /// legacy latitude band expressed in the falloff model.
+    Flat,
+    /// Severity decays linearly from the epicenter to zero at the
+    /// radius.
+    Linear,
+    /// A raised-cosine taper: near-full severity close to the
+    /// epicenter, smooth zero at the radius.
+    Cosine,
+}
+
+impl FalloffProfile {
+    /// All profiles.
+    pub const ALL: [FalloffProfile; 3] = [
+        FalloffProfile::Flat,
+        FalloffProfile::Linear,
+        FalloffProfile::Cosine,
+    ];
+
+    /// Stable identifier used in JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FalloffProfile::Flat => "flat",
+            FalloffProfile::Linear => "linear",
+            FalloffProfile::Cosine => "cosine",
+        }
+    }
+
+    /// Parses the JSON identifier.
+    pub fn from_code(s: &str) -> Result<FalloffProfile, String> {
+        FalloffProfile::ALL
+            .into_iter()
+            .find(|p| p.as_str() == s)
+            .ok_or_else(|| format!("unknown falloff profile {s:?}"))
+    }
+
+    /// Weight at normalized distance `frac = d / radius` in `[0, 1]`.
+    fn weight_at(self, frac: f64) -> f64 {
+        match self {
+            FalloffProfile::Flat => 1.0,
+            FalloffProfile::Linear => 1.0 - frac,
+            FalloffProfile::Cosine => 0.5 * (1.0 + (std::f64::consts::PI * frac).cos()),
+        }
+    }
+}
+
+/// Where an event sits and how far it reaches: epicenter latitude,
+/// geodesic radius, and a severity falloff profile.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SpatialFalloff {
+    /// Epicenter latitude in degrees (north positive), within ±90.
+    pub epicenter_latitude_deg: f64,
+    /// Geodesic reach in kilometres (severity is zero beyond it).
+    pub radius_km: f64,
+    /// How severity decays between the epicenter and the radius.
+    pub profile: FalloffProfile,
+}
+
+impl SpatialFalloff {
+    /// Mean meridian arc length of one degree of latitude.
+    pub const KM_PER_LATITUDE_DEGREE: f64 = 111.195;
+
+    /// A radius covering every latitude pair on the globe (strictly
+    /// above the 180° pole-to-pole arc).
+    pub const GLOBAL_RADIUS_KM: f64 = 181.0 * Self::KM_PER_LATITUDE_DEGREE;
+
+    /// A region from explicit parts.
+    pub fn new(epicenter_latitude_deg: f64, radius_km: f64, profile: FalloffProfile) -> Self {
+        SpatialFalloff {
+            epicenter_latitude_deg,
+            radius_km,
+            profile,
+        }
+    }
+
+    /// The legacy hard latitude band `[min, max]` expressed in the
+    /// falloff model: a flat profile centred on the band with a radius
+    /// spanning half of it. Projection is identical to the pre-falloff
+    /// band (full severity inside, zero outside, edges inclusive).
+    ///
+    /// The radius derives from the *rounded* epicenter (not
+    /// `(max − min) / 2` directly), so a site at exactly `min` or `max`
+    /// computes a distance ≤ radius even when the midpoint is not
+    /// representable — rounding monotonicity keeps every in-band
+    /// latitude inside. A degenerate band (`min == max`) keeps its
+    /// legacy meaning of covering exactly that latitude via a minimal
+    /// positive radius.
+    ///
+    /// This constructor is **order-insensitive**: the covered band is
+    /// the one between the two edges whichever way they are passed
+    /// (the half-span takes the larger edge deviation). The legacy
+    /// *JSON* path deliberately stays stricter — inverted
+    /// `min`/`max_latitude_deg` documents were a parse error and still
+    /// are (see [`FleetFault::from_json`]).
+    pub fn band(min_latitude_deg: f64, max_latitude_deg: f64) -> Self {
+        let epicenter_latitude_deg = (min_latitude_deg + max_latitude_deg) / 2.0;
+        let half_span_deg = (max_latitude_deg - epicenter_latitude_deg)
+            .abs()
+            .max((min_latitude_deg - epicenter_latitude_deg).abs());
+        SpatialFalloff {
+            epicenter_latitude_deg,
+            radius_km: (half_span_deg * Self::KM_PER_LATITUDE_DEGREE).max(f64::MIN_POSITIVE),
+            profile: FalloffProfile::Flat,
+        }
+    }
+
+    /// Full severity at every latitude — the legacy fleet-wide event.
+    pub fn global() -> Self {
+        SpatialFalloff::new(0.0, Self::GLOBAL_RADIUS_KM, FalloffProfile::Flat)
+    }
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.epicenter_latitude_deg.is_finite() && self.epicenter_latitude_deg.abs() <= 90.0) {
+            return Err(format!(
+                "epicenter latitude {} must be finite and within ±90°",
+                self.epicenter_latitude_deg
+            ));
+        }
+        if !(self.radius_km.is_finite() && self.radius_km > 0.0) {
+            return Err(format!(
+                "falloff radius {} km must be finite and positive",
+                self.radius_km
+            ));
+        }
+        Ok(())
+    }
+
+    /// Meridian geodesic distance from the epicenter to a site
+    /// latitude.
+    pub fn distance_km(&self, latitude_deg: f64) -> f64 {
+        (latitude_deg - self.epicenter_latitude_deg).abs() * Self::KM_PER_LATITUDE_DEGREE
+    }
+
+    /// Severity weight in `[0, 1]` at a site latitude: the profile's
+    /// taper inside the radius, exactly zero beyond it. Monotonically
+    /// non-increasing in distance for every profile (pinned by tests).
+    pub fn weight(&self, latitude_deg: f64) -> f64 {
+        let distance = self.distance_km(latitude_deg);
+        if distance > self.radius_km {
+            return 0.0;
+        }
+        self.profile.weight_at(distance / self.radius_km).max(0.0)
+    }
+
+    /// JSON form (`{"epicenter_latitude_deg": ..., "radius_km": ...,
+    /// "falloff": ...}`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "epicenter_latitude_deg",
+                Json::Num(self.epicenter_latitude_deg),
+            ),
+            ("radius_km", Json::Num(self.radius_km)),
+            ("falloff", Json::Str(self.profile.as_str().into())),
+        ])
+    }
+
+    /// Parses and validates the JSON form.
+    pub fn from_json(value: &Json) -> Result<SpatialFalloff, String> {
+        let region = SpatialFalloff {
+            epicenter_latitude_deg: value.req_num("epicenter_latitude_deg")?,
+            radius_km: value.req_num("radius_km")?,
+            profile: FalloffProfile::from_code(value.req_str("falloff")?)?,
+        };
+        region.validate()?;
+        Ok(region)
+    }
+}
+
 /// One correlated fleet-wide event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FleetFault {
-    /// A synoptic storm system: every scenario whose site latitude lies
-    /// in `[min_latitude_deg, max_latitude_deg]` gets the *same*
-    /// [`FaultSpec::ClimateDimming`] span — onset drawn once from the
-    /// shared event seed inside the onset window.
+    /// A synoptic storm system: every scenario inside the storm's
+    /// [`SpatialFalloff`] region gets a [`FaultSpec::ClimateDimming`]
+    /// span with the *same* onset (drawn once from the shared event
+    /// seed) and a depth graded by distance from the epicenter.
     RegionalStorm {
         /// Earliest possible onset day (0-based).
         window_start_day: usize,
@@ -34,25 +222,28 @@ pub enum FleetFault {
         window_end_day: usize,
         /// Storm length in days.
         duration_days: usize,
-        /// Fraction of light removed while the storm sits (in `(0, 1)`).
+        /// Fraction of light removed at the epicenter (in `(0, 1)`);
+        /// scenarios farther out get `depth · weight`.
         depth: f64,
-        /// Southern edge of the affected band (degrees, north positive).
-        min_latitude_deg: f64,
-        /// Northern edge of the affected band.
-        max_latitude_deg: f64,
+        /// Where the storm sits and how severity decays with distance.
+        region: SpatialFalloff,
     },
-    /// A fleet-wide soiling season (dust/pollen): every scenario gets
-    /// the same [`FaultSpec::PanelSoiling`] ramp, onset drawn once from
-    /// the shared event seed inside the onset window.
+    /// A soiling season (dust/pollen): every scenario inside the plume
+    /// gets a [`FaultSpec::PanelSoiling`] ramp with the same onset and
+    /// a peak loss graded by distance from the source.
     SeasonalSoiling {
         /// Earliest possible onset day (0-based).
         window_start_day: usize,
         /// Latest possible onset day (exclusive).
         window_end_day: usize,
-        /// Days over which the loss ramps to `max_loss`.
+        /// Days over which the loss ramps to its peak.
         duration_days: usize,
-        /// Peak harvest fraction lost, in `(0, 1]`.
+        /// Peak harvest fraction lost at the epicenter, in `(0, 1]`;
+        /// scenarios farther out get `max_loss · weight`.
         max_loss: f64,
+        /// Where the plume sits ([`SpatialFalloff::global`] keeps the
+        /// legacy fleet-wide behaviour).
+        region: SpatialFalloff,
     },
 }
 
@@ -65,8 +256,7 @@ impl FleetFault {
                 window_end_day,
                 duration_days,
                 depth,
-                min_latitude_deg,
-                max_latitude_deg,
+                ref region,
             } => {
                 if window_end_day <= window_start_day {
                     return Err("regional_storm onset window must be non-empty".to_string());
@@ -77,18 +267,16 @@ impl FleetFault {
                 if !(depth.is_finite() && 0.0 < depth && depth < 1.0) {
                     return Err(format!("regional_storm depth {depth} must be in (0, 1)"));
                 }
-                if !(min_latitude_deg.is_finite()
-                    && max_latitude_deg.is_finite()
-                    && min_latitude_deg <= max_latitude_deg)
-                {
-                    return Err("regional_storm latitude band is inverted".to_string());
-                }
+                region
+                    .validate()
+                    .map_err(|e| format!("regional_storm: {e}"))?;
             }
             FleetFault::SeasonalSoiling {
                 window_start_day,
                 window_end_day,
                 duration_days,
                 max_loss,
+                ref region,
             } => {
                 if window_end_day <= window_start_day {
                     return Err("seasonal_soiling onset window must be non-empty".to_string());
@@ -101,9 +289,20 @@ impl FleetFault {
                         "seasonal_soiling max_loss {max_loss} must be in (0, 1]"
                     ));
                 }
+                region
+                    .validate()
+                    .map_err(|e| format!("seasonal_soiling: {e}"))?;
             }
         }
         Ok(())
+    }
+
+    /// The event's spatial region.
+    pub fn region(&self) -> &SpatialFalloff {
+        match self {
+            FleetFault::RegionalStorm { region, .. }
+            | FleetFault::SeasonalSoiling { region, .. } => region,
+        }
     }
 
     /// The event's realized onset day for a given shared event seed —
@@ -125,31 +324,42 @@ impl FleetFault {
         start + (rng.gen::<f64>() * (end - start) as f64) as usize
     }
 
-    /// Whether the event touches `scenario` at all (latitude band for
-    /// storms; soiling is fleet-wide).
-    pub fn affects(&self, scenario: &Scenario) -> Result<bool, String> {
+    /// The event's severity at a site latitude: dimming depth for
+    /// storms, peak soiling loss for soiling, each scaled by the
+    /// region's distance weight — monotonically non-increasing in
+    /// distance from the epicenter and zero beyond the radius.
+    pub fn severity_at(&self, latitude_deg: f64) -> f64 {
         match *self {
             FleetFault::RegionalStorm {
-                min_latitude_deg,
-                max_latitude_deg,
+                depth, ref region, ..
+            } => depth * region.weight(latitude_deg),
+            FleetFault::SeasonalSoiling {
+                max_loss,
+                ref region,
                 ..
-            } => {
-                let latitude = scenario.site_config()?.latitude_deg;
-                Ok((min_latitude_deg..=max_latitude_deg).contains(&latitude))
-            }
-            FleetFault::SeasonalSoiling { .. } => Ok(true),
+            } => max_loss * region.weight(latitude_deg),
         }
     }
 
+    /// Whether the event touches `scenario` at all (nonzero severity at
+    /// the scenario's latitude).
+    pub fn affects(&self, scenario: &Scenario) -> Result<bool, String> {
+        let latitude = scenario.site_config()?.latitude_deg;
+        Ok(self.severity_at(latitude) > 0.0)
+    }
+
     /// Projects the realized event into `scenario`'s fault list: the
-    /// [`FaultSpec`]s to append, or empty when the scenario is outside
-    /// the affected region or the onset falls past its horizon.
+    /// [`FaultSpec`]s to append — severity graded by the scenario's
+    /// distance from the epicenter — or empty when the scenario sits
+    /// beyond the radius or the onset falls past its horizon.
     ///
     /// # Errors
     ///
     /// Propagates site-configuration errors from the latitude lookup.
     pub fn project(&self, event_seed: u64, scenario: &Scenario) -> Result<Vec<FaultSpec>, String> {
-        if !self.affects(scenario)? {
+        let latitude = scenario.site_config()?.latitude_deg;
+        let weight = self.region().weight(latitude);
+        if weight <= 0.0 {
             return Ok(Vec::new());
         }
         let onset = self.onset_day(event_seed);
@@ -164,7 +374,7 @@ impl FleetFault {
             } => vec![FaultSpec::ClimateDimming {
                 start_day: onset,
                 duration_days,
-                factor: 1.0 - depth,
+                factor: 1.0 - depth * weight,
             }],
             FleetFault::SeasonalSoiling {
                 duration_days,
@@ -173,12 +383,12 @@ impl FleetFault {
             } => vec![FaultSpec::PanelSoiling {
                 start_day: onset,
                 duration_days,
-                max_loss,
+                max_loss: max_loss * weight,
             }],
         })
     }
 
-    /// JSON form (`{"kind": ..., ...}`).
+    /// JSON form (`{"kind": ..., "region": {...}, ...}`).
     pub fn to_json(&self) -> Json {
         match *self {
             FleetFault::RegionalStorm {
@@ -186,48 +396,82 @@ impl FleetFault {
                 window_end_day,
                 duration_days,
                 depth,
-                min_latitude_deg,
-                max_latitude_deg,
+                ref region,
             } => Json::obj([
                 ("kind", Json::Str("regional_storm".into())),
                 ("window_start_day", Json::Num(window_start_day as f64)),
                 ("window_end_day", Json::Num(window_end_day as f64)),
                 ("duration_days", Json::Num(duration_days as f64)),
                 ("depth", Json::Num(depth)),
-                ("min_latitude_deg", Json::Num(min_latitude_deg)),
-                ("max_latitude_deg", Json::Num(max_latitude_deg)),
+                ("region", region.to_json()),
             ]),
             FleetFault::SeasonalSoiling {
                 window_start_day,
                 window_end_day,
                 duration_days,
                 max_loss,
+                ref region,
             } => Json::obj([
                 ("kind", Json::Str("seasonal_soiling".into())),
                 ("window_start_day", Json::Num(window_start_day as f64)),
                 ("window_end_day", Json::Num(window_end_day as f64)),
                 ("duration_days", Json::Num(duration_days as f64)),
                 ("max_loss", Json::Num(max_loss)),
+                ("region", region.to_json()),
             ]),
         }
     }
 
-    /// Parses and validates the JSON form.
+    /// Parses and validates the JSON form. Legacy documents are
+    /// accepted: a storm carrying `min_latitude_deg`/`max_latitude_deg`
+    /// instead of a `region` parses as the equivalent flat band, and a
+    /// soiling event with no `region` parses as fleet-wide.
     pub fn from_json(value: &Json) -> Result<FleetFault, String> {
+        let region_of = |value: &Json,
+                         kind: &str,
+                         fleet_wide_default: bool|
+         -> Result<SpatialFalloff, String> {
+            if let Some(region) = value.get("region") {
+                return SpatialFalloff::from_json(region);
+            }
+            if value.get("min_latitude_deg").is_some() {
+                let min = value.req_num("min_latitude_deg")?;
+                let max = value.req_num("max_latitude_deg")?;
+                // Preserve the legacy band's own validation:
+                // inverted bands were rejected, not normalized.
+                if !(min.is_finite() && max.is_finite() && min <= max) {
+                    return Err(format!("{kind} latitude band is inverted"));
+                }
+                // Legacy bands had unbounded edges ("everything
+                // north of 50°" written as max = 999). Sites live
+                // within ±85°, so clamping the edges into ±90
+                // keeps membership identical while the converted
+                // epicenter stays in validation range.
+                return Ok(SpatialFalloff::band(
+                    min.clamp(-90.0, 90.0),
+                    max.clamp(-90.0, 90.0),
+                ));
+            }
+            if fleet_wide_default {
+                Ok(SpatialFalloff::global())
+            } else {
+                Err(format!("{kind} needs a region (or a legacy latitude band)"))
+            }
+        };
         let fault = match value.req_str("kind")? {
             "regional_storm" => FleetFault::RegionalStorm {
                 window_start_day: value.req_index("window_start_day")? as usize,
                 window_end_day: value.req_index("window_end_day")? as usize,
                 duration_days: value.req_index("duration_days")? as usize,
                 depth: value.req_num("depth")?,
-                min_latitude_deg: value.req_num("min_latitude_deg")?,
-                max_latitude_deg: value.req_num("max_latitude_deg")?,
+                region: region_of(value, "regional_storm", false)?,
             },
             "seasonal_soiling" => FleetFault::SeasonalSoiling {
                 window_start_day: value.req_index("window_start_day")? as usize,
                 window_end_day: value.req_index("window_end_day")? as usize,
                 duration_days: value.req_index("duration_days")? as usize,
                 max_loss: value.req_num("max_loss")?,
+                region: region_of(value, "seasonal_soiling", true)?,
             },
             other => return Err(format!("unknown fleet fault kind {other:?}")),
         };
@@ -247,8 +491,7 @@ mod tests {
             window_end_day: 34,
             duration_days: 4,
             depth: 0.7,
-            min_latitude_deg: 30.0,
-            max_latitude_deg: 50.0,
+            region: SpatialFalloff::band(30.0, 50.0),
         }
     }
 
@@ -259,11 +502,22 @@ mod tests {
             *window_end_day = 10;
         }
         assert!(bad.validate().is_err());
+        let mut bad = storm();
+        if let FleetFault::RegionalStorm { region, .. } = &mut bad {
+            region.radius_km = 0.0;
+        }
+        assert!(bad.validate().is_err());
+        let mut bad = storm();
+        if let FleetFault::RegionalStorm { region, .. } = &mut bad {
+            region.epicenter_latitude_deg = 95.0;
+        }
+        assert!(bad.validate().is_err());
         assert!(FleetFault::SeasonalSoiling {
             window_start_day: 0,
             window_end_day: 10,
             duration_days: 0,
-            max_loss: 0.5
+            max_loss: 0.5,
+            region: SpatialFalloff::global(),
         }
         .validate()
         .is_err());
@@ -271,28 +525,242 @@ mod tests {
             window_start_day: 0,
             window_end_day: 10,
             duration_days: 5,
-            max_loss: 1.5
+            max_loss: 1.5,
+            region: SpatialFalloff::global(),
         }
         .validate()
         .is_err());
     }
 
     #[test]
-    fn json_round_trips_both_kinds() {
+    fn severity_is_monotone_in_distance_and_zero_beyond_radius() {
+        for profile in FalloffProfile::ALL {
+            let region = SpatialFalloff::new(40.0, 2000.0, profile);
+            region.validate().unwrap();
+            // Weight at the epicenter is full for every profile.
+            assert!((region.weight(40.0) - 1.0).abs() < 1e-12, "{profile:?}");
+            // Monotonically non-increasing while walking away.
+            let mut previous = f64::INFINITY;
+            for step in 0..200 {
+                let latitude = 40.0 + step as f64 * 0.25;
+                let weight = region.weight(latitude);
+                assert!((0.0..=1.0).contains(&weight));
+                assert!(
+                    weight <= previous + 1e-12,
+                    "{profile:?}: weight rose at {latitude}"
+                );
+                previous = weight;
+            }
+            // Exactly zero strictly beyond the radius (2000 km ≈ 18°).
+            assert_eq!(region.weight(40.0 + 18.1), 0.0, "{profile:?}");
+            assert_eq!(region.weight(40.0 - 18.1), 0.0, "{profile:?}");
+            // Symmetric north/south of the epicenter.
+            assert_eq!(region.weight(45.0), region.weight(35.0), "{profile:?}");
+        }
+    }
+
+    #[test]
+    fn legacy_band_parsing_keeps_the_old_acceptance_rules() {
+        let legacy = |min: f64, max: f64| {
+            Json::obj([
+                ("kind", Json::Str("regional_storm".into())),
+                ("window_start_day", Json::Num(21.0)),
+                ("window_end_day", Json::Num(35.0)),
+                ("duration_days", Json::Num(6.0)),
+                ("depth", Json::Num(0.75)),
+                ("min_latitude_deg", Json::Num(min)),
+                ("max_latitude_deg", Json::Num(max)),
+            ])
+        };
+        // Inverted bands were a legacy parse error — they still are.
+        assert!(FleetFault::from_json(&legacy(52.0, 30.0)).is_err());
+        // Unbounded edges were legal ("everything north of 50°"): the
+        // conversion clamps them into range, membership unchanged for
+        // every real site latitude (±85°).
+        let north = FleetFault::from_json(&legacy(50.0, 999.0)).unwrap();
+        assert_eq!(north.severity_at(70.0), 0.75);
+        assert_eq!(north.severity_at(85.0), 0.75);
+        assert_eq!(north.severity_at(49.0), 0.0);
+        // A band entirely past the pole matched nothing, and still does.
+        let beyond = FleetFault::from_json(&legacy(91.0, 999.0)).unwrap();
+        for latitude in [-85.0, 0.0, 49.0, 85.0] {
+            assert_eq!(beyond.severity_at(latitude), 0.0);
+        }
+    }
+
+    #[test]
+    fn band_edges_stay_inclusive_despite_midpoint_rounding() {
+        // (30.1 + 52.3) / 2 rounds up to 41.200000000000003; a radius
+        // computed from (max − min) / 2 instead of the rounded
+        // epicenter would exclude a site at exactly 30.1°. The legacy
+        // band was edge-inclusive, so the falloff form must be too.
+        let region = SpatialFalloff::band(30.1, 52.3);
+        region.validate().unwrap();
+        assert_eq!(region.weight(30.1), 1.0);
+        assert_eq!(region.weight(52.3), 1.0);
+        assert_eq!(region.weight(41.2), 1.0);
+        assert_eq!(region.weight(29.9), 0.0);
+        assert_eq!(region.weight(52.5), 0.0);
+    }
+
+    #[test]
+    fn degenerate_legacy_band_still_covers_exactly_its_latitude() {
+        // The old validation allowed min == max (a single-latitude
+        // band); the falloff form keeps that meaning instead of
+        // rejecting a zero radius.
+        let region = SpatialFalloff::band(40.0, 40.0);
+        region.validate().unwrap();
+        assert_eq!(region.weight(40.0), 1.0);
+        assert_eq!(region.weight(40.1), 0.0);
+        assert_eq!(region.weight(39.9), 0.0);
+        // And the legacy JSON document round-trips through parsing.
+        let legacy = Json::obj([
+            ("kind", Json::Str("regional_storm".into())),
+            ("window_start_day", Json::Num(21.0)),
+            ("window_end_day", Json::Num(35.0)),
+            ("duration_days", Json::Num(6.0)),
+            ("depth", Json::Num(0.75)),
+            ("min_latitude_deg", Json::Num(40.0)),
+            ("max_latitude_deg", Json::Num(40.0)),
+        ]);
+        let parsed = FleetFault::from_json(&legacy).unwrap();
+        assert_eq!(parsed.severity_at(40.0), 0.75);
+        assert_eq!(parsed.severity_at(40.5), 0.0);
+    }
+
+    #[test]
+    fn flat_band_reproduces_the_legacy_latitude_band_projection() {
+        // Regression pin: the pre-falloff RegionalStorm applied full
+        // depth to every scenario whose latitude sat inside
+        // [30°, 52°] (edges inclusive) and nothing elsewhere. The
+        // flat-profile band must project identically on the builtin
+        // catalog.
+        let fault = FleetFault::RegionalStorm {
+            window_start_day: 21,
+            window_end_day: 35,
+            duration_days: 6,
+            depth: 0.75,
+            region: SpatialFalloff::band(30.0, 52.0),
+        };
+        for scenario in Catalog::builtin().scenarios() {
+            let latitude = scenario.site_config().unwrap().latitude_deg;
+            let in_band = (30.0..=52.0).contains(&latitude);
+            let projected = fault.project(99, scenario).unwrap();
+            if !in_band {
+                assert!(projected.is_empty(), "{}", scenario.name);
+                continue;
+            }
+            assert_eq!(projected.len(), 1, "{}", scenario.name);
+            match projected[0] {
+                FaultSpec::ClimateDimming {
+                    duration_days,
+                    factor,
+                    ..
+                } => {
+                    assert_eq!(duration_days, 6);
+                    // Full depth, bit-exactly: 1.0 - 0.75 * 1.0.
+                    assert_eq!(factor, 1.0 - 0.75, "{}", scenario.name);
+                }
+                ref other => panic!("unexpected projection {other:?}"),
+            }
+        }
+        // Radius → ∞ with flat weighting: every scenario is hit at full
+        // severity — the legacy whole-globe band.
+        let global = FleetFault::RegionalStorm {
+            window_start_day: 21,
+            window_end_day: 35,
+            duration_days: 6,
+            depth: 0.75,
+            region: SpatialFalloff::global(),
+        };
+        for scenario in Catalog::builtin().scenarios() {
+            let projected = global.project(99, scenario).unwrap();
+            assert_eq!(projected.len(), 1, "{}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn graded_profiles_project_distance_weighted_severity() {
+        let fault = FleetFault::RegionalStorm {
+            window_start_day: 22,
+            window_end_day: 30,
+            duration_days: 4,
+            depth: 0.8,
+            region: SpatialFalloff::new(45.0, 2500.0, FalloffProfile::Cosine),
+        };
+        let catalog = Catalog::builtin();
+        let near = catalog.get("four-seasons").unwrap(); // 45°N
+        let far = catalog.get("desert-clear-sky").unwrap(); // 33.45°N
+        let factor = |scenario| match fault.project(7, scenario).unwrap()[..] {
+            [FaultSpec::ClimateDimming { factor, .. }] => factor,
+            ref other => panic!("unexpected {other:?}"),
+        };
+        let near_factor = factor(near);
+        let far_factor = factor(far);
+        // The epicentral scenario is dimmed at full depth; the distant
+        // one is dimmed strictly less (higher remaining-light factor).
+        assert!((near_factor - 0.2).abs() < 1e-12, "{near_factor}");
+        assert!(
+            far_factor > near_factor && far_factor < 1.0,
+            "graded: {far_factor} vs {near_factor}"
+        );
+        // Severity matches the weight math exactly.
+        assert!(
+            (fault.severity_at(33.45) - (1.0 - far_factor)).abs() < 1e-12,
+            "severity_at must agree with the projection"
+        );
+    }
+
+    #[test]
+    fn json_round_trips_both_kinds_and_accepts_legacy_bands() {
         let soiling = FleetFault::SeasonalSoiling {
             window_start_day: 20,
             window_end_day: 30,
             duration_days: 15,
             max_loss: 0.3,
+            region: SpatialFalloff::new(28.0, 5500.0, FalloffProfile::Linear),
         };
         for fault in [storm(), soiling] {
             let text = fault.to_json().render_pretty();
             let back = FleetFault::from_json(&Json::parse(&text).unwrap()).unwrap();
             assert_eq!(back, fault);
+            // Byte-exact round trip of the rendered form.
+            assert_eq!(back.to_json().render_pretty(), text);
         }
         assert!(
             FleetFault::from_json(&Json::obj([("kind", Json::Str("locusts".into()))])).is_err()
         );
+        // Legacy storm document: a latitude band, no region object.
+        let legacy = Json::obj([
+            ("kind", Json::Str("regional_storm".into())),
+            ("window_start_day", Json::Num(21.0)),
+            ("window_end_day", Json::Num(35.0)),
+            ("duration_days", Json::Num(6.0)),
+            ("depth", Json::Num(0.75)),
+            ("min_latitude_deg", Json::Num(30.0)),
+            ("max_latitude_deg", Json::Num(52.0)),
+        ]);
+        let parsed = FleetFault::from_json(&legacy).unwrap();
+        assert_eq!(*parsed.region(), SpatialFalloff::band(30.0, 52.0));
+        // Legacy soiling document: no region at all ⇒ fleet-wide.
+        let legacy_soiling = Json::obj([
+            ("kind", Json::Str("seasonal_soiling".into())),
+            ("window_start_day", Json::Num(25.0)),
+            ("window_end_day", Json::Num(32.0)),
+            ("duration_days", Json::Num(10.0)),
+            ("max_loss", Json::Num(0.3)),
+        ]);
+        let parsed = FleetFault::from_json(&legacy_soiling).unwrap();
+        assert_eq!(*parsed.region(), SpatialFalloff::global());
+        // A storm with neither a region nor a band is rejected.
+        let bare = Json::obj([
+            ("kind", Json::Str("regional_storm".into())),
+            ("window_start_day", Json::Num(21.0)),
+            ("window_end_day", Json::Num(35.0)),
+            ("duration_days", Json::Num(6.0)),
+            ("depth", Json::Num(0.75)),
+        ]);
+        assert!(FleetFault::from_json(&bare).is_err());
     }
 
     #[test]
@@ -303,9 +771,9 @@ mod tests {
         let fourseasons = catalog.get("four-seasons").unwrap(); // 45°N
         let a = fault.project(99, desert).unwrap();
         let b = fault.project(99, fourseasons).unwrap();
-        assert_eq!(a, b, "correlated event must project identically");
+        assert_eq!(a, b, "correlated flat-band event must project identically");
         assert_eq!(a.len(), 1);
-        // A southern-hemisphere site is outside the band.
+        // A southern-hemisphere site is outside the region.
         let southern = catalog.get("southern-four-seasons").unwrap();
         assert!(fault.project(99, southern).unwrap().is_empty());
         // Different event seeds move the onset.
@@ -323,8 +791,7 @@ mod tests {
             window_end_day: 31,
             duration_days: 2,
             depth: 0.5,
-            min_latitude_deg: -90.0,
-            max_latitude_deg: 90.0,
+            region: SpatialFalloff::global(),
         };
         assert!(fault.project(1, &catalog_entry).unwrap().is_empty());
     }

@@ -14,6 +14,12 @@
 //!   `harvest_sim` hardware tier ([`NodeProfile`]), and
 //!   fault/perturbation injectors ([`FaultSpec`]) — dead panels, storage
 //!   fade, sensor dropout, telemetry gaps;
+//! * [`CatalogGenerator`] — parameterized catalog generation: climate
+//!   [`RegimeTemplate`]s (latitude sweeps, cloudiness/turbidity axes,
+//!   hardware tiers, [`FaultMix`] presets) expanded deterministically
+//!   into hundreds of stable-id scenarios from one seed, with
+//!   correlated fleet events graded by geodesic [`SpatialFalloff`]
+//!   instead of a hard latitude band;
 //! * [`FleetMatrix`] — a predictor-family × power-manager × scenario
 //!   product, with predictor families reusable from
 //!   [`param_explore::ParamGrid`]s
@@ -49,6 +55,7 @@ mod catalog;
 mod engine;
 mod faults;
 mod fleet_faults;
+mod generators;
 pub mod json;
 mod matrix;
 mod scorecard;
@@ -58,6 +65,7 @@ pub use engine::{
     FleetCache, FleetEngine, FleetResult, JobOutcome, ShardedFleetResult, TraceCachePolicy,
 };
 pub use faults::{storage_capacity_factor, FaultInjector, FaultSpec};
-pub use fleet_faults::FleetFault;
+pub use fleet_faults::{FalloffProfile, FleetFault, SpatialFalloff};
+pub use generators::{CatalogGenerator, FaultMix, RegimeTemplate};
 pub use matrix::{FleetMatrix, JobSpec, ManagerSpec, PredictorSpec};
 pub use scorecard::{ScenarioRanking, ScoreEntry, Scorecard, ScorecardShard, ShardManifest};

@@ -152,8 +152,17 @@ impl TraceGenerator {
         let condition = state.condition;
         let params = weather.params(condition);
 
-        // Seasonal clearness modulation peaking at the summer solstice.
-        let seasonal = self.config.weather.seasonal_amplitude
+        // Seasonal clearness modulation peaking at the *local* summer
+        // solstice: the phase flips south of the equator (a −18%
+        // monsoon swing means an austral wet season in austral summer,
+        // not a copy of the northern calendar).
+        let hemisphere = if self.config.latitude_deg < 0.0 {
+            -1.0
+        } else {
+            1.0
+        };
+        let seasonal = hemisphere
+            * self.config.weather.seasonal_amplitude
             * (std::f64::consts::TAU * (doy as f64 - 172.0) / 365.0).cos();
         let base_clearness =
             (params.clearness_mean + seasonal + params.clearness_std * normal(rng))
@@ -179,7 +188,10 @@ impl TraceGenerator {
         for idx in 0..spd {
             let t_h = idx as f64 * step_h;
             let sin_h = geometry::sin_elevation_at(self.config.latitude_deg, doy, t_h);
-            let clear = self.config.clear_sky.ghi(sin_h);
+            // Turbidity scales the cloudless ceiling itself; at the
+            // default 0.0 the factor is exactly 1.0, so legacy streams
+            // are bit-unchanged.
+            let clear = self.config.clear_sky.ghi(sin_h) * (1.0 - self.config.turbidity);
             if clear <= 0.0 {
                 state.ar_state *= state.rho; // decay quietly overnight
                 out.push(0.0);

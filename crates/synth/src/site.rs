@@ -127,6 +127,7 @@ impl Site {
             clear_sky: ClearSkyModel::Haurwitz,
             weather,
             seed_stream,
+            turbidity: 0.0,
         }
     }
 }
@@ -167,6 +168,12 @@ pub struct SiteConfig {
     /// Per-site seed stream mixed into the generator seed so different
     /// sites never share random sequences even with equal user seeds.
     pub seed_stream: u64,
+    /// Fraction of the clear-sky irradiance removed by stable
+    /// atmospheric haze/aerosols, in `[0, 0.8]` (0 = the clean
+    /// envelope). Unlike the stochastic weather attenuation this is
+    /// deterministic: it scales the cloudless ceiling itself — the
+    /// catalog generators' turbidity axis.
+    pub turbidity: f64,
 }
 
 #[cfg(test)]

@@ -303,6 +303,33 @@ impl WeatherModel {
         }
     }
 
+    /// Returns this model tilted toward cloudier (`factor > 1`) or
+    /// clearer (`factor < 1`) skies — the catalog generators' continuous
+    /// cloudiness axis. Each transition row re-weights the chance of
+    /// landing in the clear state by `1/factor` and the overcast state
+    /// by `factor` (then renormalizes), and convective churn
+    /// (`transits_per_hour`) scales with `√factor`. `factor = 1.0`
+    /// returns the model bit-unchanged, so existing presets keep their
+    /// exact trace streams. The result validates whenever `self` does
+    /// and `factor` is finite and positive.
+    pub fn with_cloudiness(mut self, factor: f64) -> WeatherModel {
+        if factor == 1.0 {
+            return self;
+        }
+        for row in &mut self.transition {
+            row[0] /= factor;
+            row[2] *= factor;
+            let sum: f64 = row.iter().sum();
+            for p in row.iter_mut() {
+                *p /= sum;
+            }
+        }
+        for condition in &mut self.conditions {
+            condition.transits_per_hour *= factor.sqrt();
+        }
+        self
+    }
+
     /// Validates that the transition matrix is row-stochastic and all
     /// parameters are in range. Returns a description of the first
     /// violation, if any.
@@ -423,6 +450,24 @@ mod tests {
                 "state {i}: empirical {freq} vs stationary {}",
                 pi[i]
             );
+        }
+    }
+
+    #[test]
+    fn cloudiness_tilt_orders_stationary_clearness() {
+        let base = WeatherModel::temperate();
+        let clear_frac = |m: &WeatherModel| m.stationary_distribution()[0];
+        let cloudier = base.clone().with_cloudiness(2.0);
+        let clearer = base.clone().with_cloudiness(0.5);
+        cloudier.validate().unwrap();
+        clearer.validate().unwrap();
+        assert!(clear_frac(&cloudier) < clear_frac(&base));
+        assert!(clear_frac(&clearer) > clear_frac(&base));
+        // Identity is bit-exact: existing presets keep their streams.
+        assert_eq!(base.clone().with_cloudiness(1.0), base);
+        // Every factor in the generators' range yields a valid model.
+        for factor in [0.125, 0.25, 0.75, 1.5, 4.0, 8.0] {
+            base.clone().with_cloudiness(factor).validate().unwrap();
         }
     }
 

@@ -48,7 +48,11 @@ impl Regime {
         }
     }
 
-    /// Classifies a scenario by its site's climate family.
+    /// Classifies a scenario by its site's climate family. Generated
+    /// ([`SiteSpec::Shaped`]) sites classify by their climate preset —
+    /// the cloudiness/turbidity shaping tilts the weather *within* a
+    /// family, it never crosses one — so every scenario, hand-written
+    /// or generated, lands in exactly one regime.
     pub fn of(scenario: &Scenario) -> Regime {
         match &scenario.site {
             SiteSpec::Paper(site) => match site {
@@ -59,7 +63,7 @@ impl Regime {
                 Site::Hsu => Regime::Marine,
                 Site::Spmd | Site::Ecsu | Site::Ornl => Regime::Temperate,
             },
-            SiteSpec::Custom { climate, .. } => match climate {
+            SiteSpec::Custom { climate, .. } | SiteSpec::Shaped { climate, .. } => match climate {
                 Climate::Desert => Regime::Desert,
                 Climate::Temperate => Regime::Temperate,
                 Climate::Marine => Regime::Marine,
@@ -137,6 +141,20 @@ mod tests {
         assert_eq!(
             Regime::of(catalog.get("arctic-winter").unwrap()),
             Regime::Arctic
+        );
+    }
+
+    #[test]
+    fn generated_scenarios_classify_into_exactly_one_family_each() {
+        use scenario_fleet::CatalogGenerator;
+        let catalog = CatalogGenerator::new(17).generate(60).unwrap();
+        let groups = group_by_regime(catalog.scenarios());
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, catalog.len(), "grouping must partition");
+        assert_eq!(
+            groups.len(),
+            Regime::ALL.len(),
+            "an interleaved generated catalog covers every family"
         );
     }
 

@@ -8,6 +8,7 @@
 //! cargo run --release --example fleet_scorecard -- 42 8
 //! cargo run --release --example fleet_scorecard -- 42 --shards 4
 //! cargo run --release --example fleet_scorecard -- --smoke
+//! cargo run --release --example fleet_scorecard -- --generated 64 --smoke
 //! ```
 //!
 //! * positional args: master seed, then worker-thread count;
@@ -17,14 +18,20 @@
 //! * `--smoke` — a fast matrix that still spans a multi-year horizon:
 //!   four regimes including the 3-year la-niña entry, evaluated under a
 //!   bounded trace-cache budget so the multi-year scenario runs
-//!   streamed (no full-horizon trace in memory).
+//!   streamed (no full-horizon trace in memory);
+//! * `--generated N` — replace the builtin catalog with `N` scenarios
+//!   from the parameterized catalog generator (seeded by the master
+//!   seed; up to ~290 regimes across five climate families), evaluated
+//!   under the bounded budget so most of the fleet streams. With
+//!   `--smoke`, the predictor family shrinks to the guideline set.
 //!
 //! The run is deterministic for a given seed: the scorecard JSON (also
 //! written to `target/fleet_scorecard.json`) is byte-identical across
 //! runs, thread counts, shard counts, and trace-cache policies.
 
 use scenario_fleet::{
-    Catalog, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, Scorecard, TraceCachePolicy,
+    Catalog, CatalogGenerator, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, Scorecard,
+    TraceCachePolicy,
 };
 use std::error::Error;
 
@@ -32,6 +39,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut positional: Vec<u64> = Vec::new();
     let mut shards: Option<usize> = None;
     let mut smoke = false;
+    let mut generated: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -40,6 +48,10 @@ fn main() -> Result<(), Box<dyn Error>> {
                 let count = args.next().ok_or("--shards needs a count")?;
                 shards = Some(count.parse()?);
             }
+            "--generated" => {
+                let count = args.next().ok_or("--generated needs a count")?;
+                generated = Some(count.parse()?);
+            }
             other => positional.push(other.parse()?),
         }
     }
@@ -47,7 +59,23 @@ fn main() -> Result<(), Box<dyn Error>> {
     let threads = positional.get(1).map(|&t| t as usize);
 
     let catalog = Catalog::builtin();
-    let (scenarios, predictors) = if smoke {
+    let (scenarios, predictors) = if let Some(count) = generated {
+        // The parameterized catalog: `count` regimes expanded from the
+        // master seed, round-robin across the five climate families.
+        let generator = CatalogGenerator::new(seed);
+        println!(
+            "generated catalog: {count} of {} template regimes (seed {seed})",
+            generator.total()
+        );
+        (
+            generator.generate(count)?.scenarios().to_vec(),
+            if smoke {
+                PredictorSpec::guideline_family()
+            } else {
+                PredictorSpec::extended_family()
+            },
+        )
+    } else if smoke {
         // Four regimes spanning desert → polar plus the 3-year la-niña
         // anomaly — the multi-year entry is the point of the smoke run.
         let names = [

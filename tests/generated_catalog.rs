@@ -1,0 +1,339 @@
+//! Generator-space property tests and the generated-fleet golden pin.
+//!
+//! The parameterized catalog generators widen the evaluation surface
+//! from 13 hand-written regimes to hundreds; these tests hold the three
+//! contracts that make that scale trustworthy:
+//!
+//! 1. **generator space is well-formed** — for arbitrary seeds and axis
+//!    ranges, every generated scenario round-trips through JSON
+//!    byte-exactly, carries a unique stable id, and classifies into
+//!    exactly one climate regime ([`Regime::of`]);
+//! 2. **the pipeline is path-independent** — streamed and materialized
+//!    scorecards agree byte-for-byte on sampled generated matrices, and
+//!    a sharded 200-regime run merges back to the unsharded scorecard
+//!    byte-for-byte;
+//! 3. **the 200-regime scorecard is pinned** — one golden FNV-1a digest
+//!    across 1/2/8 worker threads and multiple shard counts, evaluated
+//!    under a 4 MiB trace budget so most of the fleet streams.
+
+use fleet_tuner::{group_by_regime, Regime};
+use proptest::prelude::*;
+use scenario_fleet::{
+    Catalog, CatalogGenerator, Climate, FalloffProfile, FaultMix, FleetEngine, FleetFault,
+    FleetMatrix, ManagerSpec, NodeProfile, PredictorSpec, RegimeTemplate, Scenario, Scorecard,
+    SiteSpec, SpatialFalloff, TraceCachePolicy,
+};
+
+/// The regime a generated (Shaped) scenario must land in.
+fn expected_regime(climate: Climate) -> Regime {
+    match climate {
+        Climate::Desert => Regime::Desert,
+        Climate::Temperate => Regime::Temperate,
+        Climate::Marine => Regime::Marine,
+        Climate::Monsoon => Regime::Monsoon,
+        Climate::Arctic => Regime::Arctic,
+    }
+}
+
+/// A one-family template assembled from arbitrary axis draws
+/// (deduplicated — duplicate axis values are a template error by
+/// contract).
+fn arbitrary_template() -> impl Strategy<Value = RegimeTemplate> {
+    let dedup = |v: Vec<f64>| {
+        let mut out: Vec<f64> = Vec::new();
+        for x in v {
+            if !out.iter().any(|y| y.to_bits() == x.to_bits()) {
+                out.push(x);
+            }
+        }
+        out
+    };
+    (
+        0usize..Climate::ALL.len(),
+        proptest::collection::vec(-80.0f64..80.0, 1..4).prop_map(dedup),
+        proptest::collection::vec(0.2f64..4.0, 1..3).prop_map(dedup),
+        proptest::collection::vec(0.0f64..0.7, 1..3).prop_map(dedup),
+        0usize..3,
+    )
+        .prop_map(
+            |(climate_idx, latitudes, cloudiness, turbidity, mix_idx)| RegimeTemplate {
+                family: "prop-family".to_string(),
+                climate: Climate::ALL[climate_idx],
+                latitudes_deg: latitudes,
+                cloudiness,
+                turbidity,
+                nodes: vec![NodeProfile::Mote, NodeProfile::TinyMote],
+                fault_mixes: vec![
+                    FaultMix::Clean,
+                    [FaultMix::Aging, FaultMix::Gappy, FaultMix::Dimmed][mix_idx],
+                ],
+                days: 30,
+                slots_per_day: 48,
+                resolution_minutes: 5,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generated_scenarios_round_trip_with_unique_ids_and_one_regime(
+        template in arbitrary_template(),
+        seed in 0u64..1_000_000,
+    ) {
+        let generator = CatalogGenerator::with_templates(seed, vec![template.clone()]).unwrap();
+        let catalog = generator.expand_all().unwrap();
+        prop_assert_eq!(catalog.len(), template.count());
+        let mut seen = std::collections::BTreeSet::new();
+        for scenario in catalog.scenarios() {
+            // Unique, seed-salted id.
+            prop_assert!(seen.insert(scenario.name.clone()), "{} repeats", scenario.name);
+            prop_assert!(scenario.name.starts_with(&format!("g{seed:x}-")));
+            // Byte-exact JSON round trip.
+            let text = scenario.to_json().render_pretty();
+            let back = Scenario::from_json_str(&text).unwrap();
+            prop_assert_eq!(&back, scenario);
+            prop_assert_eq!(back.to_json().render_pretty(), text);
+            // Exactly one regime family, and the right one.
+            prop_assert_eq!(Regime::of(scenario), expected_regime(template.climate));
+        }
+        let groups = group_by_regime(catalog.scenarios());
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        prop_assert_eq!(total, catalog.len(), "regime grouping must partition");
+        prop_assert_eq!(groups.len(), 1, "one climate family per template");
+    }
+
+    #[test]
+    fn builtin_generator_spans_families_for_any_seed(seed in 0u64..1_000_000) {
+        let catalog = CatalogGenerator::new(seed).generate(25).unwrap();
+        let groups = group_by_regime(catalog.scenarios());
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        prop_assert_eq!(total, catalog.len());
+        prop_assert_eq!(groups.len(), Regime::ALL.len(),
+            "round-robin generation must cover every regime family");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn streamed_and_materialized_scorecards_agree_on_generated_matrices(
+        seed in 0u64..100_000,
+        count in 2usize..6,
+    ) {
+        let catalog = CatalogGenerator::new(seed).generate(count).unwrap();
+        let matrix = FleetMatrix::new(
+            vec![PredictorSpec::Wcma { alpha: 0.7, days: 10, k: 2 }],
+            vec![ManagerSpec::EnergyNeutral { target_soc: 0.5, gain: 0.25 }],
+            catalog.scenarios().to_vec(),
+        ).unwrap();
+        let materialized = FleetEngine::new(seed).run(&matrix).unwrap();
+        let streaming_engine =
+            FleetEngine::new(seed).with_trace_cache(TraceCachePolicy::streaming_only());
+        let mut cache = streaming_engine.new_cache();
+        let streamed = streaming_engine.run_cached(&matrix, &mut cache).unwrap();
+        prop_assert_eq!(streamed.streamed_jobs, matrix.job_count());
+        prop_assert_eq!(cache.trace_count(), 0, "streaming-only must not materialize");
+        prop_assert_eq!(
+            streamed.scorecard.to_json_string(),
+            materialized.scorecard.to_json_string(),
+            "streamed vs materialized scorecards must be byte-identical"
+        );
+    }
+}
+
+/// A fixed-axis latitude sweep for the falloff tests below.
+fn latitude_sweep(latitudes: Vec<f64>) -> Catalog {
+    let template = RegimeTemplate {
+        family: "sweep".to_string(),
+        climate: Climate::Temperate,
+        latitudes_deg: latitudes,
+        cloudiness: vec![1.0],
+        turbidity: vec![0.0],
+        nodes: vec![NodeProfile::Mote],
+        fault_mixes: vec![FaultMix::Clean],
+        days: 30,
+        slots_per_day: 48,
+        resolution_minutes: 5,
+    };
+    CatalogGenerator::with_templates(9, vec![template])
+        .unwrap()
+        .expand_all()
+        .unwrap()
+}
+
+#[test]
+fn graded_storm_severity_fades_monotonically_across_a_generated_sweep() {
+    let catalog = latitude_sweep(vec![40.0, 46.0, 52.0, 58.0, 64.0]);
+    let storm = FleetFault::RegionalStorm {
+        window_start_day: 21,
+        window_end_day: 28,
+        duration_days: 4,
+        depth: 0.8,
+        region: SpatialFalloff::new(40.0, 2200.0, FalloffProfile::Cosine),
+    };
+    // Severity is monotonically non-increasing with distance from the
+    // epicenter, and the projected dimming factors track it exactly.
+    let mut previous = f64::INFINITY;
+    for scenario in catalog.scenarios() {
+        let latitude = match scenario.site {
+            SiteSpec::Shaped { latitude_deg, .. } => latitude_deg,
+            _ => unreachable!("generated scenarios are Shaped"),
+        };
+        let severity = storm.severity_at(latitude);
+        assert!(
+            severity <= previous + 1e-12,
+            "severity rose at {latitude}° ({severity} > {previous})"
+        );
+        previous = severity;
+        let projected = storm.project(5, scenario).unwrap();
+        if severity > 0.0 {
+            match projected[..] {
+                [scenario_fleet::FaultSpec::ClimateDimming { factor, .. }] => {
+                    assert!((factor - (1.0 - severity)).abs() < 1e-12)
+                }
+                ref other => panic!("unexpected projection {other:?}"),
+            }
+        } else {
+            assert!(projected.is_empty(), "beyond the radius nothing projects");
+        }
+    }
+    // 2200 km ≈ 19.8°: 58°N is inside (graded), 64°N is beyond → zero.
+    assert!(storm.severity_at(58.0) > 0.0);
+    assert_eq!(storm.severity_at(64.0), 0.0);
+}
+
+#[test]
+fn graded_fleet_events_thread_through_the_engine() {
+    // Three generated sites: at the epicenter, mid-falloff, and beyond
+    // the radius. The engine projects the graded storm into each before
+    // running, so harvest falls where the storm reaches and the distant
+    // site's outcome is untouched bit-for-bit.
+    let catalog = latitude_sweep(vec![40.0, 52.0, 64.0]);
+    let storm = FleetFault::RegionalStorm {
+        window_start_day: 21,
+        window_end_day: 28,
+        duration_days: 6,
+        depth: 0.8,
+        region: SpatialFalloff::new(40.0, 2200.0, FalloffProfile::Cosine),
+    };
+    let matrix = |faults: Vec<FleetFault>| {
+        FleetMatrix::new(
+            vec![PredictorSpec::Wcma {
+                alpha: 0.7,
+                days: 10,
+                k: 2,
+            }],
+            vec![ManagerSpec::Greedy],
+            catalog.scenarios().to_vec(),
+        )
+        .unwrap()
+        .with_fleet_faults(faults)
+        .unwrap()
+    };
+    let engine = FleetEngine::new(12);
+    let clean = engine.run(&matrix(vec![])).unwrap();
+    let stormy = engine.run(&matrix(vec![storm])).unwrap();
+    let harvested = |result: &scenario_fleet::FleetResult, idx: usize| {
+        result
+            .outcomes
+            .iter()
+            .find(|o| o.spec.scenario_idx == idx)
+            .unwrap()
+            .report
+            .harvested_j
+    };
+    // Epicentral and mid-falloff sites lose harvest, the epicentral one
+    // by a larger fraction (deeper dimming).
+    let epicenter_ratio = harvested(&stormy, 0) / harvested(&clean, 0);
+    let mid_ratio = harvested(&stormy, 1) / harvested(&clean, 1);
+    assert!(epicenter_ratio < 1.0, "epicenter must lose harvest");
+    assert!(
+        epicenter_ratio < mid_ratio && mid_ratio < 1.0,
+        "falloff must grade the loss: {epicenter_ratio} vs {mid_ratio}"
+    );
+    // Beyond the radius: bit-identical outcome.
+    assert_eq!(
+        harvested(&stormy, 2),
+        harvested(&clean, 2),
+        "a site beyond the radius must be untouched"
+    );
+}
+
+/// Seed of the pinned 200-regime run.
+const GOLDEN_SEED: u64 = 2026;
+/// FNV-1a digest of the 200-regime scorecard JSON. This is a golden
+/// regression pin: it must not move unless the scorecard format, the
+/// generator templates, or the synthesis pipeline deliberately change.
+const GOLDEN_DIGEST: u64 = 0xf6f8_c0ad_9b38_dde4;
+
+#[test]
+fn golden_200_regime_scorecard_is_identical_across_threads_and_shards() {
+    let catalog = CatalogGenerator::new(GOLDEN_SEED).generate(200).unwrap();
+    assert_eq!(catalog.len(), 200);
+    let matrix = FleetMatrix::new(
+        vec![PredictorSpec::Wcma {
+            alpha: 0.7,
+            days: 10,
+            k: 2,
+        }],
+        vec![ManagerSpec::EnergyNeutral {
+            target_soc: 0.5,
+            gain: 0.25,
+        }],
+        catalog.scenarios().to_vec(),
+    )
+    .unwrap();
+
+    let budget = 4u64 << 20;
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        let engine = FleetEngine::new(GOLDEN_SEED)
+            .with_threads(threads)
+            .with_trace_cache(TraceCachePolicy::bounded(budget));
+        let mut cache = engine.new_cache();
+        let result = engine.run_cached(&matrix, &mut cache).unwrap();
+        // The 4 MiB budget admits ~60 of the 200 traces; the rest run
+        // through the streaming path.
+        assert!(
+            result.streamed_jobs >= 100,
+            "threads {threads}: only {} jobs streamed",
+            result.streamed_jobs
+        );
+        assert!(cache.trace_bytes() as u64 <= budget);
+        let json = result.scorecard.to_json_string();
+
+        // Sharded reductions (answered from the warm cache) merge back
+        // to the monolithic scorecard byte-for-byte.
+        for shard_count in [2usize, 7] {
+            let sharded = engine
+                .run_sharded_cached(&matrix, shard_count, &mut cache)
+                .unwrap();
+            assert_eq!(sharded.cached_jobs, matrix.job_count());
+            assert_eq!(sharded.shards.len(), shard_count);
+            let merged = Scorecard::merge_shards(&sharded.manifest, &sharded.shards).unwrap();
+            assert_eq!(
+                merged.to_json_string(),
+                json,
+                "threads {threads}, {shard_count} shards: merge diverged"
+            );
+        }
+
+        match &reference {
+            None => reference = Some(json),
+            Some(reference) => assert_eq!(
+                &json, reference,
+                "threads {threads}: scorecard bytes diverged"
+            ),
+        }
+    }
+
+    let digest = solar_trace::hash::fnv1a(reference.as_ref().unwrap());
+    assert_eq!(
+        digest, GOLDEN_DIGEST,
+        "200-regime scorecard digest drifted — if the change is deliberate \
+         (scorecard format, templates, or synthesis), re-pin GOLDEN_DIGEST"
+    );
+}
