@@ -1,0 +1,70 @@
+//! The single-pass hot path end to end: day-constant synthesis
+//! throughput, and one scenario's slot pass fanning out to a whole
+//! predictor × manager block — the unit of work every fleet run and
+//! tuner round is made of.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scenario_fleet::{
+    CatalogGenerator, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, TraceCachePolicy,
+};
+use solar_synth::{Site, TraceGenerator};
+use solar_trace::SlotsPerDay;
+use std::hint::black_box;
+
+/// Streaming synthesis at N = 48: the generator's per-day constants
+/// (declination, `sin φ sin δ`, `cos φ cos δ`, hour-angle cosine grid)
+/// are hoisted out of the sample loop; this measures what remains.
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_synthesis");
+    for days in [10usize, 60] {
+        let generator = TraceGenerator::new(Site::Hsu.config(), 0xBE);
+        let n = SlotsPerDay::new(48).unwrap();
+        group.throughput(Throughput::Elements((days * 48) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(days), &days, |b, &days| {
+            b.iter(|| {
+                let mut sum = 0.0;
+                for slot in generator.slot_stream(days, n).unwrap() {
+                    sum += slot.mean_power;
+                }
+                black_box(sum)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A generated-catalog block (guideline family × default managers) over
+/// a handful of regimes — one slot pass per scenario feeds all fifteen
+/// job machines, materialized or streamed.
+fn bench_generated_block(c: &mut Criterion) {
+    let catalog = CatalogGenerator::new(2026).generate(4).unwrap();
+    let matrix = FleetMatrix::new(
+        PredictorSpec::guideline_family(),
+        ManagerSpec::default_set(),
+        catalog.scenarios().to_vec(),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("hotpath_generated_block");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(
+        matrix
+            .scenarios
+            .iter()
+            .map(|s| (s.days * s.slots_per_day as usize) as u64)
+            .sum::<u64>()
+            * (matrix.predictors.len() * matrix.managers.len()) as u64,
+    ));
+    for (label, policy) in [
+        ("materialized", TraceCachePolicy::unbounded()),
+        ("streaming", TraceCachePolicy::streaming_only()),
+    ] {
+        group.bench_function(label, |b| {
+            let engine = FleetEngine::new(2026).with_trace_cache(policy);
+            b.iter(|| black_box(engine.run(&matrix).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_generated_block);
+criterion_main!(benches);

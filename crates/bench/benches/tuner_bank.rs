@@ -1,0 +1,115 @@
+//! Batched candidate evaluation: the [`CandidateBank`] kernel against
+//! per-candidate solo predictors, and a whole warm-cache tuner
+//! refinement round through the single-pass engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use param_explore::ParamGrid;
+use scenario_fleet::{Catalog, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec};
+use solar_predict::{CandidateBank, Predictor, WcmaParams, WcmaPredictor};
+use std::hint::black_box;
+
+const N: usize = 48;
+
+fn grid_params(alphas: &[f64]) -> Vec<WcmaParams> {
+    let mut params = Vec::new();
+    for &alpha in alphas {
+        for days in [6usize, 10, 15] {
+            for k in [1usize, 2, 3] {
+                params.push(WcmaParams::new(alpha, days, k, N).unwrap());
+            }
+        }
+    }
+    params
+}
+
+fn toy_slot(step: usize) -> f64 {
+    let slot = step % N;
+    let x = (slot as f64 / N as f64 - 0.5) * 6.0;
+    900.0 * (-x * x).exp() * (0.6 + ((step * 7919) % 89) as f64 / 200.0)
+}
+
+/// 27 candidates over 30 days of slots: one shared-kernel pass versus
+/// 27 solo predictor runs (the pre-bank tuner round cost).
+fn bench_bank_vs_solo(c: &mut Criterion) {
+    let params = grid_params(&[0.45, 0.7, 0.95]);
+    let slots = N * 30;
+    let mut group = c.benchmark_group("bank_vs_solo_27_candidates");
+    group.throughput(Throughput::Elements((slots * params.len()) as u64));
+    group.bench_function("bank", |b| {
+        b.iter(|| {
+            let mut bank = CandidateBank::new(params.clone()).unwrap();
+            let mut acc = 0.0;
+            for step in 0..slots {
+                acc += bank.observe_and_predict(toy_slot(step))[0];
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("solo", |b| {
+        b.iter(|| {
+            let mut solos: Vec<WcmaPredictor> =
+                params.iter().map(|&p| WcmaPredictor::new(p)).collect();
+            let mut acc = 0.0;
+            for step in 0..slots {
+                let measured = toy_slot(step);
+                for solo in &mut solos {
+                    acc += solo.observe_and_predict(measured);
+                }
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+/// A warm-cache refinement round: the coarse grid's outcomes are
+/// cached; the round scores the `refined_around` grid's fresh
+/// candidates on two scenarios — one slot pass per scenario, all
+/// candidates banked.
+fn bench_refinement_round(c: &mut Criterion) {
+    let catalog = Catalog::builtin();
+    let scenarios = vec![
+        catalog.get("desert-clear-sky").unwrap().clone(),
+        catalog.get("marine-fog").unwrap().clone(),
+    ];
+    let coarse = ParamGrid::builder()
+        .alphas(vec![0.0, 0.5, 1.0])
+        .days(vec![2, 10, 20])
+        .ks(vec![1, 2, 4])
+        .build()
+        .unwrap();
+    let mut base = FleetMatrix::new(
+        PredictorSpec::family_from_grid(&coarse),
+        vec![ManagerSpec::EnergyNeutral {
+            target_soc: 0.5,
+            gain: 0.25,
+        }],
+        scenarios,
+    )
+    .unwrap();
+    let engine = FleetEngine::new(0xBEEF);
+    let mut warm = engine.new_cache();
+    engine.run_cached(&base, &mut warm).unwrap();
+    let refined = coarse.refined_around(0.5, 10, 2).unwrap();
+    let mut fresh = 0u64;
+    for spec in PredictorSpec::family_from_grid(&refined) {
+        if !base.predictors.contains(&spec) {
+            base.predictors.push(spec);
+            fresh += 1;
+        }
+    }
+
+    let mut group = c.benchmark_group("tuner_refinement_round");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(fresh));
+    group.bench_with_input(BenchmarkId::from_parameter(fresh), &fresh, |b, _| {
+        b.iter(|| {
+            let mut cache = warm.clone();
+            black_box(engine.run_cached(&base, &mut cache).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bank_vs_solo, bench_refinement_round);
+criterion_main!(benches);

@@ -1,0 +1,414 @@
+//! Batched WCMA kernel evaluation: every tuner grid point over **one**
+//! observation pass.
+//!
+//! A parameter search scores dozens of (α, D, K) candidates against the
+//! same observed slot stream. Run solo, each candidate re-derives the
+//! same `E_{D×N}` history, the same `μ_D` column means and the same η
+//! ratios from scratch — `candidate_count()` full passes over the
+//! trace. The [`CandidateBank`] folds them into one pass by sharing
+//! everything that is a pure function of the observations:
+//!
+//! * one day buffer and one [`DayHistory`](crate::DayHistory) sized to the deepest D;
+//! * one prefix-sum column walk per slot serving every distinct D
+//!   (`μ_d = prefix[d−1] / d`, the same additions in the same order as
+//!   a solo `mean`);
+//! * one η ring per distinct D (η depends only on D), deep enough for
+//!   the largest K that conditions on it;
+//! * one Φ per distinct (D, K, policy), shared by every α.
+//!
+//! **Per-candidate arithmetic is unchanged**: each prediction is
+//! composed from the identical intermediate values a solo
+//! [`WcmaPredictor`](crate::WcmaPredictor) computes, in the identical floating-point order,
+//! so every candidate's prediction stream is bit-identical to its solo
+//! run (property-tested). Per-slot cost drops from
+//! `Σ_candidates O(D + K)` to `O(max D + Σ distinct (D,K))` plus one
+//! multiply-add per candidate.
+
+use crate::error::ParamError;
+use crate::history::DayHistory;
+use crate::params::{KWindowPolicy, WcmaParams};
+use crate::wcma::{conditioning_ratio, phi_over_ring, theta_weights};
+use std::collections::VecDeque;
+
+/// One Φ window shape within a D group: a distinct (K, policy) pair and
+/// its precomputed θ weights. `phi` is per-slot scratch.
+#[derive(Clone, Debug)]
+struct KSlot {
+    k: usize,
+    policy: KWindowPolicy,
+    thetas: Vec<f64>,
+    phi: f64,
+}
+
+/// The shared state of every candidate with one history depth D.
+#[derive(Clone, Debug)]
+struct DGroup {
+    days: usize,
+    /// Ring depth: the largest K conditioning on this D.
+    ring_cap: usize,
+    /// Last `ring_cap` η ratios, most recent first (η depends only on D).
+    ratios: VecDeque<f64>,
+    /// Ring entries belonging to the current day, saturated at the ring
+    /// depth — the clamp policy's renormalization boundary.
+    today: usize,
+    k_slots: Vec<KSlot>,
+}
+
+/// A registered candidate: its α plus indices into the shared state.
+#[derive(Clone, Debug)]
+struct Candidate {
+    alpha: f64,
+    group: usize,
+    k_slot: usize,
+}
+
+/// Evaluates many WCMA parameterizations over a single slot stream,
+/// bit-identically to running each [`WcmaPredictor`](crate::WcmaPredictor) solo.
+///
+/// # Example
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use solar_predict::{CandidateBank, Predictor, WcmaParams, WcmaPredictor};
+///
+/// let grid = vec![
+///     WcmaParams::new(0.3, 5, 2, 24)?,
+///     WcmaParams::new(0.7, 10, 3, 24)?,
+/// ];
+/// let mut bank = CandidateBank::new(grid.clone())?;
+/// let mut solo: Vec<WcmaPredictor> = grid.into_iter().map(WcmaPredictor::new).collect();
+/// for step in 0..100 {
+///     let measured = (step % 24) as f64 * 10.0;
+///     let banked = bank.observe_and_predict(measured).to_vec();
+///     for (candidate, predictor) in banked.iter().zip(&mut solo) {
+///         assert_eq!(candidate.to_bits(), predictor.observe_and_predict(measured).to_bits());
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct CandidateBank {
+    slots_per_day: usize,
+    max_days: usize,
+    history: DayHistory,
+    /// Slot-start measurements of the current (incomplete) day.
+    current: Vec<f64>,
+    cursor: usize,
+    groups: Vec<DGroup>,
+    candidates: Vec<Candidate>,
+    /// Per-candidate output of the latest slot, in registration order.
+    predictions: Vec<f64>,
+    /// Prefix-sum scratch for the shared column walks.
+    prefix: Vec<f64>,
+}
+
+impl CandidateBank {
+    /// Builds a bank over `candidates` (evaluated in input order by
+    /// [`CandidateBank::observe_and_predict`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`ParamError::EmptyBank`] for an empty candidate list.
+    /// * [`ParamError::MixedBankSlots`] unless every candidate shares
+    ///   one discretization N.
+    pub fn new(candidates: Vec<WcmaParams>) -> Result<Self, ParamError> {
+        let Some(first) = candidates.first() else {
+            return Err(ParamError::EmptyBank);
+        };
+        let slots_per_day = first.slots_per_day();
+        let mut groups: Vec<DGroup> = Vec::new();
+        let mut registered = Vec::with_capacity(candidates.len());
+        for params in &candidates {
+            if params.slots_per_day() != slots_per_day {
+                return Err(ParamError::MixedBankSlots {
+                    expected: slots_per_day,
+                    got: params.slots_per_day(),
+                });
+            }
+            let group = match groups.iter().position(|g| g.days == params.days()) {
+                Some(idx) => idx,
+                None => {
+                    groups.push(DGroup {
+                        days: params.days(),
+                        ring_cap: 0,
+                        ratios: VecDeque::new(),
+                        today: 0,
+                        k_slots: Vec::new(),
+                    });
+                    groups.len() - 1
+                }
+            };
+            let slots = &mut groups[group].k_slots;
+            let k_slot = match slots
+                .iter()
+                .position(|s| s.k == params.k() && s.policy == params.k_policy())
+            {
+                Some(idx) => idx,
+                None => {
+                    slots.push(KSlot {
+                        k: params.k(),
+                        policy: params.k_policy(),
+                        thetas: theta_weights(params.k()),
+                        phi: 1.0,
+                    });
+                    slots.len() - 1
+                }
+            };
+            registered.push(Candidate {
+                alpha: params.alpha(),
+                group,
+                k_slot,
+            });
+        }
+        for group in &mut groups {
+            group.ring_cap = group.k_slots.iter().map(|s| s.k).max().expect("non-empty");
+            group.ratios.reserve(group.ring_cap);
+        }
+        let max_days = groups.iter().map(|g| g.days).max().expect("non-empty");
+        Ok(CandidateBank {
+            slots_per_day,
+            max_days,
+            history: DayHistory::new(slots_per_day, max_days),
+            current: vec![0.0; slots_per_day],
+            cursor: 0,
+            groups,
+            predictions: vec![0.0; candidates.len()],
+            prefix: Vec::with_capacity(max_days),
+            candidates: registered,
+        })
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// `true` when the bank holds no candidates (unreachable through
+    /// [`CandidateBank::new`], which rejects empty input).
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The shared discretization N.
+    pub fn slots_per_day(&self) -> usize {
+        self.slots_per_day
+    }
+
+    /// Observes one slot-boundary measurement and returns every
+    /// candidate's prediction for the next slot, in registration order.
+    /// Each entry is bit-identical to what a solo
+    /// [`observe_and_predict`](crate::Predictor::observe_and_predict)
+    /// with those parameters returns for the same measurement sequence.
+    pub fn observe_and_predict(&mut self, measured: f64) -> &[f64] {
+        let n = self.slots_per_day;
+        self.current[self.cursor] = measured;
+
+        // Freeze every group's η against the history as of now, and
+        // every (D, K) window's Φ — one column walk serves all D.
+        let written = self
+            .history
+            .prefix_sums(self.cursor, self.max_days, &mut self.prefix);
+        for group in &mut self.groups {
+            let take = group.days.min(written);
+            let mu = (take > 0).then(|| self.prefix[take - 1] / take as f64);
+            let eta = conditioning_ratio(measured, mu);
+            if group.ratios.len() == group.ring_cap {
+                group.ratios.pop_back();
+            }
+            group.ratios.push_front(eta);
+            group.today = (group.today + 1).min(group.ring_cap);
+            for k_slot in &mut group.k_slots {
+                k_slot.phi =
+                    phi_over_ring(&k_slot.thetas, &group.ratios, group.today, k_slot.policy);
+            }
+        }
+
+        // Day rollover before looking up tomorrow's slot mean — the
+        // same ordering as the solo predictor.
+        let target = (self.cursor + 1) % n;
+        if self.cursor + 1 == n {
+            self.history.push_day(&self.current);
+            self.current.fill(0.0);
+            self.cursor = 0;
+            for group in &mut self.groups {
+                group.today = 0;
+            }
+        } else {
+            self.cursor += 1;
+        }
+
+        // μ_D(target) per distinct D from one more column walk, then a
+        // multiply-add per candidate.
+        let written = self
+            .history
+            .prefix_sums(target, self.max_days, &mut self.prefix);
+        for (candidate, prediction) in self.candidates.iter().zip(&mut self.predictions) {
+            let group = &self.groups[candidate.group];
+            let take = group.days.min(written);
+            *prediction = if take > 0 {
+                let mu_next = self.prefix[take - 1] / take as f64;
+                let phi = group.k_slots[candidate.k_slot].phi;
+                candidate.alpha * measured + (1.0 - candidate.alpha) * (mu_next * phi)
+            } else {
+                // Warm-up: no history yet, persistence — as solo.
+                measured
+            };
+        }
+        &self.predictions
+    }
+
+    /// Restores the bank to its freshly constructed state.
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.current.fill(0.0);
+        self.cursor = 0;
+        for group in &mut self.groups {
+            group.ratios.clear();
+            group.today = 0;
+            for k_slot in &mut group.k_slots {
+                k_slot.phi = 1.0;
+            }
+        }
+        self.predictions.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::WcmaParamsBuilder;
+    use crate::predictor::Predictor;
+    use crate::wcma::WcmaPredictor;
+
+    fn grid(n: usize) -> Vec<WcmaParams> {
+        let mut params = Vec::new();
+        for &alpha in &[0.0, 0.3, 0.7, 1.0] {
+            for &days in &[1usize, 3, 10] {
+                for &k in &[1usize, 2, 5] {
+                    params.push(WcmaParams::new(alpha, days, k, n).unwrap());
+                }
+            }
+        }
+        params
+    }
+
+    /// A deterministic pseudo-trace with zeros, spikes and a diurnal
+    /// bump — adversarial for warm-up, night slots and the dawn guard.
+    fn sample(step: usize, n: usize) -> f64 {
+        let slot = step % n;
+        let x = (slot as f64 / n as f64 - 0.5) * 6.0;
+        let diurnal = 900.0 * (-x * x).exp();
+        match step % 11 {
+            0 => 0.0,
+            1 => diurnal * 3.0,
+            _ => diurnal * (0.5 + ((step * 7919) % 97) as f64 / 97.0),
+        }
+    }
+
+    #[test]
+    fn bank_matches_solo_predictors_bit_for_bit() {
+        let n = 24;
+        let params = grid(n);
+        let mut bank = CandidateBank::new(params.clone()).unwrap();
+        let mut solos: Vec<WcmaPredictor> = params.into_iter().map(WcmaPredictor::new).collect();
+        for step in 0..(n * 30) {
+            let measured = sample(step, n);
+            let banked = bank.observe_and_predict(measured).to_vec();
+            for (idx, solo) in solos.iter_mut().enumerate() {
+                let expected = solo.observe_and_predict(measured);
+                assert_eq!(
+                    banked[idx].to_bits(),
+                    expected.to_bits(),
+                    "step {step}, candidate {idx}: {} vs {expected}",
+                    banked[idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_policy_candidates_match_solo() {
+        let n = 12;
+        let params: Vec<WcmaParams> = [(0.4, 3, 2), (0.9, 5, 4)]
+            .iter()
+            .map(|&(alpha, days, k)| {
+                WcmaParamsBuilder::new()
+                    .alpha(alpha)
+                    .days(days)
+                    .k(k)
+                    .slots_per_day(n)
+                    .k_policy(KWindowPolicy::ClampRenormalize)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let mut bank = CandidateBank::new(params.clone()).unwrap();
+        let mut solos: Vec<WcmaPredictor> = params.into_iter().map(WcmaPredictor::new).collect();
+        for step in 0..(n * 9) {
+            let measured = sample(step, n);
+            let banked = bank.observe_and_predict(measured).to_vec();
+            for (idx, solo) in solos.iter_mut().enumerate() {
+                assert_eq!(
+                    banked[idx].to_bits(),
+                    solo.observe_and_predict(measured).to_bits(),
+                    "step {step}, candidate {idx}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_candidates_agree_with_each_other() {
+        let n = 24;
+        let p = WcmaParams::new(0.6, 4, 2, n).unwrap();
+        let mut bank = CandidateBank::new(vec![p, p]).unwrap();
+        for step in 0..(n * 5) {
+            let preds = bank.observe_and_predict(sample(step, n));
+            assert_eq!(preds[0].to_bits(), preds[1].to_bits());
+        }
+    }
+
+    #[test]
+    fn reset_restores_fresh_behaviour() {
+        let n = 24;
+        let params = vec![WcmaParams::new(0.5, 3, 2, n).unwrap()];
+        let mut bank = CandidateBank::new(params.clone()).unwrap();
+        let fresh: Vec<f64> = (0..n * 4)
+            .map(|step| bank.observe_and_predict(sample(step, n))[0])
+            .collect();
+        bank.reset();
+        for (step, &expected) in fresh.iter().enumerate() {
+            let again = bank.observe_and_predict(sample(step, n))[0];
+            assert_eq!(again.to_bits(), expected.to_bits(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn invalid_banks_are_rejected() {
+        assert!(matches!(
+            CandidateBank::new(vec![]),
+            Err(ParamError::EmptyBank)
+        ));
+        let mixed = vec![
+            WcmaParams::new(0.5, 3, 2, 24).unwrap(),
+            WcmaParams::new(0.5, 3, 2, 48).unwrap(),
+        ];
+        assert!(matches!(
+            CandidateBank::new(mixed),
+            Err(ParamError::MixedBankSlots {
+                expected: 24,
+                got: 48
+            })
+        ));
+    }
+
+    #[test]
+    fn accessors_report_the_configuration() {
+        let bank = CandidateBank::new(grid(48)).unwrap();
+        assert_eq!(bank.len(), 36);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.slots_per_day(), 48);
+    }
+}

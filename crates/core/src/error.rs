@@ -33,6 +33,15 @@ pub enum ParamError {
         /// Offending value.
         gamma: f64,
     },
+    /// A candidate bank needs at least one candidate.
+    EmptyBank,
+    /// Every candidate in a bank must share one discretization N.
+    MixedBankSlots {
+        /// The bank's discretization (from its first candidate).
+        expected: usize,
+        /// The mismatched candidate's discretization.
+        got: usize,
+    },
 }
 
 impl fmt::Display for ParamError {
@@ -52,6 +61,15 @@ impl fmt::Display for ParamError {
             }
             ParamError::InvalidGamma { gamma } => {
                 write!(f, "gamma {gamma} must be a finite value in (0, 1]")
+            }
+            ParamError::EmptyBank => {
+                write!(f, "candidate bank needs at least one candidate")
+            }
+            ParamError::MixedBankSlots { expected, got } => {
+                write!(
+                    f,
+                    "bank candidates must share one discretization (N={expected}, got N={got})"
+                )
             }
         }
     }
@@ -74,6 +92,11 @@ mod tests {
             },
             ParamError::InvalidSlots { slots_per_day: 1 },
             ParamError::InvalidGamma { gamma: 0.0 },
+            ParamError::EmptyBank,
+            ParamError::MixedBankSlots {
+                expected: 48,
+                got: 24,
+            },
         ];
         for err in cases {
             assert!(!err.to_string().is_empty());

@@ -8,6 +8,14 @@
 /// against the prediction algorithm's memory budget, motivating the
 /// D ≈ 10–11 guideline.
 ///
+/// Storage is **slot-major** (one contiguous `capacity`-long column per
+/// slot): the hot operation is [`DayHistory::mean`], a walk down one
+/// slot's column every prediction, so a column must be a cache-line
+/// streak — while [`DayHistory::push_day`]'s strided writes happen only
+/// once per day. The summation order of `mean`/`prefix_sums` is
+/// most-recent-day first regardless of layout, so results are
+/// bit-identical to the row-major original.
+///
 /// # Example
 ///
 /// ```
@@ -29,7 +37,8 @@ pub struct DayHistory {
     days_stored: usize,
     /// Next row to overwrite.
     head: usize,
-    /// Row-major `capacity × slots`.
+    /// Slot-major `slots × capacity`: the value of day-row `r` at slot
+    /// `s` lives at `s * capacity + r`.
     data: Vec<f64>,
 }
 
@@ -84,8 +93,9 @@ impl DayHistory {
     /// Panics if `day.len() != slots`.
     pub fn push_day(&mut self, day: &[f64]) {
         assert_eq!(day.len(), self.slots, "day length must equal slots");
-        let start = self.head * self.slots;
-        self.data[start..start + self.slots].copy_from_slice(day);
+        for (slot, &value) in day.iter().enumerate() {
+            self.data[slot * self.capacity + self.head] = value;
+        }
         self.head = (self.head + 1) % self.capacity;
         if self.days_stored < self.capacity {
             self.days_stored += 1;
@@ -99,7 +109,26 @@ impl DayHistory {
             return None;
         }
         let row = (self.head + self.capacity - days_back) % self.capacity;
-        Some(self.data[row * self.slots + slot])
+        Some(self.data[slot * self.capacity + row])
+    }
+
+    /// Folds the most recent `take` days at `slot` (newest first — the
+    /// summation order every caller pins bit-for-bit) into `fold`. The
+    /// ring walk is two descending linear runs over the slot's
+    /// contiguous column, so no per-day modular arithmetic happens.
+    #[inline]
+    fn fold_recent(&self, slot: usize, take: usize, mut fold: impl FnMut(f64)) {
+        let column = &self.data[slot * self.capacity..(slot + 1) * self.capacity];
+        // Rows head-1, head-2, … then wrapping to capacity-1, … —
+        // exactly rows `(head + capacity − back) % capacity` for
+        // back = 1..=take.
+        let unwrapped = take.min(self.head);
+        for row in (self.head - unwrapped..self.head).rev() {
+            fold(column[row]);
+        }
+        for row in (self.capacity - (take - unwrapped)..self.capacity).rev() {
+            fold(column[row]);
+        }
     }
 
     /// `μ_d(slot)`: the mean over the most recent `min(d, days_stored)`
@@ -111,18 +140,16 @@ impl DayHistory {
         }
         let take = d.min(self.days_stored);
         let mut sum = 0.0;
-        for back in 1..=take {
-            let row = (self.head + self.capacity - back) % self.capacity;
-            sum += self.data[row * self.slots + slot];
-        }
+        self.fold_recent(slot, take, |value| sum += value);
         Some(sum / take as f64)
     }
 
     /// Fills `out[i]` with the sum of the most recent `i + 1` days'
     /// values at `slot`, for `i < min(upto, days_stored)`, and returns how
     /// many entries were written. `μ_d(slot)` is then `out[d − 1] / d` in
-    /// O(1) — this is what lets the sweep engine evaluate every `D` of the
-    /// paper's grid in one pass.
+    /// O(1) — this is what lets the sweep engine and the
+    /// [`CandidateBank`](crate::CandidateBank) evaluate every `D` of a
+    /// grid in one column walk.
     ///
     /// `out` is cleared first.
     pub fn prefix_sums(&self, slot: usize, upto: usize, out: &mut Vec<f64>) -> usize {
@@ -132,11 +159,10 @@ impl DayHistory {
         }
         let take = upto.min(self.days_stored);
         let mut sum = 0.0;
-        for back in 1..=take {
-            let row = (self.head + self.capacity - back) % self.capacity;
-            sum += self.data[row * self.slots + slot];
+        self.fold_recent(slot, take, |value| {
+            sum += value;
             out.push(sum);
-        }
+        });
         take
     }
 

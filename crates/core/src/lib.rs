@@ -55,6 +55,7 @@
 //! # }
 //! ```
 
+mod bank;
 mod baseline;
 pub mod dynamic;
 mod error;
@@ -66,6 +67,7 @@ mod predictor;
 mod runner;
 mod wcma;
 
+pub use bank::CandidateBank;
 pub use baseline::{MovingAveragePredictor, PersistencePredictor};
 pub use dynamic::CausalDynamicWcma;
 pub use error::ParamError;
@@ -74,5 +76,5 @@ pub use fixed_point::FixedWcmaPredictor;
 pub use history::DayHistory;
 pub use params::{KWindowPolicy, WcmaParams, WcmaParamsBuilder};
 pub use predictor::Predictor;
-pub use runner::{run_predictor, run_predictor_observed, StreamedPredictorRun};
+pub use runner::{run_predictor, run_predictor_observed, PredictionFeed, StreamedPredictorRun};
 pub use wcma::{conditioning_ratio, WcmaPredictor, WcmaTerms, MAX_CONDITIONING_RATIO};

@@ -108,10 +108,84 @@ pub fn run_predictor_observed(
 /// protocol accumulators so a multi-year pass needs O(1) memory.
 pub struct StreamedPredictorRun<'a, S: RecordSink = PredictionLog> {
     predictor: &'a mut dyn Predictor,
+    feed: PredictionFeed<S>,
+}
+
+/// The record-assembly half of a metrics pass, decoupled from *how* the
+/// prediction was computed: feed `(slot, prediction, references)` in
+/// time order and completed [`PredictionRecord`]s flow into the sink
+/// with exactly the pending-boundary semantics of
+/// [`StreamedPredictorRun`] (which wraps this type around its own
+/// predictor).
+///
+/// This is what lets a [`CandidateBank`](crate::CandidateBank) drive
+/// many candidates' metrics passes from one observation pass: the bank
+/// computes each candidate's prediction once per slot, and each
+/// candidate owns a `PredictionFeed` — the records, and therefore every
+/// evaluated summary, are bit-identical to a solo run's.
+pub struct PredictionFeed<S: RecordSink = PredictionLog> {
     sink: S,
     /// `(day, slot, predicted, actual_mean)` of the just-entered slot,
     /// awaiting the next boundary sample.
     pending: Option<(u32, u32, f64, f64)>,
+}
+
+impl<S: RecordSink> PredictionFeed<S> {
+    /// Starts a feed pushing completed records into `sink`.
+    pub fn new(sink: S) -> Self {
+        PredictionFeed {
+            sink,
+            pending: None,
+        }
+    }
+
+    /// Feeds the slot at `(day, slot)` with an already-computed
+    /// `predicted` value; `true_start` and `true_mean` are the
+    /// ground-truth references entering the record.
+    pub fn on_slot(
+        &mut self,
+        day: usize,
+        slot: usize,
+        predicted: f64,
+        true_start: f64,
+        true_mean: f64,
+    ) {
+        self.flush_pending(true_start);
+        self.open_pending(day, slot, predicted, true_mean);
+    }
+
+    /// Completes the pending record, if any, against the next boundary
+    /// sample. [`PredictionFeed::on_slot`] is exactly this followed by
+    /// [`PredictionFeed::open_pending`]; a caller that knows up front
+    /// which slots an evaluation protocol will discard (the decision
+    /// depends only on the record's day and reference mean — never on
+    /// the prediction) can call the halves selectively and skip record
+    /// assembly on discarded slots entirely, with a bit-identical
+    /// record stream reaching the sink.
+    pub fn flush_pending(&mut self, true_start: f64) {
+        if let Some((p_day, p_slot, predicted, actual_mean)) = self.pending.take() {
+            self.sink.push_record(PredictionRecord {
+                day: p_day,
+                slot: p_slot,
+                predicted,
+                actual_start: true_start,
+                actual_mean,
+            });
+        }
+    }
+
+    /// Opens this slot's record, completed by the next
+    /// [`PredictionFeed::flush_pending`] (see there for when to call
+    /// the halves directly).
+    pub fn open_pending(&mut self, day: usize, slot: usize, predicted: f64, true_mean: f64) {
+        self.pending = Some((day as u32, slot as u32, predicted, true_mean));
+    }
+
+    /// Ends the feed, dropping the final slot's pending record (it has
+    /// no closing boundary) and returning the sink.
+    pub fn finish(self) -> S {
+        self.sink
+    }
 }
 
 impl<'a> StreamedPredictorRun<'a, PredictionLog> {
@@ -153,8 +227,7 @@ impl<'a, S: RecordSink> StreamedPredictorRun<'a, S> {
         );
         StreamedPredictorRun {
             predictor,
-            sink,
-            pending: None,
+            feed: PredictionFeed::new(sink),
         }
     }
 
@@ -169,23 +242,15 @@ impl<'a, S: RecordSink> StreamedPredictorRun<'a, S> {
         true_start: f64,
         true_mean: f64,
     ) {
-        if let Some((p_day, p_slot, predicted, actual_mean)) = self.pending.take() {
-            self.sink.push_record(PredictionRecord {
-                day: p_day,
-                slot: p_slot,
-                predicted,
-                actual_start: true_start,
-                actual_mean,
-            });
-        }
         let predicted = self.predictor.observe_and_predict(observed);
-        self.pending = Some((day as u32, slot as u32, predicted, true_mean));
+        self.feed
+            .on_slot(day, slot, predicted, true_start, true_mean);
     }
 
     /// Ends the run, dropping the final slot's pending record (it has no
     /// closing boundary) and returning the sink.
     pub fn finish(self) -> S {
-        self.sink
+        self.feed.finish()
     }
 }
 

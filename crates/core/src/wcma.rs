@@ -110,6 +110,9 @@ pub struct WcmaPredictor {
     ratios: VecDeque<f64>,
     /// How many of the ring entries belong to the current day.
     ratios_today: usize,
+    /// The θ weight vector `(K − i) / K`, a pure function of (K): built
+    /// once at construction instead of K divisions per slot.
+    thetas: Vec<f64>,
     last_terms: Option<WcmaTerms>,
 }
 
@@ -122,6 +125,7 @@ impl WcmaPredictor {
             cursor: 0,
             ratios: VecDeque::with_capacity(params.k()),
             ratios_today: 0,
+            thetas: theta_weights(params.k()),
             last_terms: None,
             params,
         }
@@ -143,40 +147,63 @@ impl WcmaPredictor {
     }
 
     /// Computes `Φ_K` from the ratio ring. Entry `i` (most recent first)
-    /// carries weight `(K − i) / K`; missing or out-of-policy entries are
-    /// treated per the configured [`KWindowPolicy`].
+    /// carries weight `θ(i) = (K − i) / K`; missing or out-of-policy
+    /// entries are treated per the configured [`KWindowPolicy`].
     fn phi(&self) -> f64 {
-        let k_total = self.params.k();
-        let mut num = 0.0;
-        let mut den = 0.0;
-        for i in 0..k_total {
-            let theta = (k_total - i) as f64 / k_total as f64;
-            let eta = match self.ratios.get(i) {
-                Some(&r) => {
-                    if matches!(self.params.k_policy(), KWindowPolicy::ClampRenormalize)
-                        && i >= self.ratios_today
-                    {
-                        // Entry from before today's first slot: excluded,
-                        // weights renormalized over the rest.
-                        continue;
-                    }
-                    r
+        phi_over_ring(
+            &self.thetas,
+            &self.ratios,
+            self.ratios_today,
+            self.params.k_policy(),
+        )
+    }
+}
+
+/// The θ weight vector of Eq. 3 for a window of `k`: entry `i` (most
+/// recent ratio first) is `(k − i) / k`.
+pub(crate) fn theta_weights(k: usize) -> Vec<f64> {
+    (0..k).map(|i| (k - i) as f64 / k as f64).collect()
+}
+
+/// The Φ computation shared by [`WcmaPredictor`] and the
+/// [`CandidateBank`](crate::CandidateBank): a weighted mean over the
+/// most recent `thetas.len()` ring entries, with `today` saying how many
+/// ring entries belong to the current day (the clamp policy excludes
+/// older ones). The ring may be deeper than the window — only the first
+/// `thetas.len()` entries are read — which is what lets one ring serve
+/// every K of a candidate bank.
+pub(crate) fn phi_over_ring(
+    thetas: &[f64],
+    ratios: &VecDeque<f64>,
+    today: usize,
+    policy: KWindowPolicy,
+) -> f64 {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, &theta) in thetas.iter().enumerate() {
+        let eta = match ratios.get(i) {
+            Some(&r) => {
+                if matches!(policy, KWindowPolicy::ClampRenormalize) && i >= today {
+                    // Entry from before today's first slot: excluded,
+                    // weights renormalized over the rest.
+                    continue;
                 }
-                // Start of the run: neutral ratio, matching the ensemble
-                // engine.
-                None => match self.params.k_policy() {
-                    KWindowPolicy::WrapPreviousDay => 1.0,
-                    KWindowPolicy::ClampRenormalize => continue,
-                },
-            };
-            num += theta * eta;
-            den += theta;
-        }
-        if den > 0.0 {
-            num / den
-        } else {
-            1.0
-        }
+                r
+            }
+            // Start of the run: neutral ratio, matching the ensemble
+            // engine.
+            None => match policy {
+                KWindowPolicy::WrapPreviousDay => 1.0,
+                KWindowPolicy::ClampRenormalize => continue,
+            },
+        };
+        num += theta * eta;
+        den += theta;
+    }
+    if den > 0.0 {
+        num / den
+    } else {
+        1.0
     }
 }
 
@@ -201,8 +228,10 @@ impl Predictor for WcmaPredictor {
         // first slot.
         let target = (self.cursor + 1) % n;
         if self.cursor + 1 == n {
-            let finished = std::mem::replace(&mut self.current, vec![0.0; n]);
-            self.history.push_day(&finished);
+            // The day buffer is pushed in place and reused — no per-day
+            // allocation on the hot path.
+            self.history.push_day(&self.current);
+            self.current.fill(0.0);
             self.cursor = 0;
             self.ratios_today = 0;
         } else {
@@ -298,13 +327,11 @@ mod tests {
         let day = toy_day(24);
         let preds = run_days(&mut p, &day, 8);
         // Prediction emitted at slot s targets slot s+1 (wrapping).
-        #[allow(clippy::needless_range_loop)]
-        for s in 0..24 {
+        for (s, &pred) in preds.iter().enumerate() {
             let target = (s + 1) % 24;
             assert!(
-                (preds[s] - day[target]).abs() < 1e-9,
-                "slot {s} -> {target}: {} vs {}",
-                preds[s],
+                (pred - day[target]).abs() < 1e-9,
+                "slot {s} -> {target}: {pred} vs {}",
                 day[target]
             );
         }

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use solar_predict::dynamic::{ensemble_steps, predict_from_step};
 use solar_predict::fixed_point::FixedWcmaPredictor;
 use solar_predict::{
-    run_predictor, EwmaPredictor, MovingAveragePredictor, PersistencePredictor, Predictor,
-    WcmaParams, WcmaPredictor,
+    run_predictor, CandidateBank, EwmaPredictor, MovingAveragePredictor, PersistencePredictor,
+    Predictor, WcmaParams, WcmaPredictor,
 };
 use solar_trace::{PowerTrace, Resolution, SlotView, SlotsPerDay};
 
@@ -171,5 +171,50 @@ proptest! {
         p.reset();
         let second = run_predictor(&v, &mut p);
         prop_assert_eq!(first, second);
+    }
+
+    /// The batched kernel is the solo kernel: over a random trace, a
+    /// [`CandidateBank`] holding a whole (α, D, K) grid emits, for every
+    /// candidate at every slot, the bit-identical prediction its solo
+    /// [`WcmaPredictor`] emits — the contract that lets one trace pass
+    /// score a tuner round's whole grid.
+    #[test]
+    fn candidate_bank_matches_solo_runs_on_random_traces(
+        trace in trace_strategy(6),
+        alpha_seed in 0u32..4,
+    ) {
+        let alphas = [
+            vec![0.0, 1.0],
+            vec![0.3],
+            vec![0.25, 0.5, 0.75],
+            vec![0.7, 0.9],
+        ][alpha_seed as usize].clone();
+        let mut grid = Vec::new();
+        for &alpha in &alphas {
+            for days in [1usize, 4, 11] {
+                for k in [1usize, 3, 6] {
+                    grid.push(WcmaParams::new(alpha, days, k, N).unwrap());
+                }
+            }
+        }
+        let mut bank = CandidateBank::new(grid.clone()).unwrap();
+        let mut solos: Vec<WcmaPredictor> =
+            grid.into_iter().map(WcmaPredictor::new).collect();
+        let v = view(&trace);
+        for day in 0..v.days() {
+            for slot in 0..N {
+                let measured = v.start_sample(day, slot);
+                let banked = bank.observe_and_predict(measured).to_vec();
+                for (idx, solo) in solos.iter_mut().enumerate() {
+                    let expected = solo.observe_and_predict(measured);
+                    prop_assert_eq!(
+                        banked[idx].to_bits(),
+                        expected.to_bits(),
+                        "day {} slot {} candidate {}: {} vs {}",
+                        day, slot, idx, banked[idx], expected
+                    );
+                }
+            }
+        }
     }
 }

@@ -14,32 +14,62 @@
 //! count, trace-cache policy, shard count, or cache warmth**.
 //! Integration tests pin all four properties.
 //!
-//! # Two passes per job
+//! # The single-pass invariant
 //!
-//! Each job runs the predictor twice over the scenario's slots:
+//! **One slot pass per scenario per run.** Every fresh job of a
+//! scenario — the whole predictor × manager block — is fed from a
+//! single walk over the scenario's slot sequence, and synthesis runs at
+//! most once per scenario per run (once into the trace cache when the
+//! scenario is admitted, once as a [`solar_synth::SlotStream`]
+//! otherwise; multi-year scenarios above the metrics-log cap add one
+//! ROI pre-pass). Growing the candidate axis therefore adds per-slot
+//! arithmetic, never whole passes — [`FleetResult::scenario_passes`]
+//! exposes the count, and the `fleet_hotpath`/`tuner_bank` benches pin
+//! the resulting throughput trajectory (`BENCH_PR5.json`).
 //!
-//! 1. a *metrics pass* scoring predictions against the true slot means
-//!    under the paper's protocol, with measurement faults corrupting the
-//!    predictor's inputs — this is prediction accuracy under adversity;
-//! 2. a *simulation pass* closing the management loop with physical
-//!    faults applied — this is what the accuracy buys (brownouts,
-//!    utilization).
+//! The work-unit granularity is the scenario, so parallelism is across
+//! scenarios: at fleet scale (hundreds of regimes) that saturates any
+//! core count, while a few-scenario × many-predictor matrix trades
+//! per-job parallelism for the shared-kernel savings below — the right
+//! trade everywhere the workspace runs today, revisit if wide matrices
+//! on many-core boxes become a primary shape.
 //!
-//! Both passes realize the identical fault sequence (same seed).
+//! Within a pass, each slot is evaluated in two conceptual halves that
+//! share one fault realization (injectors are pure functions of the
+//! shared seed and slot sequence, and measurement corruption never
+//! depends on the harvest argument — pinned by a faults test):
+//!
+//! 1. a *metrics half* scoring predictions against the true slot means
+//!    under the paper's protocol, with measurement faults corrupting
+//!    the predictors' inputs — prediction accuracy under adversity;
+//! 2. a *simulation half* closing the management loop with physical
+//!    faults applied — what the accuracy buys (brownouts, utilization).
+//!
+//! Because both halves observe the identical corrupted stream, each
+//! *distinct predictor* computes its prediction once per slot: float
+//! WCMA candidates fold into a shared
+//! [`solar_predict::CandidateBank`] (one `E_{D×N}` history, one μ/η
+//! column walk per distinct D, one Φ per distinct (D, K)), other
+//! predictors run one owned instance — and every manager pairing reuses
+//! that prediction stream and its metrics summary. Per-candidate
+//! arithmetic is unchanged throughout, so every outcome is
+//! bit-identical to a per-job solo run (property-tested in core, pinned
+//! end to end by the engine equality tests and the golden 200-regime
+//! digest).
 //!
 //! # Materialize or stream
 //!
 //! The [`TraceCachePolicy`] decides, per scenario, whether its trace is
-//! generated once into the shared cache (jobs then run independently in
-//! parallel, each over the cached `SlotView`) or **streamed**: the
-//! scenario's slot sequence is generated once on the fly
-//! ([`solar_synth::SlotStream`]) and pushed through every job's state
-//! machines in a single pass, holding one day of samples instead of the
-//! full horizon. Both paths drive the *same* per-slot machines
-//! ([`solar_predict::StreamedPredictorRun`],
-//! [`harvest_sim::NodeSimulation`]), so their outcomes are bit-identical
-//! by construction — multi-year scenarios can run under a bounded
-//! memory budget without perturbing a single byte of output.
+//! generated once into the shared cache (the pass then walks the cached
+//! `SlotView` — and later runs reuse the trace for free) or
+//! **streamed**: the slot sequence is generated on the fly, holding one
+//! day of samples instead of the full horizon. Both sources produce
+//! identical slot values into the same machines, so outcomes are
+//! bit-identical by construction — multi-year scenarios can run under a
+//! bounded memory budget without perturbing a single byte of output.
+//! The default [`TraceCachePolicy::Adaptive`] sizes the budget from the
+//! machine's available memory (fixed 4 MiB fallback), closing the
+//! roadmap's adaptive-policy item.
 //!
 //! # Incremental re-scoring
 //!
@@ -57,11 +87,12 @@ use crate::catalog::Scenario;
 use crate::faults::{storage_capacity_factor, FaultInjector};
 use crate::matrix::{FleetMatrix, JobSpec};
 use crate::scorecard::{Scorecard, ScorecardShard, ShardManifest};
-use harvest_sim::{NodeReport, NodeSimulation, SlotHook, SlotInput};
+use harvest_sim::SlotHook;
+use harvest_sim::{NodeReport, NodeSimulation};
 use pred_metrics::{ErrorSummary, EvalProtocol, RecordSink, RunCost, StreamingEval};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
-use solar_predict::{Predictor, StreamedPredictorRun};
+use solar_predict::Predictor;
 use solar_synth::TraceGenerator;
 use solar_trace::{PowerTrace, SlotView, SlotsPerDay};
 use std::collections::HashMap;
@@ -101,6 +132,11 @@ pub struct FleetResult {
     /// Jobs evaluated through the streamed path (no full-horizon trace
     /// allocation) this run.
     pub streamed_jobs: usize,
+    /// Synthesis passes this run spent: trace generations plus streamed
+    /// slot passes (including ROI pre-passes). The single-pass invariant
+    /// bounds this by one per fresh scenario plus pre-passes — never by
+    /// the job count.
+    pub scenario_passes: usize,
 }
 
 /// A sharded fleet run: the manifest plus one scorecard shard per
@@ -119,33 +155,60 @@ pub struct ShardedFleetResult {
     pub cached_jobs: usize,
     /// Jobs evaluated through the streamed path.
     pub streamed_jobs: usize,
+    /// Synthesis passes this run spent (see
+    /// [`FleetResult::scenario_passes`]).
+    pub scenario_passes: usize,
 }
 
 /// How much memory the engine may spend on materialized traces.
 ///
-/// Scenarios are admitted greedily in matrix order; a scenario whose
-/// trace would push the running total past the budget runs **streamed**
-/// instead ([`SlotStream`](solar_synth::SlotStream)-driven, one day
-/// buffered). Admission depends only on the matrix and the policy, so
-/// outputs stay byte-identical across thread counts and cache warmth.
+/// Scenarios are admitted greedily in matrix order — a deterministic
+/// admission order depending only on the matrix and the resolved
+/// budget; a scenario whose trace would push the running total past the
+/// budget runs **streamed** instead
+/// ([`SlotStream`](solar_synth::SlotStream)-driven, one day buffered).
+/// Outputs stay byte-identical across policies, thread counts and cache
+/// warmth, because both sources drive the same per-slot machines.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub struct TraceCachePolicy {
-    /// `None` = materialize everything (the classic engine behaviour).
-    budget_bytes: Option<u64>,
+#[non_exhaustive]
+pub enum TraceCachePolicy {
+    /// Materialize every trace (the classic engine behaviour).
+    Unbounded,
+    /// Materialize traces until this many bytes of trace data are held;
+    /// stream the rest.
+    Bounded(u64),
+    /// Size the trace budget from a memory ceiling: `1/8` of the
+    /// configured ceiling when given, else `1/8` of the machine's
+    /// available memory detected at run start, else the fixed
+    /// [`ADAPTIVE_FALLBACK_BUDGET_BYTES`] (4 MiB) default. The engine
+    /// default: small fleets materialize, fleets that would not fit
+    /// stream — with byte-identical output either way (only the
+    /// materialize/stream split moves with the machine).
+    Adaptive {
+        /// Optional configured memory ceiling in bytes; `None` detects
+        /// available memory at run start.
+        ceiling_bytes: Option<u64>,
+    },
 }
 
+/// The adaptive policy's trace budget when no ceiling is configured and
+/// the machine's available memory cannot be detected.
+pub const ADAPTIVE_FALLBACK_BUDGET_BYTES: u64 = 4 << 20;
+
+/// Fraction of the memory ceiling the adaptive policy spends on
+/// materialized traces (the denominator: budget = ceiling / 8).
+const ADAPTIVE_CEILING_DIVISOR: u64 = 8;
+
 impl TraceCachePolicy {
-    /// Materialize every trace (default).
+    /// Materialize every trace.
     pub fn unbounded() -> Self {
-        TraceCachePolicy { budget_bytes: None }
+        TraceCachePolicy::Unbounded
     }
 
     /// Materialize traces until `bytes` of trace data are held; stream
     /// the rest.
     pub fn bounded(bytes: u64) -> Self {
-        TraceCachePolicy {
-            budget_bytes: Some(bytes),
-        }
+        TraceCachePolicy::Bounded(bytes)
     }
 
     /// Stream every scenario (a zero-byte budget).
@@ -153,13 +216,41 @@ impl TraceCachePolicy {
         Self::bounded(0)
     }
 
-    /// The budget in bytes, if bounded.
-    pub fn budget_bytes(&self) -> Option<u64> {
-        self.budget_bytes
+    /// Size the budget from the machine's available memory (default).
+    pub fn adaptive() -> Self {
+        TraceCachePolicy::Adaptive {
+            ceiling_bytes: None,
+        }
     }
 
-    fn admits(&self, running_total: u64, trace_bytes: u64) -> bool {
-        match self.budget_bytes {
+    /// Size the budget from an explicit memory ceiling — deterministic
+    /// across machines, unlike detection.
+    pub fn adaptive_with_ceiling(ceiling_bytes: u64) -> Self {
+        TraceCachePolicy::Adaptive {
+            ceiling_bytes: Some(ceiling_bytes),
+        }
+    }
+
+    /// The budget in bytes a run under this policy enforces, `None`
+    /// meaning unbounded. For [`TraceCachePolicy::Adaptive`] without a
+    /// configured ceiling this consults the machine's available memory,
+    /// so it may differ between calls; the engine resolves it **once**
+    /// per run, keeping the admission split fixed within a run.
+    pub fn budget_bytes(&self) -> Option<u64> {
+        match *self {
+            TraceCachePolicy::Unbounded => None,
+            TraceCachePolicy::Bounded(bytes) => Some(bytes),
+            TraceCachePolicy::Adaptive { ceiling_bytes } => Some(
+                ceiling_bytes
+                    .or_else(detected_available_memory_bytes)
+                    .map(|ceiling| ceiling / ADAPTIVE_CEILING_DIVISOR)
+                    .unwrap_or(ADAPTIVE_FALLBACK_BUDGET_BYTES),
+            ),
+        }
+    }
+
+    fn admits(resolved_budget: Option<u64>, running_total: u64, trace_bytes: u64) -> bool {
+        match resolved_budget {
             None => true,
             Some(budget) => running_total.saturating_add(trace_bytes) <= budget,
         }
@@ -168,8 +259,22 @@ impl TraceCachePolicy {
 
 impl Default for TraceCachePolicy {
     fn default() -> Self {
-        Self::unbounded()
+        Self::adaptive()
     }
+}
+
+/// `MemAvailable` from `/proc/meminfo`, in bytes (`None` off Linux or
+/// when unreadable).
+fn detected_available_memory_bytes() -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let meminfo = std::fs::read_to_string("/proc/meminfo").ok()?;
+    let line = meminfo
+        .lines()
+        .find(|line| line.starts_with("MemAvailable:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 /// Memo of traces and job outcomes across runs of one engine — the
@@ -245,17 +350,18 @@ impl RecordSink for MetricsSink {
     }
 }
 
-/// One schedulable unit of a fleet run.
-enum WorkUnit {
-    /// A single fresh job over a materialized trace.
-    Job(usize),
-    /// All of one streamed scenario's fresh jobs, evaluated in a single
-    /// generator pass.
-    Stream {
-        scenario_idx: usize,
-        job_indices: Vec<usize>,
-    },
+/// One schedulable unit of a fleet run: **all** of one scenario's fresh
+/// jobs, evaluated over a single slot pass — from the cached trace when
+/// the scenario is admitted, from a generator stream otherwise.
+struct WorkUnit {
+    scenario_idx: usize,
+    /// Fresh job indices, in matrix job order.
+    job_indices: Vec<usize>,
 }
+
+/// What evaluating one work unit yields: `(job index, outcome)` pairs
+/// plus the synthesis passes the unit spent.
+type UnitOutcomes = (Vec<(usize, JobOutcome)>, usize);
 
 /// The parallel fleet evaluator.
 #[derive(Clone, Debug)]
@@ -269,14 +375,16 @@ pub struct FleetEngine {
 
 impl FleetEngine {
     /// An engine deriving all randomness from `master_seed`, evaluating
-    /// under the paper's protocol, using all available cores and an
-    /// unbounded trace cache.
+    /// under the paper's protocol, using all available cores and the
+    /// adaptive trace-cache policy (small fleets materialize, fleets
+    /// that would not fit in memory stream — byte-identical either
+    /// way).
     pub fn new(master_seed: u64) -> Self {
         FleetEngine {
             master_seed,
             threads: None,
             protocol: EvalProtocol::paper(),
-            cache_policy: TraceCachePolicy::unbounded(),
+            cache_policy: TraceCachePolicy::default(),
             shards: None,
         }
     }
@@ -387,6 +495,7 @@ impl FleetEngine {
                 scorecard,
                 cached_jobs: evaluated.cached_jobs,
                 streamed_jobs: evaluated.streamed_jobs,
+                scenario_passes: evaluated.scenario_passes,
             })
         })
     }
@@ -436,6 +545,7 @@ impl FleetEngine {
                 outcomes: evaluated.outcomes,
                 cached_jobs: evaluated.cached_jobs,
                 streamed_jobs: evaluated.streamed_jobs,
+                scenario_passes: evaluated.scenario_passes,
             })
         })
     }
@@ -507,15 +617,18 @@ impl FleetEngine {
         let manager_labels: Vec<String> = matrix.managers.iter().map(|m| m.label()).collect();
 
         // Cache-policy admission, greedily in scenario order — a pure
-        // function of (matrix, policy), so the materialize/stream split
-        // never depends on thread timing. Warm traces stay admitted
-        // (they are already paid for) and count toward the budget.
+        // function of the matrix and the budget resolved once here, so
+        // the materialize/stream split never depends on thread timing
+        // (an adaptive policy consults memory exactly once per run).
+        // Warm traces stay admitted (they are already paid for) and
+        // count toward the budget.
+        let resolved_budget = self.cache_policy.budget_bytes();
         let mut admitted = vec![false; matrix.scenarios.len()];
         let mut running_total = 0u64;
         for (idx, scenario) in matrix.scenarios.iter().enumerate() {
             let bytes = Self::trace_bytes(scenario)?;
             if cache.traces.contains_key(&scenario_keys[idx])
-                || self.cache_policy.admits(running_total, bytes)
+                || TraceCachePolicy::admits(resolved_budget, running_total, bytes)
             {
                 admitted[idx] = true;
                 running_total = running_total.saturating_add(bytes);
@@ -536,10 +649,11 @@ impl FleetEngine {
             cache.traces.insert(scenario_keys[idx].clone(), trace?);
         }
 
-        // Phase 2: only the jobs the cache cannot answer, as work
-        // units — one unit per fresh job on the materialized path, one
-        // unit per scenario on the streamed path (its generator pass is
-        // shared by all of that scenario's fresh jobs).
+        // Phase 2: only the jobs the cache cannot answer, grouped into
+        // **one work unit per scenario** — the unit's single slot pass
+        // (over the cached trace or a generator stream) feeds every
+        // fresh job's machines, so adding candidates to the matrix adds
+        // per-slot arithmetic, never whole passes.
         let jobs = matrix.jobs();
         let job_keys: Vec<(String, String, String)> = jobs
             .iter()
@@ -556,46 +670,46 @@ impl FleetEngine {
             .collect();
         let cached_jobs = jobs.len() - fresh.len();
 
-        let mut units: Vec<WorkUnit> = Vec::new();
-        let mut stream_jobs_by_scenario: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut jobs_by_scenario: HashMap<usize, Vec<usize>> = HashMap::new();
         for &idx in &fresh {
-            let scenario_idx = jobs[idx].scenario_idx;
-            if admitted[scenario_idx] {
-                units.push(WorkUnit::Job(idx));
-            } else {
-                stream_jobs_by_scenario
-                    .entry(scenario_idx)
-                    .or_default()
-                    .push(idx);
-            }
+            jobs_by_scenario
+                .entry(jobs[idx].scenario_idx)
+                .or_default()
+                .push(idx);
         }
         let mut streamed_jobs = 0;
-        for scenario_idx in 0..matrix.scenarios.len() {
-            if let Some(job_indices) = stream_jobs_by_scenario.remove(&scenario_idx) {
-                streamed_jobs += job_indices.len();
-                units.push(WorkUnit::Stream {
+        let mut units: Vec<WorkUnit> = Vec::new();
+        for (scenario_idx, &scenario_admitted) in admitted.iter().enumerate() {
+            if let Some(job_indices) = jobs_by_scenario.remove(&scenario_idx) {
+                if !scenario_admitted {
+                    streamed_jobs += job_indices.len();
+                }
+                units.push(WorkUnit {
                     scenario_idx,
                     job_indices,
                 });
             }
         }
 
-        let evaluated: Vec<Result<Vec<(usize, JobOutcome)>, String>> = units
+        let evaluated: Vec<Result<UnitOutcomes, String>> = units
             .par_iter()
-            .map(|unit| match unit {
-                WorkUnit::Job(idx) => {
-                    let job = &jobs[*idx];
-                    let trace = &cache.traces[&scenario_keys[job.scenario_idx]];
-                    Ok(vec![(*idx, self.evaluate(matrix, job, trace)?)])
-                }
-                WorkUnit::Stream {
-                    scenario_idx,
-                    job_indices,
-                } => self.evaluate_scenario_streamed(matrix, *scenario_idx, job_indices, &jobs),
+            .map(|unit| {
+                let trace = admitted[unit.scenario_idx]
+                    .then(|| &cache.traces[&scenario_keys[unit.scenario_idx]]);
+                self.evaluate_scenario_unit(
+                    matrix,
+                    unit.scenario_idx,
+                    &unit.job_indices,
+                    &jobs,
+                    trace,
+                )
             })
             .collect();
+        let mut scenario_passes = missing.len();
         for unit_outcomes in evaluated {
-            for (idx, outcome) in unit_outcomes? {
+            let (unit_outcomes, passes) = unit_outcomes?;
+            scenario_passes += passes;
+            for (idx, outcome) in unit_outcomes {
                 cache.outcomes.insert(job_keys[idx].clone(), outcome);
             }
         }
@@ -616,6 +730,7 @@ impl FleetEngine {
             outcomes,
             cached_jobs,
             streamed_jobs,
+            scenario_passes,
         })
     }
 
@@ -671,30 +786,6 @@ impl FleetEngine {
         Ok((manifest, shards))
     }
 
-    /// One slot of a metrics pass, shared verbatim by the materialized
-    /// and streamed paths (bit-identity by construction): the job's
-    /// injector corrupts what the predictor observes, and the logged
-    /// ground-truth references are scaled by the day's climate-dimming
-    /// factor — dimming is physical sky state, so accuracy is judged
-    /// against the sky that actually existed (a predictor perfectly
-    /// tracking a la-niña year must not register phantom MAPE against
-    /// the counterfactual clean year). Sensor faults and panel soiling
-    /// leave the references untouched.
-    fn feed_metrics_slot<S: RecordSink>(
-        run: &mut StreamedPredictorRun<'_, S>,
-        injector: &mut FaultInjector,
-        day: usize,
-        slot: usize,
-        start_sample: f64,
-        mean_power: f64,
-    ) {
-        let mut harvest_ignored = 0.0;
-        let mut observed = start_sample;
-        injector.on_slot(day, slot, &mut harvest_ignored, &mut observed);
-        let sky = injector.sky_factor(day);
-        run.on_slot(day, slot, observed, start_sample * sky, mean_power * sky);
-    }
-
     /// The deterministic per-scenario seed: stable across runs, thread
     /// counts, and platforms; distinct per scenario name.
     ///
@@ -722,121 +813,71 @@ impl FleetEngine {
             .map_err(|e| e.to_string())
     }
 
-    /// The materialized path: one job over a cached trace.
-    fn evaluate(
-        &self,
-        matrix: &FleetMatrix,
-        job: &JobSpec,
-        trace: &PowerTrace,
-    ) -> Result<JobOutcome, String> {
-        let started = Instant::now();
-        let scenario = &matrix.scenarios[job.scenario_idx];
-        let predictor_spec = &matrix.predictors[job.predictor_idx];
-        let manager_spec = &matrix.managers[job.manager_idx];
-        let n = scenario.slots_per_day;
-        let view = SlotView::new(trace, SlotsPerDay::new(n).map_err(|e| e.to_string())?)
-            .map_err(|e| e.to_string())?;
-        let fault_seed = self.scenario_seed(scenario) ^ 0xFA01;
-
-        // Metrics pass: the predictor sees fault-corrupted samples;
-        // the log's references stay ground truth — with the one
-        // exception of climate dimming, which *is* the ground truth
-        // (see `feed_metrics_slot`).
-        let mut predictor = predictor_spec.build(n as usize)?;
-        let mut injector =
-            FaultInjector::new(&scenario.faults, fault_seed, scenario.days, n as usize);
-        let mut run = StreamedPredictorRun::with_capacity(
-            predictor.as_mut(),
-            n as usize,
-            scenario.days * n as usize,
-        );
-        for day in 0..view.days() {
-            for slot in 0..n as usize {
-                Self::feed_metrics_slot(
-                    &mut run,
-                    &mut injector,
-                    day,
-                    slot,
-                    view.start_sample(day, slot),
-                    view.mean_power(day, slot),
-                );
-            }
-        }
-        let log = run.finish();
-        let summary = self.protocol.evaluate(&log);
-
-        // Simulation pass: fresh predictor, identical fault realization.
-        let mut predictor = predictor_spec.build(n as usize)?;
-        let mut manager = manager_spec.build();
-        let mut injector =
-            FaultInjector::new(&scenario.faults, fault_seed, scenario.days, n as usize);
-        let config = scenario
-            .node
-            .node_config(storage_capacity_factor(&scenario.faults))?;
-        let report = harvest_sim::simulate_node_hooked(
-            &view,
-            predictor.as_mut(),
-            manager.as_mut(),
-            &config,
-            &mut injector,
-        );
-
-        Ok(JobOutcome {
-            scenario: scenario.name.clone(),
-            predictor: predictor_spec.label(),
-            manager: manager_spec.label(),
-            spec: *job,
-            summary,
-            report,
-            cost: RunCost {
-                wall_nanos: started.elapsed().as_nanos() as u64,
-                peak_candidates: predictor_spec.candidate_count(),
-                peak_trace_bytes: std::mem::size_of_val(trace.samples()),
-            },
-        })
-    }
-
-    /// The streamed path: one generator pass over a scenario drives all
-    /// of its fresh jobs' state machines simultaneously — the trace
-    /// lives in a one-day buffer, never a full-horizon `PowerTrace`.
+    /// The universal fast path: **one slot pass per scenario** drives
+    /// every fresh job's state machines simultaneously. The slots come
+    /// from the cached trace when the scenario is admitted
+    /// (materialized), else from a [`solar_synth::SlotStream`] holding
+    /// one day of samples; both sources produce the identical slot
+    /// values, so the choice never shows in the output.
+    ///
+    /// Jobs whose predictor is float WCMA are additionally folded into
+    /// a shared [`CandidateBank`] per pass half (metrics, simulation):
+    /// every such job of a scenario sees the identical observation
+    /// stream (its fault injector realizes from the same seed), so the
+    /// bank computes each candidate's predictions once per slot with
+    /// the per-candidate arithmetic unchanged — bit-identical to a solo
+    /// run, pinned by core property tests and the engine equality tests
+    /// here.
     ///
     /// The metrics pass picks its record sink by horizon: short
-    /// scenarios collect a `PredictionLog` (single generator pass);
-    /// past [`STREAMED_LOG_CAP_BYTES`] per job the records fold into
-    /// O(1) protocol accumulators ([`pred_metrics::StreamingEval`])
-    /// instead, with one extra generator pre-pass supplying the ROI
-    /// peak the paper's filter needs up front (`actual_mean` is
-    /// trace-derived, so the peak is shared by every job of the
-    /// scenario). The two sinks are bit-identical — the log path
-    /// evaluates through the same accumulators — so the choice is
-    /// invisible in the output: it bounds memory on multi-year
-    /// horizons while short scenarios keep the single-pass cost.
-    fn evaluate_scenario_streamed(
+    /// scenarios collect a `PredictionLog`; past
+    /// [`STREAMED_LOG_CAP_BYTES`] per job the records fold into O(1)
+    /// protocol accumulators ([`pred_metrics::StreamingEval`]) instead,
+    /// with an ROI pre-pass supplying the peak the paper's filter needs
+    /// up front — a view walk when materialized, one extra generator
+    /// pass when streamed. The two sinks are bit-identical, so the
+    /// choice is invisible in the output.
+    ///
+    /// Returns the job outcomes plus how many synthesis passes the unit
+    /// spent (0 for materialized units, 1 per generator pass else).
+    fn evaluate_scenario_unit(
         &self,
         matrix: &FleetMatrix,
         scenario_idx: usize,
         job_indices: &[usize],
         jobs: &[JobSpec],
-    ) -> Result<Vec<(usize, JobOutcome)>, String> {
+        trace: Option<&PowerTrace>,
+    ) -> Result<UnitOutcomes, String> {
         let started = Instant::now();
         let scenario = &matrix.scenarios[scenario_idx];
         let n = scenario.slots_per_day as usize;
         let slots = SlotsPerDay::new(scenario.slots_per_day).map_err(|e| e.to_string())?;
-        let generator = TraceGenerator::new(scenario.site_config()?, self.scenario_seed(scenario));
-        let stream = generator
-            .slot_stream(scenario.days, slots)
-            .map_err(|e| e.to_string())?;
-        let buffer_bytes = stream.buffer_bytes();
         let slot_seconds = slots.slot_seconds_f64();
         let fault_seed = self.scenario_seed(scenario) ^ 0xFA01;
         let node_config = scenario
             .node
             .node_config(storage_capacity_factor(&scenario.faults))?;
+        let mut synthesis_passes = 0usize;
 
-        // Sink selection (see the method docs): horizon-proportional
-        // log under the cap, O(1) streaming accumulators above it.
+        let view = match trace {
+            Some(trace) => Some(SlotView::new(trace, slots).map_err(|e| e.to_string())?),
+            None => None,
+        };
+        let generator = match view {
+            Some(_) => None,
+            None => Some(TraceGenerator::new(
+                scenario.site_config()?,
+                self.scenario_seed(scenario),
+            )),
+        };
+
+        // Sink selection (see the method docs): materialized units
+        // always fold records straight into O(1) streaming accumulators
+        // (their ROI pre-pass is a cheap view walk, and skipping the
+        // log halves record handling); streamed units only pay the
+        // extra generator pre-pass once the log would exceed the cap.
         let log_bytes = scenario.days * n * std::mem::size_of::<pred_metrics::PredictionRecord>();
-        let streaming_eval = log_bytes > STREAMED_LOG_CAP_BYTES;
+        let streaming_eval = view.is_some() || log_bytes > STREAMED_LOG_CAP_BYTES;
 
         // ROI pre-pass (streaming sinks only): the peak of the (dimmed)
         // reference means over every slot that becomes a record — all
@@ -847,141 +888,273 @@ impl FleetEngine {
         if streaming_eval {
             let sky_probe = FaultInjector::new(&scenario.faults, fault_seed, scenario.days, n);
             let mut pending_mean: Option<f64> = None;
-            for slot in generator
-                .slot_stream(scenario.days, slots)
-                .map_err(|e| e.to_string())?
-            {
+            let mut absorb = |day: usize, mean_power: f64| {
                 if let Some(mean) = pending_mean.take() {
                     roi_peak = roi_peak.max(mean);
                 }
-                pending_mean = Some(slot.mean_power * sky_probe.sky_factor(slot.day));
+                pending_mean = Some(mean_power * sky_probe.sky_factor(day));
+            };
+            match (&view, &generator) {
+                (Some(view), _) => {
+                    for day in 0..view.days() {
+                        for slot in 0..n {
+                            absorb(day, view.mean_power(day, slot));
+                        }
+                    }
+                }
+                (None, Some(generator)) => {
+                    synthesis_passes += 1;
+                    for slot in generator
+                        .slot_stream(scenario.days, slots)
+                        .map_err(|e| e.to_string())?
+                    {
+                        absorb(slot.day, slot.mean_power);
+                    }
+                }
+                (None, None) => unreachable!("unit has a view or a generator"),
             }
         }
 
-        // Per-job owned state; the machines below borrow its fields
-        // disjointly.
-        struct JobState {
-            metrics_predictor: Box<dyn Predictor>,
-            metrics_injector: FaultInjector,
-            sim_predictor: Box<dyn Predictor>,
-            manager: Box<dyn harvest_sim::PowerManager>,
-            sim_injector: FaultInjector,
-        }
-        struct JobMachines<'a> {
-            metrics: StreamedPredictorRun<'a, MetricsSink>,
-            metrics_injector: &'a mut FaultInjector,
-            sim: NodeSimulation<'a>,
-        }
-
-        let mut states: Vec<JobState> = Vec::with_capacity(job_indices.len());
-        for &job_idx in job_indices {
-            let job = &jobs[job_idx];
-            let predictor_spec = &matrix.predictors[job.predictor_idx];
-            let manager_spec = &matrix.managers[job.manager_idx];
-            states.push(JobState {
-                metrics_predictor: predictor_spec.build(n)?,
-                metrics_injector: FaultInjector::new(
-                    &scenario.faults,
-                    fault_seed,
-                    scenario.days,
-                    n,
-                ),
-                sim_predictor: predictor_spec.build(n)?,
-                manager: manager_spec.build(),
-                sim_injector: FaultInjector::new(&scenario.faults, fault_seed, scenario.days, n),
-            });
-        }
-        let mut machines: Vec<JobMachines<'_>> = states
-            .iter_mut()
-            .map(|state| {
-                let JobState {
-                    metrics_predictor,
-                    metrics_injector,
-                    sim_predictor,
-                    manager,
-                    sim_injector,
-                } = state;
-                let sink = if streaming_eval {
-                    MetricsSink::Streaming(StreamingEval::new(self.protocol, roi_peak))
-                } else {
-                    MetricsSink::Log(pred_metrics::PredictionLog::with_capacity(
-                        n,
-                        scenario.days * n,
-                    ))
-                };
-                JobMachines {
-                    metrics: StreamedPredictorRun::with_sink(metrics_predictor.as_mut(), n, sink),
-                    metrics_injector,
-                    sim: NodeSimulation::new(
-                        sim_predictor.as_mut(),
-                        manager.as_mut(),
-                        &node_config,
-                        sim_injector,
-                        slot_seconds,
-                    ),
+        // Distinct predictors among the fresh jobs: the metrics pass
+        // and the simulation pass's *predictions* are pure functions of
+        // (scenario, predictor) — managers only steer duty — so all
+        // per-slot kernel work and record assembly happens once per
+        // distinct predictor, and every job reuses its predictor's
+        // summary and prediction stream.
+        let mut distinct_predictors: Vec<usize> = Vec::new();
+        let job_kernel: Vec<usize> = job_indices
+            .iter()
+            .map(|&job_idx| {
+                let predictor_idx = jobs[job_idx].predictor_idx;
+                match distinct_predictors.iter().position(|&p| p == predictor_idx) {
+                    Some(slot) => slot,
+                    None => {
+                        distinct_predictors.push(predictor_idx);
+                        distinct_predictors.len() - 1
+                    }
                 }
             })
             .collect();
 
-        // The single generator pass: every slot feeds every job's
-        // metrics machine (through the same per-slot feeder as the
-        // materialized metrics pass, so the paths stay bit-identical)
-        // and simulation machine.
-        for slot in stream {
-            for machine in &mut machines {
-                Self::feed_metrics_slot(
-                    &mut machine.metrics,
-                    machine.metrics_injector,
-                    slot.day,
-                    slot.slot,
-                    slot.start_sample,
-                    slot.mean_power,
-                );
-                machine.sim.on_slot(SlotInput {
-                    day: slot.day,
-                    slot: slot.slot,
-                    start_sample: slot.start_sample,
-                    mean_power: slot.mean_power,
-                });
+        // Kernel per distinct predictor: float WCMA folds into one
+        // shared bank; everything else gets one owned instance. One
+        // kernel serves *both* pass halves, because what the metrics
+        // predictor observes is bit-identical to what the simulation
+        // predictor observes: measurement corruption never depends on
+        // the harvest argument (pinned by a faults.rs test), so the
+        // historically separate per-pass predictor instances always
+        // evolved in lockstep — one instance now produces that shared
+        // prediction stream once.
+        enum Kernel {
+            Banked(usize),
+            Solo(usize),
+        }
+        let mut kernels: Vec<Kernel> = Vec::with_capacity(distinct_predictors.len());
+        let mut bank_params: Vec<solar_predict::WcmaParams> = Vec::new();
+        let mut solo: Vec<Box<dyn Predictor>> = Vec::new();
+        for &predictor_idx in &distinct_predictors {
+            let spec = &matrix.predictors[predictor_idx];
+            match *spec {
+                crate::PredictorSpec::Wcma { alpha, days, k } => {
+                    bank_params.push(
+                        solar_predict::WcmaParams::new(alpha, days, k, n)
+                            .map_err(|e| e.to_string())?,
+                    );
+                    kernels.push(Kernel::Banked(bank_params.len() - 1));
+                }
+                _ => {
+                    solo.push(spec.build(n)?);
+                    kernels.push(Kernel::Solo(solo.len() - 1));
+                }
+            }
+        }
+        let mut bank = if bank_params.is_empty() {
+            None
+        } else {
+            Some(solar_predict::CandidateBank::new(bank_params).map_err(|e| e.to_string())?)
+        };
+
+        let new_sink = |streaming_eval: bool| {
+            if streaming_eval {
+                MetricsSink::Streaming(StreamingEval::new(self.protocol, roi_peak))
+            } else {
+                MetricsSink::Log(pred_metrics::PredictionLog::with_capacity(
+                    n,
+                    scenario.days * n,
+                ))
+            }
+        };
+
+        // Every job of a scenario realizes the *identical* fault
+        // corruption (injectors are pure functions of the shared seed
+        // and the slot sequence), so the unit realizes it exactly once
+        // per slot — one injector shared by all jobs and both pass
+        // halves — instead of two injector instances per job.
+        let mut injector = FaultInjector::new(&scenario.faults, fault_seed, scenario.days, n);
+
+        // One record feed per distinct predictor, and one prediction
+        // scratch slot the simulation machines read from.
+        let mut feeds: Vec<solar_predict::PredictionFeed<MetricsSink>> = kernels
+            .iter()
+            .map(|_| solar_predict::PredictionFeed::new(new_sink(streaming_eval)))
+            .collect();
+        let mut predictions = vec![0.0_f64; kernels.len()];
+
+        // One simulation machine per job — storage and duty state is
+        // where the manager axis matters.
+        struct JobState {
+            manager: Box<dyn harvest_sim::PowerManager>,
+            hook: harvest_sim::NoFaults,
+        }
+        let mut job_states: Vec<JobState> = job_indices
+            .iter()
+            .map(|&job_idx| JobState {
+                manager: matrix.managers[jobs[job_idx].manager_idx].build(),
+                hook: harvest_sim::NoFaults,
+            })
+            .collect();
+        let mut sims: Vec<NodeSimulation<'_>> = job_states
+            .iter_mut()
+            .map(|state| {
+                NodeSimulation::with_external_predictions(
+                    state.manager.as_mut(),
+                    &node_config,
+                    &mut state.hook,
+                    slot_seconds,
+                    n,
+                )
+            })
+            .collect();
+
+        // The single slot pass. The corruption realization happens once
+        // and serves both halves: the metrics half records predictions
+        // against ground-truth references scaled by the day's
+        // climate-dimming factor — dimming is physical sky state, so
+        // accuracy is judged against the sky that actually existed (a
+        // predictor perfectly tracking a la-niña year must not register
+        // phantom MAPE against the counterfactual clean year); sensor
+        // faults and panel soiling leave the references untouched. The
+        // simulation half absorbs the corrupted physical harvest and
+        // plans each job's duty from its predictor's shared prediction.
+        {
+            // With streaming sinks the protocol's record filter is
+            // decidable per slot *before* any per-predictor work — it
+            // depends only on (day, reference mean, peak), all shared —
+            // so discarded slots skip record assembly for every
+            // predictor at once. A record opened at slot t completes at
+            // slot t+1, hence the carried `prior_included`.
+            let mut prior_included = false;
+            let mut feed_slot = |day: usize, slot: usize, start_sample: f64, mean_power: f64| {
+                let mut harvest_j = node_config.panel.power_w(mean_power) * slot_seconds;
+                let mut observed = start_sample;
+                injector.on_slot(day, slot, &mut harvest_j, &mut observed);
+                let sky = injector.sky_factor(day);
+                let ref_start = start_sample * sky;
+                let ref_mean = mean_power * sky;
+                let included =
+                    !streaming_eval || self.protocol.includes(day as u32, ref_mean, roi_peak);
+                let bank_predictions = bank.as_mut().map(|bank| bank.observe_and_predict(observed));
+                for ((kernel, feed), prediction) in
+                    kernels.iter().zip(&mut feeds).zip(&mut predictions)
+                {
+                    let predicted = match *kernel {
+                        Kernel::Banked(candidate) => {
+                            bank_predictions.as_ref().expect("bank built")[candidate]
+                        }
+                        Kernel::Solo(idx) => solo[idx].observe_and_predict(observed),
+                    };
+                    if prior_included {
+                        feed.flush_pending(ref_start);
+                    }
+                    if included {
+                        feed.open_pending(day, slot, predicted, ref_mean);
+                    }
+                    *prediction = predicted;
+                }
+                prior_included = included;
+                for (sim, &kernel_slot) in sims.iter_mut().zip(&job_kernel) {
+                    sim.absorb_corrupted(harvest_j);
+                    sim.plan_with(predictions[kernel_slot]);
+                }
+            };
+            match (&view, &generator) {
+                (Some(view), _) => {
+                    for day in 0..view.days() {
+                        for slot in 0..n {
+                            feed_slot(
+                                day,
+                                slot,
+                                view.start_sample(day, slot),
+                                view.mean_power(day, slot),
+                            );
+                        }
+                    }
+                }
+                (None, Some(generator)) => {
+                    synthesis_passes += 1;
+                    for slot in generator
+                        .slot_stream(scenario.days, slots)
+                        .map_err(|e| e.to_string())?
+                    {
+                        feed_slot(slot.day, slot.slot, slot.start_sample, slot.mean_power);
+                    }
+                }
+                (None, None) => unreachable!("unit has a view or a generator"),
             }
         }
 
-        let mut results = Vec::with_capacity(job_indices.len());
-        for (machine, &job_idx) in machines.into_iter().zip(job_indices) {
-            let job = &jobs[job_idx];
-            let predictor_spec = &matrix.predictors[job.predictor_idx];
-            let manager_spec = &matrix.managers[job.manager_idx];
-            let summary = match machine.metrics.finish() {
+        // Peak trace bytes per job: the shared materialized trace, or
+        // the one-day stream buffer plus the metrics log when the
+        // horizon fit under the cap.
+        let peak_trace_bytes = match trace {
+            Some(trace) => std::mem::size_of_val(trace.samples()),
+            None => {
+                let buffer_bytes = scenario.site_config()?.resolution.samples_per_day()
+                    * std::mem::size_of::<f64>();
+                buffer_bytes + if streaming_eval { 0 } else { log_bytes }
+            }
+        };
+
+        // One summary per distinct predictor; every job of a manager
+        // pairing reuses its predictor's summary verbatim (the metrics
+        // pass never depended on the manager — this just stops
+        // recomputing the identical value).
+        let summaries: Vec<ErrorSummary> = feeds
+            .into_iter()
+            .map(|feed| match feed.finish() {
                 MetricsSink::Log(log) => self.protocol.evaluate(&log),
                 MetricsSink::Streaming(eval) => eval.finish(),
-            };
-            let report = machine.sim.finish();
+            })
+            .collect();
+        let reports: Vec<NodeReport> = sims.into_iter().map(NodeSimulation::finish).collect();
+        let mut results = Vec::with_capacity(job_indices.len());
+        for ((&job_idx, &kernel_slot), report) in job_indices.iter().zip(&job_kernel).zip(reports) {
+            let job = &jobs[job_idx];
+            let predictor_spec = &matrix.predictors[job.predictor_idx];
             results.push((
                 job_idx,
                 JobOutcome {
                     scenario: scenario.name.clone(),
                     predictor: predictor_spec.label(),
-                    manager: manager_spec.label(),
+                    manager: matrix.managers[job.manager_idx].label(),
                     spec: *job,
-                    summary,
+                    summary: summaries[kernel_slot],
                     report,
                     cost: RunCost {
                         wall_nanos: 0, // filled below (shared pass)
                         peak_candidates: predictor_spec.candidate_count(),
-                        // One day of samples, plus the metrics log when
-                        // the horizon fit under the cap.
-                        peak_trace_bytes: buffer_bytes + if streaming_eval { 0 } else { log_bytes },
+                        peak_trace_bytes,
                     },
                 },
             ));
         }
-        // The generator pass is shared: split its wall time evenly.
+        // The slot pass is shared: split its wall time evenly.
         let wall_each =
             (started.elapsed().as_nanos() as u64 / job_indices.len().max(1) as u64).max(1);
         for (_, outcome) in &mut results {
             outcome.cost.wall_nanos = wall_each;
         }
-        Ok(results)
+        Ok((results, synthesis_passes))
     }
 }
 
@@ -992,6 +1165,7 @@ struct EvaluatedMatrix {
     outcomes: Vec<JobOutcome>,
     cached_jobs: usize,
     streamed_jobs: usize,
+    scenario_passes: usize,
 }
 
 #[cfg(test)]
@@ -1032,7 +1206,9 @@ mod tests {
         let result = FleetEngine::new(42).run(&small_matrix()).unwrap();
         assert_eq!(result.outcomes.len(), 2 * 2 * 2);
         assert_eq!(result.cached_jobs, 0);
-        assert_eq!(result.streamed_jobs, 0, "unbounded cache never streams");
+        // The default adaptive budget (≥ the 4 MiB fallback) comfortably
+        // admits this matrix's ~0.9 MiB of traces.
+        assert_eq!(result.streamed_jobs, 0, "small fleets must not stream");
         for outcome in &result.outcomes {
             assert!(outcome.summary.count > 0, "{}", outcome.scenario);
             assert!(outcome.summary.mape.is_finite());
@@ -1089,6 +1265,69 @@ mod tests {
             result.scorecard.to_json_string(),
             reference.scorecard.to_json_string()
         );
+    }
+
+    #[test]
+    fn adaptive_policy_resolves_budgets_and_stays_byte_identical() {
+        // Configured ceilings resolve deterministically (ceiling / 8)…
+        assert_eq!(
+            TraceCachePolicy::adaptive_with_ceiling(32 << 20).budget_bytes(),
+            Some(4 << 20)
+        );
+        // …and detection always yields *some* budget (the 4 MiB default
+        // when the machine's memory cannot be read).
+        // (No floor is asserted on the detected value: a genuinely
+        // memory-starved machine may resolve below the fallback — the
+        // fallback only applies when detection is impossible.)
+        let detected = TraceCachePolicy::adaptive().budget_bytes();
+        assert!(detected.is_some_and(|budget| budget > 0));
+        assert_eq!(ADAPTIVE_FALLBACK_BUDGET_BYTES, 4 << 20);
+
+        // A starved ceiling forces streaming; the scorecard must not
+        // move by a byte relative to the unbounded run.
+        let matrix = small_matrix();
+        let unbounded = FleetEngine::new(11)
+            .with_trace_cache(TraceCachePolicy::unbounded())
+            .run(&matrix)
+            .unwrap();
+        let starved_engine =
+            FleetEngine::new(11).with_trace_cache(TraceCachePolicy::adaptive_with_ceiling(8));
+        let mut cache = starved_engine.new_cache();
+        let starved = starved_engine.run_cached(&matrix, &mut cache).unwrap();
+        assert_eq!(starved.streamed_jobs, matrix.job_count());
+        assert_eq!(cache.trace_count(), 0, "starved ceiling must stream");
+        assert_eq!(
+            starved.scorecard.to_json_string(),
+            unbounded.scorecard.to_json_string()
+        );
+    }
+
+    #[test]
+    fn single_pass_accounting_counts_one_synthesis_per_fresh_scenario() {
+        let matrix = small_matrix();
+        let engine = FleetEngine::new(17);
+        let mut cache = engine.new_cache();
+        // Fresh materialized run: one generation per scenario, shared by
+        // all of its jobs — never one per job.
+        let fresh = engine.run_cached(&matrix, &mut cache).unwrap();
+        assert_eq!(fresh.scenario_passes, matrix.scenarios.len());
+        // Warm trace cache: new jobs cost zero synthesis passes.
+        let mut grown = matrix.clone();
+        grown.predictors.push(PredictorSpec::Ewma { gamma: 0.4 });
+        let incremental = engine.run_cached(&grown, &mut cache).unwrap();
+        assert_eq!(incremental.scenario_passes, 0);
+        // Fully cached: nothing runs at all.
+        let warm = engine.run_cached(&grown, &mut cache).unwrap();
+        assert_eq!(warm.scenario_passes, 0);
+        assert_eq!(warm.cached_jobs, grown.job_count());
+        // Streaming-only: one generation pass per scenario per run
+        // (these 40-day scenarios stay under the metrics-log cap, so no
+        // ROI pre-pass happens).
+        let streaming = FleetEngine::new(17)
+            .with_trace_cache(TraceCachePolicy::streaming_only())
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(streaming.scenario_passes, matrix.scenarios.len());
     }
 
     #[test]

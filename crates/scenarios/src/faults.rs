@@ -450,6 +450,62 @@ mod tests {
     }
 
     #[test]
+    fn measured_corruption_is_independent_of_the_harvest_argument() {
+        // The single-pass engine realizes one corruption per slot and
+        // shares the corrupted `measured` between the metrics pass
+        // (which historically passed a dummy zero harvest) and the
+        // simulation pass (which passes the physical harvest). That is
+        // sound only while no fault's measured-mutation *reads* the
+        // harvest argument — this test pins the invariant for every
+        // fault kind at once. Extending `FaultInjector::on_slot` with a
+        // measured-mutation that depends on harvest requires giving the
+        // engine's pass halves separate injectors again.
+        let faults = vec![
+            FaultSpec::PanelOutage {
+                start_day: 1,
+                duration_days: 3,
+            },
+            FaultSpec::SensorDropout { rate: 0.4 },
+            FaultSpec::TraceGap {
+                gaps_per_100_days: 40.0,
+                mean_slots: 6.0,
+            },
+            FaultSpec::ClimateDimming {
+                start_day: 2,
+                duration_days: 5,
+                factor: 0.6,
+            },
+            FaultSpec::PanelSoiling {
+                start_day: 0,
+                duration_days: 8,
+                max_loss: 0.5,
+            },
+            FaultSpec::StorageFade {
+                capacity_factor: 0.5,
+            },
+        ];
+        let (days, n) = (10usize, 24usize);
+        let mut with_zero_harvest = FaultInjector::new(&faults, 99, days, n);
+        let mut with_real_harvest = FaultInjector::new(&faults, 99, days, n);
+        for day in 0..days {
+            for slot in 0..n {
+                let sample = (day * n + slot) as f64 * 3.5;
+                let mut harvest_a = 0.0;
+                let mut measured_a = sample;
+                with_zero_harvest.on_slot(day, slot, &mut harvest_a, &mut measured_a);
+                let mut harvest_b = 1.0e6 + slot as f64;
+                let mut measured_b = sample;
+                with_real_harvest.on_slot(day, slot, &mut harvest_b, &mut measured_b);
+                assert_eq!(
+                    measured_a.to_bits(),
+                    measured_b.to_bits(),
+                    "day {day} slot {slot}: measured depends on harvest"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn sky_factor_is_the_dimming_product_and_ignores_other_faults() {
         let faults = [
             FaultSpec::ClimateDimming {

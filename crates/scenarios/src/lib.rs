@@ -63,6 +63,7 @@ mod scorecard;
 pub use catalog::{Catalog, Climate, NodeProfile, Scenario, SiteSpec};
 pub use engine::{
     FleetCache, FleetEngine, FleetResult, JobOutcome, ShardedFleetResult, TraceCachePolicy,
+    ADAPTIVE_FALLBACK_BUDGET_BYTES,
 };
 pub use faults::{storage_capacity_factor, FaultInjector, FaultSpec};
 pub use fleet_faults::{FalloffProfile, FleetFault, SpatialFalloff};

@@ -64,6 +64,7 @@ impl Load {
     }
 
     /// Energy over a slot of `dt_s` seconds at a duty cycle.
+    #[inline]
     pub fn energy_j(&self, duty: f64, dt_s: f64) -> f64 {
         self.power_w(duty) * dt_s
     }

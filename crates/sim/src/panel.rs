@@ -61,6 +61,7 @@ impl SolarPanel {
     }
 
     /// Electrical power in watts for an irradiance in W/m².
+    #[inline]
     pub fn power_w(&self, irradiance_w_m2: f64) -> f64 {
         irradiance_w_m2.max(0.0) * self.area_m2 * self.efficiency
     }

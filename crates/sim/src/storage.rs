@@ -102,6 +102,7 @@ impl EnergyStorage {
     }
 
     /// Current stored energy in joules.
+    #[inline]
     pub fn level_j(&self) -> f64 {
         self.level_j
     }
@@ -123,6 +124,7 @@ impl EnergyStorage {
 
     /// Offers `energy_j` of harvested energy; returns how much was stored
     /// and how much was lost (conversion loss plus overflow).
+    #[inline]
     pub fn charge(&mut self, energy_j: f64) -> ChargeOutcome {
         let energy_j = energy_j.max(0.0);
         let convertible = energy_j * self.charge_efficiency;
@@ -141,6 +143,7 @@ impl EnergyStorage {
     /// Requests `energy_j` for the load; returns the energy actually
     /// delivered (≤ requested), draining the store by
     /// `delivered / discharge_efficiency`.
+    #[inline]
     pub fn discharge(&mut self, energy_j: f64) -> f64 {
         let energy_j = energy_j.max(0.0);
         let need = energy_j / self.discharge_efficiency;
@@ -155,6 +158,7 @@ impl EnergyStorage {
     }
 
     /// Applies leakage over `dt_s` seconds; returns the energy leaked.
+    #[inline]
     pub fn leak(&mut self, dt_s: f64) -> f64 {
         let loss = (self.leakage_w * dt_s).min(self.level_j);
         self.level_j -= loss;

@@ -36,7 +36,10 @@ pub struct SlotInput {
 /// observe/predict/plan) — the pull-style entry points are wrappers over
 /// this type.
 pub struct NodeSimulation<'a> {
-    predictor: &'a mut dyn Predictor,
+    /// `None` when predictions are supplied externally (a shared
+    /// multi-candidate kernel): see
+    /// [`NodeSimulation::with_external_predictions`].
+    predictor: Option<&'a mut dyn Predictor>,
     manager: &'a mut dyn PowerManager,
     hook: &'a mut dyn SlotHook,
     config: NodeConfig,
@@ -64,16 +67,50 @@ impl<'a> NodeSimulation<'a> {
         hook: &'a mut dyn SlotHook,
         slot_seconds: f64,
     ) -> Self {
+        Self::check_discretization(predictor.slots_per_day(), slot_seconds);
+        Self::assemble(Some(predictor), manager, config, hook, slot_seconds)
+    }
+
+    /// A simulation whose predictions are computed *outside* the
+    /// machine — by a shared multi-candidate kernel such as
+    /// `solar_predict::CandidateBank` — and handed in through
+    /// [`NodeSimulation::absorb_slot`] + [`NodeSimulation::plan_with`].
+    /// `slots_per_day` takes the place of the absent predictor's
+    /// discretization in the day-length guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`NodeSimulation::new`].
+    pub fn with_external_predictions(
+        manager: &'a mut dyn PowerManager,
+        config: &NodeConfig,
+        hook: &'a mut dyn SlotHook,
+        slot_seconds: f64,
+        slots_per_day: usize,
+    ) -> Self {
+        Self::check_discretization(slots_per_day, slot_seconds);
+        Self::assemble(None, manager, config, hook, slot_seconds)
+    }
+
+    fn check_discretization(slots_per_day: usize, slot_seconds: f64) {
         assert!(
             slot_seconds > 0.0,
             "slot duration {slot_seconds} must be positive"
         );
-        let day_seconds = predictor.slots_per_day() as f64 * slot_seconds;
+        let day_seconds = slots_per_day as f64 * slot_seconds;
         assert!(
             (day_seconds - 86_400.0).abs() < 1e-6,
-            "predictor configured for N={} but slots of {slot_seconds} s make a {day_seconds} s day",
-            predictor.slots_per_day()
+            "predictor configured for N={slots_per_day} but slots of {slot_seconds} s make a {day_seconds} s day",
         );
+    }
+
+    fn assemble(
+        predictor: Option<&'a mut dyn Predictor>,
+        manager: &'a mut dyn PowerManager,
+        config: &NodeConfig,
+        hook: &'a mut dyn SlotHook,
+        slot_seconds: f64,
+    ) -> Self {
         let config = config.clone();
         let storage_initial_j = config.storage.level_j();
         NodeSimulation {
@@ -90,7 +127,29 @@ impl<'a> NodeSimulation<'a> {
     }
 
     /// Advances the simulation by one slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a machine built with
+    /// [`NodeSimulation::with_external_predictions`] — those advance via
+    /// [`NodeSimulation::absorb_slot`] + [`NodeSimulation::plan_with`].
     pub fn on_slot(&mut self, input: SlotInput) {
+        let measured = self.absorb_slot(input);
+        let predicted = self
+            .predictor
+            .as_deref_mut()
+            .expect("on_slot needs an owned predictor; use absorb_slot/plan_with")
+            .observe_and_predict(measured);
+        self.plan_with(predicted);
+    }
+
+    /// The pre-prediction half of a slot (steps 0–3: fault hook,
+    /// harvest, load, leakage), returning the fault-hooked measured
+    /// sample the predictor would observe. Pair with
+    /// [`NodeSimulation::plan_with`] — [`NodeSimulation::on_slot`] is
+    /// exactly `plan_with(predictor(absorb_slot(input)))`, so external
+    /// and owned prediction paths are bit-identical by construction.
+    pub fn absorb_slot(&mut self, input: SlotInput) -> f64 {
         let SlotInput {
             day,
             slot,
@@ -103,6 +162,16 @@ impl<'a> NodeSimulation<'a> {
         let mut harvest_j = harvest_w * self.slot_s;
         let mut measured = start_sample;
         self.hook.on_slot(day, slot, &mut harvest_j, &mut measured);
+        self.absorb_corrupted(harvest_j);
+        measured
+    }
+
+    /// Steps 1–3 for an already fault-hooked harvest — what a caller
+    /// realizing one shared corruption for many identical-fault
+    /// machines feeds each of them. `absorb_slot` is exactly this after
+    /// its own hook, so the paths are bit-identical.
+    #[inline]
+    pub fn absorb_corrupted(&mut self, harvest_j: f64) {
         let harvest_j = harvest_j.max(0.0);
 
         // 1. Harvest the slot's actual energy.
@@ -123,9 +192,12 @@ impl<'a> NodeSimulation<'a> {
 
         // 3. Leakage.
         self.report.leaked_j += self.config.storage.leak(self.slot_s);
+    }
 
-        // 4. Observe, predict, plan the next slot.
-        let predicted = self.predictor.observe_and_predict(measured);
+    /// The post-prediction half of a slot (step 4): plan the next slot's
+    /// duty from `predicted` — however it was computed.
+    #[inline]
+    pub fn plan_with(&mut self, predicted: f64) {
         let ctx = SlotContext {
             predicted_harvest_w: self.config.panel.power_w(predicted),
             storage_level_j: self.config.storage.level_j(),
@@ -240,6 +312,59 @@ mod tests {
             &mut NoFaults,
         );
         assert_eq!(via_view, via_stream);
+    }
+
+    #[test]
+    fn external_predictions_match_the_owned_predictor_path() {
+        // Driving the machine through absorb_slot + plan_with with
+        // predictions computed outside must reproduce on_slot exactly —
+        // the contract the engine's banked candidates rely on.
+        let day: Vec<f64> = (0..24)
+            .map(|h| if (7..17).contains(&h) { 480.0 } else { 0.0 })
+            .collect();
+        let inputs: Vec<SlotInput> = (0..24 * 15)
+            .map(|step| SlotInput {
+                day: step / 24,
+                slot: step % 24,
+                start_sample: day[step % 24],
+                mean_power: day[step % 24],
+            })
+            .collect();
+
+        let mut p1 = WcmaPredictor::new(WcmaParams::new(0.5, 5, 2, 24).unwrap());
+        let mut m1 = EnergyNeutralManager::default();
+        let mut hook1 = NoFaults;
+        let mut owned = NodeSimulation::new(&mut p1, &mut m1, &config(), &mut hook1, 3600.0);
+
+        let mut p2 = WcmaPredictor::new(WcmaParams::new(0.5, 5, 2, 24).unwrap());
+        let mut m2 = EnergyNeutralManager::default();
+        let mut hook2 = NoFaults;
+        let mut external =
+            NodeSimulation::with_external_predictions(&mut m2, &config(), &mut hook2, 3600.0, 24);
+
+        for &input in &inputs {
+            owned.on_slot(input);
+            let measured = external.absorb_slot(input);
+            let predicted = solar_predict::Predictor::observe_and_predict(&mut p2, measured);
+            external.plan_with(predicted);
+        }
+        assert_eq!(owned.finish(), external.finish());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs an owned predictor")]
+    fn on_slot_panics_without_an_owned_predictor() {
+        let mut m = EnergyNeutralManager::default();
+        let mut hook = NoFaults;
+        let cfg = config();
+        let mut sim =
+            NodeSimulation::with_external_predictions(&mut m, &cfg, &mut hook, 3600.0, 24);
+        sim.on_slot(SlotInput {
+            day: 0,
+            slot: 0,
+            start_sample: 0.0,
+            mean_power: 0.0,
+        });
     }
 
     #[test]

@@ -119,6 +119,7 @@ impl TraceGenerator {
         }
 
         let rho = weather.ar_rho_per_minute.powf(res.as_seconds_f64() / 60.0);
+        let step_h = res.as_seconds_f64() / 3600.0;
         DayState {
             rng,
             condition,
@@ -127,6 +128,12 @@ impl TraceGenerator {
             ar_state: 0.0,
             rho,
             innovation_scale: (1.0 - rho * rho).sqrt(),
+            // The hour-angle cosine grid depends only on the sample
+            // spacing: computed once here, shared by every generated day
+            // (the per-day transcendentals live in `DayGeometry`).
+            cos_hour: geometry::hour_cosine_grid(res.samples_per_day(), step_h),
+            fronts: Vec::new(),
+            transits: Vec::new(),
         }
     }
 
@@ -144,13 +151,27 @@ impl TraceGenerator {
         let spd = res.samples_per_day();
         let step_h = res.as_seconds_f64() / 3600.0;
         let weather = &self.config.weather;
-        let rng = &mut state.rng;
+        let DayState {
+            rng,
+            condition: day_condition,
+            ar_state,
+            rho,
+            innovation_scale,
+            cos_hour,
+            fronts,
+            transits,
+        } = state;
         out.clear();
 
         let doy = (day % 365) as u32 + 1;
-        state.condition = weather.step(state.condition, rng);
-        let condition = state.condition;
+        *day_condition = weather.step(*day_condition, rng);
+        let condition = *day_condition;
         let params = weather.params(condition);
+        // Declination, sin φ sin δ, cos φ cos δ and the extraterrestrial
+        // irradiance are day-invariant: computed once here instead of
+        // inside the slot loop (bit-identical to the composed per-sample
+        // geometry; see `DayGeometry`).
+        let day_geom = geometry::DayGeometry::new(self.config.latitude_deg, doy);
 
         // Seasonal clearness modulation peaking at the *local* summer
         // solstice: the phase flips south of the equator (a −18%
@@ -175,30 +196,29 @@ impl TraceGenerator {
         // conditioning ratios actively misleading, which is what
         // bounds the useful Φ window (the paper's small optimal K).
         let front_count = poisson(weather.fronts_per_day, rng);
-        let mut fronts: Vec<(f64, f64)> = (0..front_count)
-            .map(|_| {
-                let t_h = 6.0 + rng.gen::<f64>() * 12.0; // daylight hours
-                (t_h, weather.front_std * normal(rng))
-            })
-            .collect();
+        fronts.clear();
+        fronts.extend((0..front_count).map(|_| {
+            let t_h = 6.0 + rng.gen::<f64>() * 12.0; // daylight hours
+            (t_h, weather.front_std * normal(rng))
+        }));
         fronts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("front times are finite"));
 
-        let transits = self.sample_transits(doy, params.transits_per_hour, rng);
+        self.sample_transits(doy, params.transits_per_hour, rng, transits);
 
-        for idx in 0..spd {
+        debug_assert_eq!(cos_hour.len(), spd);
+        for (idx, &cos_omega) in cos_hour.iter().enumerate() {
             let t_h = idx as f64 * step_h;
-            let sin_h = geometry::sin_elevation_at(self.config.latitude_deg, doy, t_h);
+            let sin_h = day_geom.sin_elevation(cos_omega);
             // Turbidity scales the cloudless ceiling itself; at the
             // default 0.0 the factor is exactly 1.0, so legacy streams
             // are bit-unchanged.
             let clear = self.config.clear_sky.ghi(sin_h) * (1.0 - self.config.turbidity);
             if clear <= 0.0 {
-                state.ar_state *= state.rho; // decay quietly overnight
+                *ar_state *= *rho; // decay quietly overnight
                 out.push(0.0);
                 continue;
             }
-            state.ar_state =
-                state.rho * state.ar_state + params.ar_sigma * state.innovation_scale * normal(rng);
+            *ar_state = *rho * *ar_state + params.ar_sigma * *innovation_scale * normal(rng);
             let drift = drift_slope * (t_h - 12.0) / 12.0;
             let front_shift: f64 = fronts
                 .iter()
@@ -206,8 +226,8 @@ impl TraceGenerator {
                 .map(|&(_, delta)| delta)
                 .sum();
             let mut attenuation =
-                (base_clearness + drift + front_shift + state.ar_state).clamp(0.02, 1.08);
-            for transit in &transits {
+                (base_clearness + drift + front_shift + *ar_state).clamp(0.02, 1.08);
+            for transit in transits.iter() {
                 attenuation *= transit.factor(t_h);
             }
             let noise = 1.0 + weather.sensor_noise_std * normal(rng);
@@ -221,33 +241,43 @@ impl TraceGenerator {
         condition
     }
 
-    /// Samples the day's cloud-transit events over the daylight window.
-    fn sample_transits(&self, doy: u32, rate_per_hour: f64, rng: &mut ChaCha8Rng) -> Vec<Transit> {
+    /// Samples the day's cloud-transit events over the daylight window
+    /// into `out` (replacing its contents — the buffer is carried in
+    /// [`DayState`] so day generation allocates nothing per day).
+    fn sample_transits(
+        &self,
+        doy: u32,
+        rate_per_hour: f64,
+        rng: &mut ChaCha8Rng,
+        out: &mut Vec<Transit>,
+    ) {
+        out.clear();
         let day_len = geometry::day_length_hours(self.config.latitude_deg, doy);
         if day_len <= 0.0 || rate_per_hour <= 0.0 {
-            return Vec::new();
+            return;
         }
         let sunrise = 12.0 - day_len / 2.0;
         let count = poisson(rate_per_hour * day_len, rng);
         let (depth_lo, depth_hi) = self.config.weather.transit_depth;
-        (0..count)
-            .map(|_| {
-                let centre_h = sunrise + rng.gen::<f64>() * day_len;
-                let duration_min = (-self.config.weather.transit_mean_minutes
-                    * rng.gen::<f64>().max(1e-12).ln())
-                .clamp(1.0, 90.0);
-                Transit {
-                    centre_h,
-                    half_width_h: duration_min / 60.0 / 2.0,
-                    depth: depth_lo + rng.gen::<f64>() * (depth_hi - depth_lo),
-                }
-            })
-            .collect()
+        out.extend((0..count).map(|_| {
+            let centre_h = sunrise + rng.gen::<f64>() * day_len;
+            let duration_min = (-self.config.weather.transit_mean_minutes
+                * rng.gen::<f64>().max(1e-12).ln())
+            .clamp(1.0, 90.0);
+            Transit {
+                centre_h,
+                half_width_h: duration_min / 60.0 / 2.0,
+                depth: depth_lo + rng.gen::<f64>() * (depth_hi - depth_lo),
+            }
+        }));
     }
 }
 
 /// The RNG/weather state carried from one generated day into the next.
-/// Shared by the batch and streaming generation paths.
+/// Shared by the batch and streaming generation paths. Besides the
+/// weather chain it owns the stream-invariant hour-angle cosine grid and
+/// the per-day scratch buffers, so generating a day performs no heap
+/// allocation in steady state.
 #[derive(Clone, Debug)]
 pub(crate) struct DayState {
     rng: ChaCha8Rng,
@@ -255,6 +285,12 @@ pub(crate) struct DayState {
     ar_state: f64,
     rho: f64,
     innovation_scale: f64,
+    /// `cos ω` per sample index; depends only on the resolution.
+    cos_hour: Vec<f64>,
+    /// Reused frontal-passage scratch: `(time_h, clearness_shift)`.
+    fronts: Vec<(f64, f64)>,
+    /// Reused cloud-transit scratch.
+    transits: Vec<Transit>,
 }
 
 /// Standard normal draw via Box–Muller (keeps us off external

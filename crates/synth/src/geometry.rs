@@ -58,6 +58,77 @@ pub fn extraterrestrial_normal(day_of_year: u32) -> f64 {
     SOLAR_CONSTANT * (1.0 + 0.033 * (std::f64::consts::TAU * day_of_year as f64 / 365.0).cos())
 }
 
+/// The day-invariant solar constants of one (latitude, day-of-year)
+/// pair, hoisted out of per-slot loops.
+///
+/// [`sin_elevation_at`] spends four transcendental calls per sample on
+/// quantities that only change once per day (declination, `sin φ sin δ`,
+/// `cos φ cos δ`) plus one on the hour angle, whose cosine grid depends
+/// only on the slot spacing. Generators compute a `DayGeometry` once per
+/// day and a cosine grid once per stream instead; the factored products
+/// keep the exact multiplication order of [`sin_elevation`], so
+/// [`DayGeometry::sin_elevation`] is **bit-identical** to the composed
+/// per-sample path (property-tested across latitudes and days).
+///
+/// # Example
+///
+/// ```
+/// use solar_synth::geometry::{hour_angle_rad, sin_elevation_at, DayGeometry};
+///
+/// let day = DayGeometry::new(40.0, 172);
+/// let direct = sin_elevation_at(40.0, 172, 9.5);
+/// let hoisted = day.sin_elevation(hour_angle_rad(9.5).cos());
+/// assert_eq!(direct.to_bits(), hoisted.to_bits());
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct DayGeometry {
+    /// Solar declination δ in radians (Cooper's equation).
+    pub declination_rad: f64,
+    /// `sin φ · sin δ`.
+    pub sin_phi_sin_delta: f64,
+    /// `cos φ · cos δ`.
+    pub cos_phi_cos_delta: f64,
+    /// Extraterrestrial normal irradiance `G_on` in W/m² — also
+    /// day-invariant, carried for irradiance models that reference
+    /// `G_on` (the built-in [`ClearSkyModel`](crate::ClearSkyModel)
+    /// variants do not, so the generator's slot loop never reads it).
+    pub extraterrestrial_normal: f64,
+}
+
+impl DayGeometry {
+    /// Computes the constants for a site latitude (degrees) and 1-based
+    /// day of year.
+    pub fn new(latitude_deg: f64, day_of_year: u32) -> Self {
+        let phi = latitude_deg.to_radians();
+        let delta = declination_rad(day_of_year);
+        DayGeometry {
+            declination_rad: delta,
+            sin_phi_sin_delta: phi.sin() * delta.sin(),
+            cos_phi_cos_delta: phi.cos() * delta.cos(),
+            extraterrestrial_normal: extraterrestrial_normal(day_of_year),
+        }
+    }
+
+    /// Sine of the solar elevation for a precomputed `cos ω`:
+    /// `sin h = sin φ sin δ + (cos φ cos δ) · cos ω` — the same
+    /// left-associated product chain as [`sin_elevation`], so results
+    /// are bit-identical.
+    pub fn sin_elevation(&self, cos_hour_angle: f64) -> f64 {
+        self.sin_phi_sin_delta + self.cos_phi_cos_delta * cos_hour_angle
+    }
+}
+
+/// The `cos ω` grid of a uniform slot spacing: entry `i` is
+/// `cos(hour_angle(i · step_hours))`, exactly the cosine
+/// [`sin_elevation_at`] would compute for the sample at `i · step_hours`
+/// local solar time. Depends only on the discretization, so one grid
+/// serves every day of a stream.
+pub fn hour_cosine_grid(samples_per_day: usize, step_hours: f64) -> Vec<f64> {
+    (0..samples_per_day)
+        .map(|idx| hour_angle_rad(idx as f64 * step_hours).cos())
+        .collect()
+}
+
 /// Day length in hours for a latitude (degrees) and day of year, from the
 /// sunset hour angle `cos ω_s = −tan φ tan δ`.
 ///

@@ -6,6 +6,44 @@ use solar_synth::{geometry, ClearSkyModel, Site, TraceGenerator};
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// The hoisted day-constant geometry (`DayGeometry` + the hour-angle
+    /// cosine grid) reproduces the composed per-sample
+    /// `sin_elevation_at` **bit-for-bit** for any latitude, day of year
+    /// and slot spacing — the contract that lets the generator compute
+    /// four transcendentals per day instead of per sample without
+    /// moving a single trace bit.
+    #[test]
+    fn day_constant_geometry_is_bit_identical_to_direct_elevation(
+        latitude_deg in -90.0f64..90.0,
+        day_of_year in 1u32..=366,
+        spd_idx in 0usize..5,
+    ) {
+        let samples_per_day = [24usize, 48, 96, 288, 1440][spd_idx];
+        let day = geometry::DayGeometry::new(latitude_deg, day_of_year);
+        let step_hours = 24.0 / samples_per_day as f64;
+        let grid = geometry::hour_cosine_grid(samples_per_day, step_hours);
+        prop_assert_eq!(grid.len(), samples_per_day);
+        for (idx, &cos_omega) in grid.iter().enumerate() {
+            let t_h = idx as f64 * step_hours;
+            let direct = geometry::sin_elevation_at(latitude_deg, day_of_year, t_h);
+            let hoisted = day.sin_elevation(cos_omega);
+            prop_assert_eq!(
+                direct.to_bits(),
+                hoisted.to_bits(),
+                "lat {} doy {} sample {}: {} vs {}",
+                latitude_deg, day_of_year, idx, direct, hoisted
+            );
+        }
+        prop_assert_eq!(
+            day.extraterrestrial_normal.to_bits(),
+            geometry::extraterrestrial_normal(day_of_year).to_bits()
+        );
+        prop_assert_eq!(
+            day.declination_rad.to_bits(),
+            geometry::declination_rad(day_of_year).to_bits()
+        );
+    }
+
     #[test]
     fn traces_are_physical(site_idx in 0usize..6, seed in 0u64..1000, days in 1usize..10) {
         let site = Site::ALL[site_idx];

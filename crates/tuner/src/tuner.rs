@@ -85,7 +85,7 @@ impl TunerConfig {
             dynamic_alphas: vec![0.0, 0.25, 0.5, 0.75, 1.0],
             dynamic_k_max: 6,
             shards: None,
-            cache_policy: TraceCachePolicy::unbounded(),
+            cache_policy: TraceCachePolicy::default(),
         }
     }
 
