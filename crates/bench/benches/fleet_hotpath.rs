@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use scenario_fleet::{
-    CatalogGenerator, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, TraceCachePolicy,
+    CatalogGenerator, Collector, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec,
+    TraceCachePolicy,
 };
 use solar_synth::{Site, TraceGenerator};
 use solar_trace::SlotsPerDay;
@@ -54,12 +55,31 @@ fn bench_generated_block(c: &mut Criterion) {
             .sum::<u64>()
             * (matrix.predictors.len() * matrix.managers.len()) as u64,
     ));
-    for (label, policy) in [
-        ("materialized", TraceCachePolicy::unbounded()),
-        ("streaming", TraceCachePolicy::streaming_only()),
+    // The default engine carries the no-op collector — "materialized"
+    // and "streaming" are the zero-cost baseline; the "recording"
+    // variant runs the same matrix with full ledger + span collection
+    // so a hot-loop instrumentation regression shows up as a gap here.
+    for (label, policy, collector) in [
+        (
+            "materialized",
+            TraceCachePolicy::unbounded(),
+            Collector::noop(),
+        ),
+        (
+            "streaming",
+            TraceCachePolicy::streaming_only(),
+            Collector::noop(),
+        ),
+        (
+            "materialized_recording",
+            TraceCachePolicy::unbounded(),
+            Collector::recording(),
+        ),
     ] {
         group.bench_function(label, |b| {
-            let engine = FleetEngine::new(2026).with_trace_cache(policy);
+            let engine = FleetEngine::new(2026)
+                .with_trace_cache(policy)
+                .with_collector(collector.clone());
             b.iter(|| black_box(engine.run(&matrix).unwrap()));
         });
     }

@@ -1,9 +1,11 @@
 //! Dependency-free JSON tree, writer, and parser.
 //!
-//! The scenario catalog and scorecard need (de)serialization, and this
-//! build environment cannot fetch `serde` (see `vendor/README.md`), so
-//! the crate carries its own ~minimal JSON layer. Two properties matter
-//! here beyond correctness:
+//! The run ledger and reports here — and the scenario catalog and
+//! scorecard one crate up (which re-exports this module as
+//! `scenario_fleet::json` for source compatibility) — need
+//! (de)serialization, and this build environment cannot fetch `serde`
+//! (see `vendor/README.md`), so the workspace carries its own ~minimal
+//! JSON layer. Two properties matter here beyond correctness:
 //!
 //! * **Deterministic output** — objects preserve insertion order and
 //!   numbers render via Rust's shortest-round-trip float formatting, so

@@ -1,0 +1,40 @@
+//! Fleet observability: a run ledger, phase spans, and machine-readable
+//! run reports.
+//!
+//! The evaluation pipeline (synthesis → fault realization → per-job
+//! harvesting machines → sharded scorecards → tuner rounds) reports on
+//! itself through two strictly separated planes, following the repo's
+//! standing convention that deterministic values are pinned in JSON
+//! while wall time stays text-only:
+//!
+//! - **The deterministic plane** — a [`Ledger`] of counters, gauges,
+//!   and labels keyed by `phase/name` and optionally broken down per
+//!   scenario. Every recorded value is a pure function of the run's
+//!   inputs (catalog, seed, resolved trace budget, cache warmth), and
+//!   the commutative merge rules (sum / max / must-agree) plus sorted
+//!   JSON keys make the rendered ledger byte-identical across 1, 2, or
+//!   8 worker threads and across shard splits — the same contract the
+//!   sharded scorecards pin.
+//! - **The timing plane** — hierarchical phase spans
+//!   ([`SpanNode`]) with nanosecond totals, self/child splits, and a
+//!   per-scenario heaviest-first ranking. This plane is honest about
+//!   being non-deterministic and never appears in byte-pinned JSON.
+//!
+//! Both planes flow through a [`Collector`], the handle engines and
+//! tuners accept. The default collector is off: every recording call
+//! is an early return on a `None` state with no clock reads, no
+//! allocation, and no locking, so un-instrumented runs pay nothing
+//! (the `fleet_hotpath` bench pins this). [`Collector::report`]
+//! assembles a [`RunReport`] — both planes in one JSON document — for
+//! the `--report <path>` flags on the examples.
+
+pub mod collector;
+pub mod json;
+pub mod ledger;
+pub mod report;
+pub mod spans;
+
+pub use collector::{Collector, SpanGuard};
+pub use ledger::Ledger;
+pub use report::RunReport;
+pub use spans::{build_tree, format_ns, scenario_top, ScenarioTiming, SpanNode, SpanRecord};

@@ -1,0 +1,305 @@
+//! The timing plane: hierarchical phase spans.
+//!
+//! Spans are the *non-deterministic* half of observability — they carry
+//! wall-clock nanoseconds and therefore never appear in byte-pinned
+//! JSON. A span is identified by a '/'-separated path (`fleet/simulate`
+//! nests under `fleet`), optionally tagged with the scenario it worked
+//! on. Raw [`SpanRecord`]s are flat; [`build_tree`] folds them into a
+//! [`SpanNode`] hierarchy with total/self splits, and
+//! [`scenario_top`] ranks scenarios by time spent for the per-scenario
+//! "where did it go" view.
+
+use crate::json::Json;
+
+/// One finished span, flat, as recorded by a worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// '/'-separated phase path, e.g. `fleet/simulate`.
+    pub path: String,
+    /// Scenario the span worked on, when it was scenario-scoped.
+    pub scenario: Option<String>,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// An aggregated node of the span tree.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Last path segment (`simulate` for `fleet/simulate`).
+    pub name: String,
+    /// Nanoseconds recorded at exactly this path, summed over entries.
+    pub total_ns: u64,
+    /// `total_ns` minus time covered by direct children, clamped at 0
+    /// (children recorded outside an enclosing span can exceed it).
+    pub self_ns: u64,
+    /// How many spans were recorded at this path.
+    pub count: u64,
+    /// Child phases, heaviest first.
+    pub children: Vec<SpanNode>,
+}
+
+/// Time attributed to one scenario across all spans tagged with it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScenarioTiming {
+    pub scenario: String,
+    pub total_ns: u64,
+    pub spans: u64,
+}
+
+impl SpanNode {
+    fn child_mut(&mut self, name: &str) -> &mut SpanNode {
+        // Linear scan: span trees are a handful of phases wide.
+        let at = match self.children.iter().position(|c| c.name == name) {
+            Some(at) => at,
+            None => {
+                self.children.push(SpanNode {
+                    name: name.to_string(),
+                    ..SpanNode::default()
+                });
+                self.children.len() - 1
+            }
+        };
+        &mut self.children[at]
+    }
+
+    fn finalize(&mut self) {
+        let covered: u64 = self.children.iter().map(|c| c.total_ns).sum();
+        self.self_ns = self.total_ns.saturating_sub(covered);
+        for child in &mut self.children {
+            child.finalize();
+        }
+        // Heaviest first; name breaks ties so equal-duration siblings
+        // still render in one stable order.
+        self.children
+            .sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    }
+
+    /// JSON form of this node and its subtree.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("total_ns", Json::Num(self.total_ns as f64)),
+            ("self_ns", Json::Num(self.self_ns as f64)),
+            ("count", Json::Num(self.count as f64)),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(SpanNode::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a node (and subtree) back from JSON.
+    pub fn from_json(value: &Json) -> Result<SpanNode, String> {
+        let children = match value.req("children")? {
+            Json::Arr(items) => items
+                .iter()
+                .map(SpanNode::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("span field \"children\" must be an array".to_string()),
+        };
+        Ok(SpanNode {
+            name: value.req_str("name")?.to_string(),
+            total_ns: value.req_index("total_ns")?,
+            self_ns: value.req_index("self_ns")?,
+            count: value.req_index("count")?,
+            children,
+        })
+    }
+
+    /// Renders an indented tree, one line per phase:
+    /// `name  total  (self xx%)  ×count`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let pct = if self.total_ns == 0 {
+            100.0
+        } else {
+            self.self_ns as f64 * 100.0 / self.total_ns as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:indent$}{:<24} {:>12}  (self {:>3.0}%)  x{}",
+            "",
+            self.name,
+            format_ns(self.total_ns),
+            pct,
+            self.count,
+            indent = depth * 2,
+        );
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+}
+
+/// Renders nanoseconds with a readable unit.
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Folds flat records into the aggregated phase tree rooted at `run`.
+pub fn build_tree(records: &[SpanRecord]) -> SpanNode {
+    let mut root = SpanNode {
+        name: "run".to_string(),
+        ..SpanNode::default()
+    };
+    for record in records {
+        let mut node = &mut root;
+        for segment in record.path.split('/').filter(|s| !s.is_empty()) {
+            node = node.child_mut(segment);
+        }
+        node.total_ns += record.dur_ns;
+        node.count += 1;
+    }
+    root.total_ns = root.children.iter().map(|c| c.total_ns).sum();
+    root.finalize();
+    root
+}
+
+/// The `top_n` scenarios by recorded span time, heaviest first (name
+/// breaks ties for a stable order).
+pub fn scenario_top(records: &[SpanRecord], top_n: usize) -> Vec<ScenarioTiming> {
+    let mut by_scenario = std::collections::BTreeMap::<&str, (u64, u64)>::new();
+    for record in records {
+        if let Some(scenario) = &record.scenario {
+            let slot = by_scenario.entry(scenario).or_default();
+            slot.0 += record.dur_ns;
+            slot.1 += 1;
+        }
+    }
+    let mut ranked: Vec<ScenarioTiming> = by_scenario
+        .into_iter()
+        .map(|(scenario, (total_ns, spans))| ScenarioTiming {
+            scenario: scenario.to_string(),
+            total_ns,
+            spans,
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.total_ns
+            .cmp(&a.total_ns)
+            .then(a.scenario.cmp(&b.scenario))
+    });
+    ranked.truncate(top_n);
+    ranked
+}
+
+impl ScenarioTiming {
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("total_ns", Json::Num(self.total_ns as f64)),
+            ("spans", Json::Num(self.spans as f64)),
+        ])
+    }
+
+    /// Parses back from JSON.
+    pub fn from_json(value: &Json) -> Result<ScenarioTiming, String> {
+        Ok(ScenarioTiming {
+            scenario: value.req_str("scenario")?.to_string(),
+            total_ns: value.req_index("total_ns")?,
+            spans: value.req_index("spans")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(path: &str, scenario: Option<&str>, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            path: path.to_string(),
+            scenario: scenario.map(str::to_string),
+            dur_ns,
+        }
+    }
+
+    #[test]
+    fn tree_aggregates_paths_and_splits_self_time() {
+        let records = vec![
+            rec("fleet", None, 100),
+            rec("fleet/synthesis", None, 30),
+            rec("fleet/simulate", Some("a"), 25),
+            rec("fleet/simulate", Some("b"), 35),
+        ];
+        let root = build_tree(&records);
+        assert_eq!(root.total_ns, 100);
+        let fleet = &root.children[0];
+        assert_eq!(fleet.name, "fleet");
+        assert_eq!(fleet.count, 1);
+        // 100 total − (30 + 60) children = 10 self.
+        assert_eq!(fleet.self_ns, 10);
+        // Heaviest child first.
+        assert_eq!(fleet.children[0].name, "simulate");
+        assert_eq!(fleet.children[0].total_ns, 60);
+        assert_eq!(fleet.children[0].count, 2);
+        assert_eq!(fleet.children[1].name, "synthesis");
+    }
+
+    #[test]
+    fn self_time_clamps_when_children_exceed_parent() {
+        let records = vec![rec("fleet", None, 10), rec("fleet/simulate", None, 50)];
+        let root = build_tree(&records);
+        assert_eq!(root.children[0].self_ns, 0);
+    }
+
+    #[test]
+    fn scenario_top_ranks_heaviest_first_and_truncates() {
+        let records = vec![
+            rec("fleet/simulate", Some("a"), 10),
+            rec("fleet/simulate", Some("b"), 40),
+            rec("fleet/score", Some("b"), 5),
+            rec("fleet/simulate", Some("c"), 20),
+            rec("fleet/merge", None, 99),
+        ];
+        let top = scenario_top(&records, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].scenario, "b");
+        assert_eq!(top[0].total_ns, 45);
+        assert_eq!(top[0].spans, 2);
+        assert_eq!(top[1].scenario, "c");
+    }
+
+    #[test]
+    fn node_json_round_trips() {
+        let root = build_tree(&[
+            rec("fleet", None, 100),
+            rec("fleet/simulate", Some("a"), 60),
+        ]);
+        let back = SpanNode::from_json(&root.to_json()).unwrap();
+        assert_eq!(back, root);
+    }
+
+    #[test]
+    fn render_text_indents_children() {
+        let text = build_tree(&[rec("fleet", None, 2_500_000), rec("fleet/score", None, 500)])
+            .render_text();
+        assert!(text.contains("run"));
+        assert!(text.contains("fleet"));
+        assert!(text.contains("2.50ms"));
+        assert!(text.contains("  score") || text.contains("score"));
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert_eq!(format_ns(12), "12ns");
+        assert_eq!(format_ns(1_500), "1.5us");
+        assert_eq!(format_ns(2_500_000), "2.50ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000s");
+    }
+}

@@ -23,7 +23,7 @@
 //! scenario is admitted, once as a [`solar_synth::SlotStream`]
 //! otherwise; multi-year scenarios above the metrics-log cap add one
 //! ROI pre-pass). Growing the candidate axis therefore adds per-slot
-//! arithmetic, never whole passes — [`FleetResult::scenario_passes`]
+//! arithmetic, never whole passes — [`FleetResult::synthesis_passes`]
 //! exposes the count, and the `fleet_hotpath`/`tuner_bank` benches pin
 //! the resulting throughput trajectory (`BENCH_PR5.json`).
 //!
@@ -82,11 +82,28 @@
 //! and the master seed, a cached outcome is bit-identical to a fresh
 //! one — the resulting scorecard JSON is byte-identical to a full
 //! re-run (pinned by test).
+//!
+//! # Observability
+//!
+//! The engine reports on itself through an optional
+//! [`fleet_obs::Collector`] ([`FleetEngine::with_collector`]): phase
+//! spans (`fleet/project` → `admission` → `synthesis` → `simulate` →
+//! `score`/`merge`) on the timing plane, and deterministic ledger
+//! counters — admission decisions with the resolved budget, synthesis
+//! passes, cache hits, slot counts, bank sizes, fault specs — recorded
+//! at **work-unit granularity** (one batch of counter updates per
+//! scenario unit, computed arithmetically), never inside the per-slot
+//! loop. The default collector is a no-op whose calls cost one branch,
+//! so un-instrumented runs are unchanged (pinned by the
+//! `fleet_hotpath` bench); with collection on, outputs stay
+//! byte-identical and the ledger itself is byte-identical across
+//! thread counts and shard splits.
 
 use crate::catalog::Scenario;
 use crate::faults::{storage_capacity_factor, FaultInjector};
 use crate::matrix::{FleetMatrix, JobSpec};
 use crate::scorecard::{Scorecard, ScorecardShard, ShardManifest};
+use fleet_obs::Collector;
 use harvest_sim::SlotHook;
 use harvest_sim::{NodeReport, NodeSimulation};
 use pred_metrics::{ErrorSummary, EvalProtocol, RecordSink, RunCost, StreamingEval};
@@ -120,6 +137,35 @@ pub struct JobOutcome {
     pub cost: RunCost,
 }
 
+/// How a run spent its synthesis passes, by kind. The single-pass
+/// invariant bounds the total by one per fresh scenario plus
+/// pre-passes — never by the job count. Recorded in the run ledger as
+/// the `synth/*` counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PassBreakdown {
+    /// Traces generated into the cache (one per fresh admitted
+    /// scenario).
+    pub trace_generations: usize,
+    /// Streamed slot passes (one per fresh non-admitted scenario).
+    pub streamed_passes: usize,
+    /// ROI pre-passes spent by streamed units above the metrics-log
+    /// cap (the paper's filter needs the reference peak up front).
+    pub roi_prepasses: usize,
+}
+
+impl PassBreakdown {
+    /// Total synthesis passes of any kind.
+    pub fn total(&self) -> usize {
+        self.trace_generations + self.streamed_passes + self.roi_prepasses
+    }
+
+    fn add(&mut self, other: PassBreakdown) {
+        self.trace_generations += other.trace_generations;
+        self.streamed_passes += other.streamed_passes;
+        self.roi_prepasses += other.roi_prepasses;
+    }
+}
+
 /// Everything one fleet run produces.
 #[derive(Clone, Debug)]
 pub struct FleetResult {
@@ -132,11 +178,19 @@ pub struct FleetResult {
     /// Jobs evaluated through the streamed path (no full-horizon trace
     /// allocation) this run.
     pub streamed_jobs: usize,
-    /// Synthesis passes this run spent: trace generations plus streamed
-    /// slot passes (including ROI pre-passes). The single-pass invariant
-    /// bounds this by one per fresh scenario plus pre-passes — never by
-    /// the job count.
+    /// Synthesis passes this run spent, broken down by kind.
+    pub passes: PassBreakdown,
+    /// Total synthesis passes (kept for source compatibility; equals
+    /// `passes.total()`).
+    #[deprecated(note = "use `synthesis_passes()` or the `passes` breakdown")]
     pub scenario_passes: usize,
+}
+
+impl FleetResult {
+    /// Synthesis passes this run spent (all kinds).
+    pub fn synthesis_passes(&self) -> usize {
+        self.passes.total()
+    }
 }
 
 /// A sharded fleet run: the manifest plus one scorecard shard per
@@ -155,9 +209,19 @@ pub struct ShardedFleetResult {
     pub cached_jobs: usize,
     /// Jobs evaluated through the streamed path.
     pub streamed_jobs: usize,
-    /// Synthesis passes this run spent (see
-    /// [`FleetResult::scenario_passes`]).
+    /// Synthesis passes this run spent, broken down by kind.
+    pub passes: PassBreakdown,
+    /// Total synthesis passes (kept for source compatibility; equals
+    /// `passes.total()`).
+    #[deprecated(note = "use `synthesis_passes()` or the `passes` breakdown")]
     pub scenario_passes: usize,
+}
+
+impl ShardedFleetResult {
+    /// Synthesis passes this run spent (all kinds).
+    pub fn synthesis_passes(&self) -> usize {
+        self.passes.total()
+    }
 }
 
 /// How much memory the engine may spend on materialized traces.
@@ -195,6 +259,55 @@ pub enum TraceCachePolicy {
 /// the machine's available memory cannot be detected.
 pub const ADAPTIVE_FALLBACK_BUDGET_BYTES: u64 = 4 << 20;
 
+/// Where a run's trace budget came from — the previously invisible
+/// half of the adaptive policy's decision, now recorded in the run
+/// ledger (`admission/trace_budget_source`) and printed in scorecard
+/// text output.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceBudgetSource {
+    /// [`TraceCachePolicy::Unbounded`]: no budget at all.
+    Unbounded,
+    /// [`TraceCachePolicy::Bounded`]: the configured byte count.
+    Configured,
+    /// Adaptive with an explicit ceiling: `ceiling / 8`.
+    AdaptiveCeiling,
+    /// Adaptive from `/proc/meminfo` `MemAvailable`: `available / 8`.
+    AdaptiveDetectedMemory,
+    /// Adaptive with nothing to consult: the fixed 4 MiB fallback.
+    AdaptiveFallback,
+}
+
+impl std::fmt::Display for TraceBudgetSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TraceBudgetSource::Unbounded => "unbounded",
+            TraceBudgetSource::Configured => "configured",
+            TraceBudgetSource::AdaptiveCeiling => "adaptive-ceiling",
+            TraceBudgetSource::AdaptiveDetectedMemory => "adaptive-detected-memory",
+            TraceBudgetSource::AdaptiveFallback => "adaptive-fallback",
+        })
+    }
+}
+
+/// A trace budget as one run enforces it: the byte count (`None` =
+/// unbounded) plus where it came from. Resolved **once** per run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedTraceBudget {
+    /// Enforced budget in bytes; `None` means unbounded.
+    pub bytes: Option<u64>,
+    /// How the bytes were chosen.
+    pub source: TraceBudgetSource,
+}
+
+impl std::fmt::Display for ResolvedTraceBudget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.bytes {
+            None => write!(f, "unbounded ({})", self.source),
+            Some(bytes) => write!(f, "{bytes} bytes ({})", self.source),
+        }
+    }
+}
+
 /// Fraction of the memory ceiling the adaptive policy spends on
 /// materialized traces (the denominator: budget = ceiling / 8).
 const ADAPTIVE_CEILING_DIVISOR: u64 = 8;
@@ -231,22 +344,47 @@ impl TraceCachePolicy {
         }
     }
 
-    /// The budget in bytes a run under this policy enforces, `None`
-    /// meaning unbounded. For [`TraceCachePolicy::Adaptive`] without a
-    /// configured ceiling this consults the machine's available memory,
-    /// so it may differ between calls; the engine resolves it **once**
-    /// per run, keeping the admission split fixed within a run.
-    pub fn budget_bytes(&self) -> Option<u64> {
+    /// The budget a run under this policy enforces, with its source.
+    /// For [`TraceCachePolicy::Adaptive`] without a configured ceiling
+    /// this consults the machine's available memory, so it may differ
+    /// between calls; the engine resolves it **once** per run, keeping
+    /// the admission split fixed within a run.
+    pub fn resolve(&self) -> ResolvedTraceBudget {
         match *self {
-            TraceCachePolicy::Unbounded => None,
-            TraceCachePolicy::Bounded(bytes) => Some(bytes),
-            TraceCachePolicy::Adaptive { ceiling_bytes } => Some(
-                ceiling_bytes
-                    .or_else(detected_available_memory_bytes)
-                    .map(|ceiling| ceiling / ADAPTIVE_CEILING_DIVISOR)
-                    .unwrap_or(ADAPTIVE_FALLBACK_BUDGET_BYTES),
-            ),
+            TraceCachePolicy::Unbounded => ResolvedTraceBudget {
+                bytes: None,
+                source: TraceBudgetSource::Unbounded,
+            },
+            TraceCachePolicy::Bounded(bytes) => ResolvedTraceBudget {
+                bytes: Some(bytes),
+                source: TraceBudgetSource::Configured,
+            },
+            TraceCachePolicy::Adaptive { ceiling_bytes } => {
+                let (ceiling, source) = match ceiling_bytes {
+                    Some(ceiling) => (Some(ceiling), TraceBudgetSource::AdaptiveCeiling),
+                    None => match detected_available_memory_bytes() {
+                        Some(available) => {
+                            (Some(available), TraceBudgetSource::AdaptiveDetectedMemory)
+                        }
+                        None => (None, TraceBudgetSource::AdaptiveFallback),
+                    },
+                };
+                ResolvedTraceBudget {
+                    bytes: Some(
+                        ceiling
+                            .map(|c| c / ADAPTIVE_CEILING_DIVISOR)
+                            .unwrap_or(ADAPTIVE_FALLBACK_BUDGET_BYTES),
+                    ),
+                    source,
+                }
+            }
         }
+    }
+
+    /// The resolved budget's byte count alone (see
+    /// [`TraceCachePolicy::resolve`]).
+    pub fn budget_bytes(&self) -> Option<u64> {
+        self.resolve().bytes
     }
 
     fn admits(resolved_budget: Option<u64>, running_total: u64, trace_bytes: u64) -> bool {
@@ -360,8 +498,10 @@ struct WorkUnit {
 }
 
 /// What evaluating one work unit yields: `(job index, outcome)` pairs
-/// plus the synthesis passes the unit spent.
-type UnitOutcomes = (Vec<(usize, JobOutcome)>, usize);
+/// plus the synthesis passes the unit spent (units only ever spend
+/// streamed passes and ROI pre-passes; trace generations happen in
+/// phase 1).
+type UnitOutcomes = (Vec<(usize, JobOutcome)>, PassBreakdown);
 
 /// The parallel fleet evaluator.
 #[derive(Clone, Debug)]
@@ -371,6 +511,7 @@ pub struct FleetEngine {
     protocol: EvalProtocol,
     cache_policy: TraceCachePolicy,
     shards: Option<usize>,
+    collector: Collector,
 }
 
 impl FleetEngine {
@@ -386,6 +527,7 @@ impl FleetEngine {
             protocol: EvalProtocol::paper(),
             cache_policy: TraceCachePolicy::default(),
             shards: None,
+            collector: Collector::noop(),
         }
     }
 
@@ -416,6 +558,20 @@ impl FleetEngine {
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = Some(shards);
         self
+    }
+
+    /// Attaches an observability collector: runs record ledger
+    /// counters and phase spans into it. The default is the no-op
+    /// collector, whose calls cost one branch — outputs are
+    /// byte-identical either way.
+    pub fn with_collector(mut self, collector: Collector) -> Self {
+        self.collector = collector;
+        self
+    }
+
+    /// The attached collector (no-op unless one was attached).
+    pub fn collector(&self) -> &Collector {
+        &self.collector
     }
 
     /// The master seed.
@@ -471,9 +627,11 @@ impl FleetEngine {
     ) -> Result<FleetResult, String> {
         self.check_cache(cache)?;
         self.install(|| {
+            let _run_span = self.collector.span("fleet");
             let evaluated = self.evaluate_matrix(matrix, cache)?;
-            let scorecard = match self.shards {
+            let mut scorecard = match self.shards {
                 None => {
+                    let _span = self.collector.span("fleet/score");
                     Scorecard::build(&evaluated.effective, &evaluated.outcomes, self.master_seed)
                 }
                 Some(count) => {
@@ -481,22 +639,33 @@ impl FleetEngine {
                     // matrices (a tuner's per-regime pass may hold one
                     // scenario): clamp instead of erroring.
                     let count = count.clamp(1, evaluated.effective.scenarios.len());
+                    let _span = self.collector.span("fleet/score");
                     let (manifest, shards) = Self::shard_outcomes(
                         &evaluated.effective,
                         &evaluated.outcomes,
                         self.master_seed,
                         count,
                     )?;
-                    Scorecard::merge_shards(&manifest, &shards)?
+                    drop(_span);
+                    let _span = self.collector.span("fleet/merge");
+                    Scorecard::merge_shards_observed(&manifest, &shards, &self.collector)?
                 }
             };
-            Ok(FleetResult {
+            self.collector.count(
+                "score/scenarios_ranked",
+                evaluated.effective.scenarios.len() as u64,
+            );
+            scorecard.trace_budget = Some(evaluated.resolved_budget);
+            #[allow(deprecated)]
+            let result = FleetResult {
                 outcomes: evaluated.outcomes,
                 scorecard,
                 cached_jobs: evaluated.cached_jobs,
                 streamed_jobs: evaluated.streamed_jobs,
-                scenario_passes: evaluated.scenario_passes,
-            })
+                passes: evaluated.passes,
+                scenario_passes: evaluated.passes.total(),
+            };
+            Ok(result)
         })
     }
 
@@ -532,21 +701,30 @@ impl FleetEngine {
     ) -> Result<ShardedFleetResult, String> {
         self.check_cache(cache)?;
         self.install(|| {
+            let _run_span = self.collector.span("fleet");
             let evaluated = self.evaluate_matrix(matrix, cache)?;
+            let _span = self.collector.span("fleet/score");
             let (manifest, shards) = Self::shard_outcomes(
                 &evaluated.effective,
                 &evaluated.outcomes,
                 self.master_seed,
                 shard_count,
             )?;
-            Ok(ShardedFleetResult {
+            self.collector.count(
+                "score/scenarios_ranked",
+                evaluated.effective.scenarios.len() as u64,
+            );
+            #[allow(deprecated)]
+            let result = ShardedFleetResult {
                 manifest,
                 shards,
                 outcomes: evaluated.outcomes,
                 cached_jobs: evaluated.cached_jobs,
                 streamed_jobs: evaluated.streamed_jobs,
-                scenario_passes: evaluated.scenario_passes,
-            })
+                passes: evaluated.passes,
+                scenario_passes: evaluated.passes.total(),
+            };
+            Ok(result)
         })
     }
 
@@ -600,12 +778,21 @@ impl FleetEngine {
         matrix: &FleetMatrix,
         cache: &mut FleetCache,
     ) -> Result<EvaluatedMatrix, String> {
-        let effective = if matrix.fleet_faults.is_empty() {
-            matrix.clone()
-        } else {
-            self.project_fleet_faults(matrix)?
+        let effective = {
+            let _span = self.collector.span("fleet/project");
+            self.collector
+                .count("faults/fleet_events", matrix.fleet_faults.len() as u64);
+            if matrix.fleet_faults.is_empty() {
+                matrix.clone()
+            } else {
+                self.project_fleet_faults(matrix)?
+            }
         };
         let matrix = &effective;
+        self.collector.count(
+            "faults/fault_specs",
+            matrix.scenarios.iter().map(|s| s.faults.len() as u64).sum(),
+        );
 
         // Stable per-scenario cache keys: the full JSON form.
         let scenario_keys: Vec<String> = matrix
@@ -622,22 +809,46 @@ impl FleetEngine {
         // (an adaptive policy consults memory exactly once per run).
         // Warm traces stay admitted (they are already paid for) and
         // count toward the budget.
-        let resolved_budget = self.cache_policy.budget_bytes();
+        let admission_span = self.collector.span("fleet/admission");
+        let resolved = self.cache_policy.resolve();
+        let resolved_budget = resolved.bytes;
         let mut admitted = vec![false; matrix.scenarios.len()];
+        let mut warm_traces = 0u64;
         let mut running_total = 0u64;
         for (idx, scenario) in matrix.scenarios.iter().enumerate() {
             let bytes = Self::trace_bytes(scenario)?;
-            if cache.traces.contains_key(&scenario_keys[idx])
-                || TraceCachePolicy::admits(resolved_budget, running_total, bytes)
-            {
+            let warm = cache.traces.contains_key(&scenario_keys[idx]);
+            warm_traces += warm as u64;
+            if warm || TraceCachePolicy::admits(resolved_budget, running_total, bytes) {
                 admitted[idx] = true;
                 running_total = running_total.saturating_add(bytes);
             }
         }
+        if self.collector.is_enabled() {
+            self.collector.label(
+                "admission/trace_budget_source",
+                &resolved.source.to_string(),
+            );
+            if let Some(bytes) = resolved.bytes {
+                self.collector.gauge("admission/trace_budget_bytes", bytes);
+            }
+            let materialized = admitted.iter().filter(|&&a| a).count() as u64;
+            self.collector
+                .count("admission/materialized_scenarios", materialized);
+            self.collector.count(
+                "admission/streamed_scenarios",
+                matrix.scenarios.len() as u64 - materialized,
+            );
+            self.collector
+                .count("admission/admitted_trace_bytes", running_total);
+            self.collector.count("cache/trace_hits", warm_traces);
+        }
+        drop(admission_span);
 
         // Phase 1: traces for admitted scenarios the cache has not
         // seen, in parallel, shared read-only by every job of that
         // scenario.
+        let synthesis_span = self.collector.span("fleet/synthesis");
         let missing: Vec<usize> = (0..matrix.scenarios.len())
             .filter(|&idx| admitted[idx] && !cache.traces.contains_key(&scenario_keys[idx]))
             .collect();
@@ -648,6 +859,9 @@ impl FleetEngine {
         for (&idx, trace) in missing.iter().zip(generated) {
             cache.traces.insert(scenario_keys[idx].clone(), trace?);
         }
+        self.collector
+            .count("synth/trace_generations", missing.len() as u64);
+        drop(synthesis_span);
 
         // Phase 2: only the jobs the cache cannot answer, grouped into
         // **one work unit per scenario** — the unit's single slot pass
@@ -669,6 +883,11 @@ impl FleetEngine {
             .filter(|&idx| !cache.outcomes.contains_key(&job_keys[idx]))
             .collect();
         let cached_jobs = jobs.len() - fresh.len();
+        if self.collector.is_enabled() {
+            self.collector.count("jobs/evaluated", jobs.len() as u64);
+            self.collector.count("cache/job_hits", cached_jobs as u64);
+            self.collector.count("cache/job_misses", fresh.len() as u64);
+        }
 
         let mut jobs_by_scenario: HashMap<usize, Vec<usize>> = HashMap::new();
         for &idx in &fresh {
@@ -705,10 +924,13 @@ impl FleetEngine {
                 )
             })
             .collect();
-        let mut scenario_passes = missing.len();
+        let mut passes = PassBreakdown {
+            trace_generations: missing.len(),
+            ..PassBreakdown::default()
+        };
         for unit_outcomes in evaluated {
-            let (unit_outcomes, passes) = unit_outcomes?;
-            scenario_passes += passes;
+            let (unit_outcomes, unit_passes) = unit_outcomes?;
+            passes.add(unit_passes);
             for (idx, outcome) in unit_outcomes {
                 cache.outcomes.insert(job_keys[idx].clone(), outcome);
             }
@@ -730,7 +952,8 @@ impl FleetEngine {
             outcomes,
             cached_jobs,
             streamed_jobs,
-            scenario_passes,
+            passes,
+            resolved_budget: resolved,
         })
     }
 
@@ -850,6 +1073,9 @@ impl FleetEngine {
     ) -> Result<UnitOutcomes, String> {
         let started = Instant::now();
         let scenario = &matrix.scenarios[scenario_idx];
+        let _unit_span = self
+            .collector
+            .span_scenario("fleet/simulate", &scenario.name);
         let n = scenario.slots_per_day as usize;
         let slots = SlotsPerDay::new(scenario.slots_per_day).map_err(|e| e.to_string())?;
         let slot_seconds = slots.slot_seconds_f64();
@@ -857,7 +1083,7 @@ impl FleetEngine {
         let node_config = scenario
             .node
             .node_config(storage_capacity_factor(&scenario.faults))?;
-        let mut synthesis_passes = 0usize;
+        let mut passes = PassBreakdown::default();
 
         let view = match trace {
             Some(trace) => Some(SlotView::new(trace, slots).map_err(|e| e.to_string())?),
@@ -903,7 +1129,7 @@ impl FleetEngine {
                     }
                 }
                 (None, Some(generator)) => {
-                    synthesis_passes += 1;
+                    passes.roi_prepasses += 1;
                     for slot in generator
                         .slot_stream(scenario.days, slots)
                         .map_err(|e| e.to_string())?
@@ -1091,7 +1317,7 @@ impl FleetEngine {
                     }
                 }
                 (None, Some(generator)) => {
-                    synthesis_passes += 1;
+                    passes.streamed_passes += 1;
                     for slot in generator
                         .slot_stream(scenario.days, slots)
                         .map_err(|e| e.to_string())?
@@ -1154,7 +1380,43 @@ impl FleetEngine {
         for (_, outcome) in &mut results {
             outcome.cost.wall_nanos = wall_each;
         }
-        Ok((results, synthesis_passes))
+        // Ledger entries for the whole unit, computed arithmetically —
+        // one batch of counter updates per scenario, nothing per slot.
+        if self.collector.is_enabled() {
+            let name = &scenario.name;
+            self.collector
+                .count_scenario(name, "slots/processed", (scenario.days * n) as u64);
+            self.collector
+                .count_scenario(name, "jobs/fresh", job_indices.len() as u64);
+            let banked = kernels
+                .iter()
+                .filter(|k| matches!(k, Kernel::Banked(_)))
+                .count();
+            self.collector
+                .count_scenario(name, "bank/banked_candidates", banked as u64);
+            self.collector
+                .count_scenario(name, "bank/solo_predictors", solo.len() as u64);
+            self.collector.count_scenario(
+                name,
+                "faults/injected_specs",
+                scenario.faults.len() as u64,
+            );
+            if passes.streamed_passes > 0 {
+                self.collector.count_scenario(
+                    name,
+                    "synth/streamed_passes",
+                    passes.streamed_passes as u64,
+                );
+            }
+            if passes.roi_prepasses > 0 {
+                self.collector.count_scenario(
+                    name,
+                    "synth/roi_prepasses",
+                    passes.roi_prepasses as u64,
+                );
+            }
+        }
+        Ok((results, passes))
     }
 }
 
@@ -1165,7 +1427,8 @@ struct EvaluatedMatrix {
     outcomes: Vec<JobOutcome>,
     cached_jobs: usize,
     streamed_jobs: usize,
-    scenario_passes: usize,
+    passes: PassBreakdown,
+    resolved_budget: ResolvedTraceBudget,
 }
 
 #[cfg(test)]
@@ -1283,6 +1546,31 @@ mod tests {
         assert!(detected.is_some_and(|budget| budget > 0));
         assert_eq!(ADAPTIVE_FALLBACK_BUDGET_BYTES, 4 << 20);
 
+        // The resolution also names its source — the decision is no
+        // longer invisible.
+        assert_eq!(
+            TraceCachePolicy::unbounded().resolve(),
+            ResolvedTraceBudget {
+                bytes: None,
+                source: TraceBudgetSource::Unbounded,
+            }
+        );
+        assert_eq!(
+            TraceCachePolicy::bounded(512).resolve(),
+            ResolvedTraceBudget {
+                bytes: Some(512),
+                source: TraceBudgetSource::Configured,
+            }
+        );
+        let ceiled = TraceCachePolicy::adaptive_with_ceiling(32 << 20).resolve();
+        assert_eq!(ceiled.source, TraceBudgetSource::AdaptiveCeiling);
+        assert_eq!(ceiled.to_string(), "4194304 bytes (adaptive-ceiling)");
+        let adaptive = TraceCachePolicy::adaptive().resolve();
+        assert!(matches!(
+            adaptive.source,
+            TraceBudgetSource::AdaptiveDetectedMemory | TraceBudgetSource::AdaptiveFallback
+        ));
+
         // A starved ceiling forces streaming; the scorecard must not
         // move by a byte relative to the unbounded run.
         let matrix = small_matrix();
@@ -1310,15 +1598,21 @@ mod tests {
         // Fresh materialized run: one generation per scenario, shared by
         // all of its jobs — never one per job.
         let fresh = engine.run_cached(&matrix, &mut cache).unwrap();
-        assert_eq!(fresh.scenario_passes, matrix.scenarios.len());
+        assert_eq!(fresh.synthesis_passes(), matrix.scenarios.len());
+        assert_eq!(fresh.passes.trace_generations, matrix.scenarios.len());
+        // The deprecated field keeps forwarding the same total.
+        #[allow(deprecated)]
+        {
+            assert_eq!(fresh.scenario_passes, fresh.synthesis_passes());
+        }
         // Warm trace cache: new jobs cost zero synthesis passes.
         let mut grown = matrix.clone();
         grown.predictors.push(PredictorSpec::Ewma { gamma: 0.4 });
         let incremental = engine.run_cached(&grown, &mut cache).unwrap();
-        assert_eq!(incremental.scenario_passes, 0);
+        assert_eq!(incremental.synthesis_passes(), 0);
         // Fully cached: nothing runs at all.
         let warm = engine.run_cached(&grown, &mut cache).unwrap();
-        assert_eq!(warm.scenario_passes, 0);
+        assert_eq!(warm.synthesis_passes(), 0);
         assert_eq!(warm.cached_jobs, grown.job_count());
         // Streaming-only: one generation pass per scenario per run
         // (these 40-day scenarios stay under the metrics-log cap, so no
@@ -1327,7 +1621,78 @@ mod tests {
             .with_trace_cache(TraceCachePolicy::streaming_only())
             .run(&matrix)
             .unwrap();
-        assert_eq!(streaming.scenario_passes, matrix.scenarios.len());
+        assert_eq!(streaming.synthesis_passes(), matrix.scenarios.len());
+        assert_eq!(streaming.passes.streamed_passes, matrix.scenarios.len());
+        assert_eq!(streaming.passes.roi_prepasses, 0);
+    }
+
+    #[test]
+    fn collector_records_ledger_and_budget_without_perturbing_output() {
+        let matrix = small_matrix();
+        let plain = FleetEngine::new(23).run(&matrix).unwrap();
+        let collector = Collector::recording();
+        let observed = FleetEngine::new(23)
+            .with_collector(collector.clone())
+            .run(&matrix)
+            .unwrap();
+        // Collection must not move a byte of pinned output.
+        assert_eq!(
+            plain.scorecard.to_json_string(),
+            observed.scorecard.to_json_string()
+        );
+        let ledger = collector.ledger();
+        let jobs = matrix.job_count() as u64;
+        let scenarios = matrix.scenarios.len() as u64;
+        assert_eq!(ledger.counter("jobs/evaluated"), jobs);
+        assert_eq!(ledger.counter("cache/job_misses"), jobs);
+        assert_eq!(ledger.counter("cache/job_hits"), 0);
+        assert_eq!(ledger.counter("synth/trace_generations"), scenarios);
+        assert_eq!(ledger.counter("score/scenarios_ranked"), scenarios);
+        assert_eq!(ledger.counter("jobs/fresh"), jobs);
+        assert!(ledger.counter("slots/processed") > 0);
+        assert!(ledger
+            .label_value("admission/trace_budget_source")
+            .is_some());
+        // The resolved budget also reaches the scorecard's text output
+        // (text-only; the pinned JSON above proved it stays out of it).
+        assert!(observed.scorecard.render_text().contains("trace budget: "));
+        // Phase spans landed under the run root.
+        let report = collector.report();
+        let fleet = report
+            .spans
+            .children
+            .iter()
+            .find(|c| c.name == "fleet")
+            .expect("fleet span recorded");
+        assert!(fleet.children.iter().any(|c| c.name == "simulate"));
+        assert_eq!(report.scenario_top.len(), matrix.scenarios.len().min(10));
+    }
+
+    #[test]
+    fn warm_cache_ledger_shows_hits_equal_jobs_and_zero_synthesis() {
+        let matrix = small_matrix();
+        let engine = FleetEngine::new(29);
+        let mut cache = engine.new_cache();
+        engine.run_cached(&matrix, &mut cache).unwrap();
+        // Second run through a fresh collector: everything is served
+        // from the cache.
+        let collector = Collector::recording();
+        let warm = FleetEngine::new(29)
+            .with_collector(collector.clone())
+            .run_cached(&matrix, &mut cache)
+            .unwrap();
+        assert_eq!(warm.cached_jobs, matrix.job_count());
+        let ledger = collector.ledger();
+        let jobs = matrix.job_count() as u64;
+        assert_eq!(ledger.counter("cache/job_hits"), jobs);
+        assert_eq!(ledger.counter("cache/job_misses"), 0);
+        assert_eq!(
+            ledger.counter("cache/trace_hits"),
+            matrix.scenarios.len() as u64
+        );
+        assert_eq!(ledger.counter("synth/trace_generations"), 0);
+        assert_eq!(ledger.counter("synth/streamed_passes"), 0);
+        assert_eq!(ledger.counter("slots/processed"), 0);
     }
 
     #[test]

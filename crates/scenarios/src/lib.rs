@@ -56,17 +56,25 @@ mod engine;
 mod faults;
 mod fleet_faults;
 mod generators;
-pub mod json;
 mod matrix;
 mod scorecard;
 
+// The JSON layer moved down into `fleet_obs` (the observability crate
+// sits below this one in the dependency graph); re-exported here so
+// `scenario_fleet::json::Json` paths keep working.
+pub use fleet_obs::json;
+
 pub use catalog::{Catalog, Climate, NodeProfile, Scenario, SiteSpec};
 pub use engine::{
-    FleetCache, FleetEngine, FleetResult, JobOutcome, ShardedFleetResult, TraceCachePolicy,
-    ADAPTIVE_FALLBACK_BUDGET_BYTES,
+    FleetCache, FleetEngine, FleetResult, JobOutcome, PassBreakdown, ResolvedTraceBudget,
+    ShardedFleetResult, TraceBudgetSource, TraceCachePolicy, ADAPTIVE_FALLBACK_BUDGET_BYTES,
 };
 pub use faults::{storage_capacity_factor, FaultInjector, FaultSpec};
 pub use fleet_faults::{FalloffProfile, FleetFault, SpatialFalloff};
 pub use generators::{CatalogGenerator, FaultMix, RegimeTemplate};
 pub use matrix::{FleetMatrix, JobSpec, ManagerSpec, PredictorSpec};
 pub use scorecard::{ScenarioRanking, ScoreEntry, Scorecard, ScorecardShard, ShardManifest};
+
+// Observability handles, re-exported so engine users configure
+// collection without naming `fleet_obs` directly.
+pub use fleet_obs::{Collector, Ledger, RunReport};

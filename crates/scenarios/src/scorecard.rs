@@ -45,9 +45,10 @@
 //! wall-time field in the JSON would break the byte-identity contract
 //! between runs and between full and incremental re-scoring).
 
-use crate::engine::JobOutcome;
+use crate::engine::{JobOutcome, ResolvedTraceBudget};
 use crate::json::Json;
 use crate::matrix::FleetMatrix;
+use fleet_obs::Collector;
 use pred_metrics::{CostAggregate, ErrorSummary, SummaryAggregate};
 
 const BROWNOUT_WEIGHT: f64 = 2.0;
@@ -173,6 +174,13 @@ pub struct Scorecard {
     /// [`Scorecard::render_text`] only — never into the byte-pinned
     /// JSON.
     pub cost: CostAggregate,
+    /// The trace budget the producing run enforced, with its source —
+    /// the adaptive policy's previously invisible decision. Like
+    /// `cost`, it is machine-dependent (detected memory moves between
+    /// hosts), so it renders in [`Scorecard::render_text`] only, never
+    /// into the byte-pinned JSON. `None` for merged or hand-built
+    /// scorecards.
+    pub trace_budget: Option<ResolvedTraceBudget>,
 }
 
 fn service_score(brownout_rate: f64, utilization: f64, mape: f64) -> f64 {
@@ -206,6 +214,7 @@ impl Scorecard {
             // Sums and maxes of integers: order-insensitive, no sort
             // needed.
             cost: CostAggregate::of(outcomes.iter().map(|o| o.cost)),
+            trace_budget: None,
         }
     }
 
@@ -428,7 +437,28 @@ impl Scorecard {
             per_scenario,
             overall,
             cost,
+            trace_budget: None,
         })
+    }
+
+    /// [`Scorecard::merge_shards`] with the merge recorded into a run
+    /// ledger: counts the scenario tables reassembled
+    /// (`merge/scenario_tables`) — deliberately *not* the shard count,
+    /// which would differ between shard splits of the same run and
+    /// break the ledger's byte-identity across splits.
+    pub fn merge_shards_observed(
+        manifest: &ShardManifest,
+        shards: &[ScorecardShard],
+        collector: &Collector,
+    ) -> Result<Scorecard, String> {
+        let merged = Self::merge_shards(manifest, shards)?;
+        if collector.is_enabled() {
+            collector.count("merge/scenario_tables", manifest.scenarios.len() as u64);
+            for ranking in &merged.per_scenario {
+                collector.count_scenario(&ranking.scenario, "merge/merged_tables", 1);
+            }
+        }
+        Ok(merged)
     }
 
     /// The best overall combo.
@@ -495,6 +525,9 @@ impl Scorecard {
             );
         }
         let _ = writeln!(out, "evaluation cost (incl. cached work): {}", self.cost);
+        if let Some(budget) = &self.trace_budget {
+            let _ = writeln!(out, "trace budget: {budget}");
+        }
         out
     }
 }

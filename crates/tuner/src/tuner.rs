@@ -25,6 +25,7 @@
 use crate::regime::{group_by_regime, Regime};
 use crate::report::{RegimeRow, TunedParams, TuningReport};
 use crate::search::{search_wcma, SearchBudget, SearchResult};
+use fleet_obs::Collector;
 use param_explore::ParamGrid;
 use scenario_fleet::{
     FleetCache, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, Scenario, TraceCachePolicy,
@@ -141,6 +142,7 @@ pub const GUIDELINE: TunedParams = TunedParams {
 pub struct FleetTuner {
     config: TunerConfig,
     engine: FleetEngine,
+    collector: Collector,
 }
 
 /// Scores predictor specs on one scenario set through the shared cache.
@@ -240,7 +242,21 @@ impl FleetTuner {
         if let Some(shards) = config.shards {
             engine = engine.with_shards(shards);
         }
-        Ok(FleetTuner { config, engine })
+        Ok(FleetTuner {
+            config,
+            engine,
+            collector: Collector::noop(),
+        })
+    }
+
+    /// Attaches an observability collector: the loop records tuner
+    /// spans (`tuner/global`, one `tuner/regime` per regime) and search
+    /// telemetry counters, and the inner engine records its evaluation
+    /// phases into the same collector. No-op by default.
+    pub fn with_collector(mut self, collector: Collector) -> Self {
+        self.engine = self.engine.with_collector(collector.clone());
+        self.collector = collector;
+        self
     }
 
     /// The engine every evaluation runs through.
@@ -262,14 +278,17 @@ impl FleetTuner {
         let mut cache = self.engine.new_cache();
 
         // Pass 1: the global optimum (all scenarios at once).
+        let global_span = self.collector.span("tuner/global");
         let mut global_eval = Evaluator::new(
             &self.engine,
             &mut cache,
             &config.managers,
             scenarios.to_vec(),
         );
-        let ((global, global_overall_score), _, _) =
+        let ((global, global_overall_score), _, global_searched) =
             Self::search_pool(&mut global_eval, config, &[GUIDELINE])?;
+        self.record_search("global", &global_searched);
+        drop(global_span);
 
         // Pass 2 + 3: per-regime search and deployment scoring.
         let mut rows = Vec::new();
@@ -277,6 +296,7 @@ impl FleetTuner {
             let row = self.tune_regime(regime, members, global, &mut cache)?;
             rows.push(row);
         }
+        self.collector.count("tuner/regimes", rows.len() as u64);
 
         Ok(TuningReport {
             master_seed: config.master_seed,
@@ -297,6 +317,9 @@ impl FleetTuner {
         cache: &mut FleetCache,
     ) -> Result<RegimeRow, String> {
         let config = &self.config;
+        let _regime_span = self
+            .collector
+            .span_scenario("tuner/regime", regime.as_str());
         let scenario_names: Vec<String> = members.iter().map(|s| s.name.clone()).collect();
         let min_slots = members
             .iter()
@@ -310,6 +333,7 @@ impl FleetTuner {
         // pays, and never scores worse than either.
         let ((tuned, tuned_score), baseline_scores, searched) =
             Self::search_pool(&mut eval, config, &[global, GUIDELINE])?;
+        self.record_search(regime.as_str(), &searched);
         let global_score = baseline_scores[0];
 
         // Deployment pass: the tuned integers through the Q16 kernel …
@@ -350,6 +374,21 @@ impl FleetTuner {
             rounds: searched.rounds,
             candidates: searched.evaluated,
         })
+    }
+
+    /// Ledger telemetry of one search pass, keyed by pass name (the
+    /// regime, or `global`) — how many refinement rounds and candidate
+    /// evaluations the search spent.
+    fn record_search(&self, pass: &str, searched: &SearchResult) {
+        if self.collector.is_enabled() {
+            self.collector
+                .count_scenario(pass, "tuner/search_rounds", searched.rounds as u64);
+            self.collector.count_scenario(
+                pass,
+                "tuner/search_candidates",
+                searched.evaluated as u64,
+            );
+        }
     }
 
     /// Searches one evaluator with the given baselines always in the
@@ -423,6 +462,36 @@ mod tests {
             catalog.get("desert-clear-sky").unwrap().clone(),
             catalog.get("marine-fog").unwrap().clone(),
         ]
+    }
+
+    #[test]
+    fn collector_observes_the_loop_without_perturbing_the_report() {
+        let plain = FleetTuner::new(tiny_config(5))
+            .unwrap()
+            .tune(&tiny_scenarios())
+            .unwrap();
+        let collector = Collector::recording();
+        let observed = FleetTuner::new(tiny_config(5))
+            .unwrap()
+            .with_collector(collector.clone())
+            .tune(&tiny_scenarios())
+            .unwrap();
+        // Collection must not move a byte of the pinned report.
+        assert_eq!(plain.to_json_string(), observed.to_json_string());
+        let ledger = collector.ledger();
+        assert_eq!(ledger.counter("tuner/regimes"), 2);
+        assert!(ledger.counter("tuner/search_candidates") > 0);
+        assert!(ledger.scenario_counter("global", "tuner/search_candidates") > 0);
+        // The inner engine recorded into the same collector.
+        assert!(ledger.counter("jobs/evaluated") > 0);
+        let report = collector.report();
+        let tuner_node = report
+            .spans
+            .children
+            .iter()
+            .find(|c| c.name == "tuner")
+            .expect("tuner spans recorded");
+        assert!(tuner_node.children.iter().any(|c| c.name == "regime"));
     }
 
     #[test]

@@ -185,7 +185,7 @@ fn measure_tuner_round(smoke: bool) -> (usize, f64, usize) {
 
 /// Synthesis passes the run spent, from the engine's own accounting.
 fn scenario_passes(result: &scenario_fleet::FleetResult) -> usize {
-    result.scenario_passes
+    result.synthesis_passes()
 }
 
 fn fmt_f64(value: f64) -> String {

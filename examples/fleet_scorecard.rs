@@ -24,14 +24,18 @@
 //!   seed; up to ~290 regimes across five climate families), evaluated
 //!   under the bounded budget so most of the fleet streams. With
 //!   `--smoke`, the predictor family shrinks to the guideline set.
+//! * `--report PATH` — attach a recording collector and write the full
+//!   run report (deterministic ledger + phase-span timing) as JSON to
+//!   `PATH`, plus a text summary to stdout. Collection does not move a
+//!   byte of the scorecard output.
 //!
 //! The run is deterministic for a given seed: the scorecard JSON (also
 //! written to `target/fleet_scorecard.json`) is byte-identical across
 //! runs, thread counts, shard counts, and trace-cache policies.
 
 use scenario_fleet::{
-    Catalog, CatalogGenerator, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, Scorecard,
-    TraceCachePolicy,
+    Catalog, CatalogGenerator, Collector, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec,
+    RunReport, Scorecard, TraceCachePolicy,
 };
 use std::error::Error;
 
@@ -40,6 +44,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut shards: Option<usize> = None;
     let mut smoke = false;
     let mut generated: Option<usize> = None;
+    let mut report_path: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,6 +56,10 @@ fn main() -> Result<(), Box<dyn Error>> {
             "--generated" => {
                 let count = args.next().ok_or("--generated needs a count")?;
                 generated = Some(count.parse()?);
+            }
+            "--report" => {
+                let path = args.next().ok_or("--report needs a path")?;
+                report_path = Some(path.into());
             }
             other => positional.push(other.parse()?),
         }
@@ -111,7 +120,14 @@ fn main() -> Result<(), Box<dyn Error>> {
     // The smoke budget is tight enough that the 3-year la-niña entry
     // (≈2.4 MiB of 5-minute samples) must stream.
     let budget: u64 = if smoke { 2 << 20 } else { 4 << 20 };
-    let mut engine = FleetEngine::new(seed).with_trace_cache(TraceCachePolicy::bounded(budget));
+    let collector = if report_path.is_some() {
+        Collector::recording()
+    } else {
+        Collector::noop()
+    };
+    let mut engine = FleetEngine::new(seed)
+        .with_trace_cache(TraceCachePolicy::bounded(budget))
+        .with_collector(collector.clone());
     if let Some(threads) = threads {
         engine = engine.with_threads(threads);
     }
@@ -138,7 +154,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             matrix.job_count(),
             "the sharded pass must be answered entirely from the warm cache"
         );
-        let merged = Scorecard::merge_shards(&sharded.manifest, &sharded.shards)?;
+        let merged =
+            Scorecard::merge_shards_observed(&sharded.manifest, &sharded.shards, &collector)?;
         assert_eq!(
             merged.to_json_string(),
             result.scorecard.to_json_string(),
@@ -185,5 +202,19 @@ fn main() -> Result<(), Box<dyn Error>> {
         "\nwinner: {} + {} (score {:.3})",
         winner.predictor, winner.manager, winner.score
     );
+
+    if let Some(path) = report_path {
+        let report = collector.report();
+        let text = report.to_json_string();
+        // Round-trip before writing: a report that does not parse is a
+        // bug, and the CI step relies on this check.
+        RunReport::from_json_str(&text)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, &text)?;
+        println!("\n=== run report (written to {}) ===", path.display());
+        print!("{}", report.render_text());
+    }
     Ok(())
 }

@@ -7,7 +7,13 @@
 //! ```text
 //! cargo run --release --example tune_fleet -- 42
 //! cargo run --release --example tune_fleet -- --smoke
+//! cargo run --release --example tune_fleet -- --smoke --report target/tune_report.json
 //! ```
+//!
+//! `--report PATH` attaches a recording collector to the tuning loop
+//! and writes the full run report (deterministic ledger + phase-span
+//! timing) as JSON to `PATH`; collection does not move a byte of the
+//! tuning report.
 //!
 //! The run is deterministic for a given seed: the tuning-report JSON
 //! (also written to `target/tuning_report.json`) is byte-identical
@@ -17,16 +23,23 @@
 //! cold full run.
 
 use fleet_tuner::{FleetTuner, TunerConfig};
-use scenario_fleet::{Catalog, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec};
+use scenario_fleet::{
+    Catalog, Collector, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, RunReport,
+};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let mut seed: u64 = 42;
     let mut seed_overridden = false;
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut report_path: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--report" {
+            let path = args.next().ok_or("--report needs a path")?;
+            report_path = Some(path.into());
         } else {
             seed = arg.parse()?;
             seed_overridden = true;
@@ -66,8 +79,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         config.budget.max_candidates,
     );
 
+    let collector = if report_path.is_some() {
+        Collector::recording()
+    } else {
+        Collector::noop()
+    };
     let started = std::time::Instant::now();
-    let tuner = FleetTuner::new(config)?;
+    let tuner = FleetTuner::new(config)?.with_collector(collector.clone());
     let report = tuner.tune(&scenarios)?;
     println!("=== per-regime winner table ===");
     print!("{}", report.render_text());
@@ -124,6 +142,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     let path = std::path::Path::new("target").join("tuning_report.json");
     if std::fs::create_dir_all("target").is_ok() && std::fs::write(&path, &json).is_ok() {
         println!("tuning report JSON written to {}", path.display());
+    }
+
+    if let Some(path) = report_path {
+        let run_report = collector.report();
+        let text = run_report.to_json_string();
+        // Round-trip before writing: a report that does not parse is a
+        // bug, and the CI step relies on this check.
+        RunReport::from_json_str(&text)?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, &text)?;
+        println!("\n=== run report (written to {}) ===", path.display());
+        print!("{}", run_report.render_text());
     }
     Ok(())
 }

@@ -19,9 +19,9 @@
 use fleet_tuner::{group_by_regime, Regime};
 use proptest::prelude::*;
 use scenario_fleet::{
-    Catalog, CatalogGenerator, Climate, FalloffProfile, FaultMix, FleetEngine, FleetFault,
-    FleetMatrix, ManagerSpec, NodeProfile, PredictorSpec, RegimeTemplate, Scenario, Scorecard,
-    SiteSpec, SpatialFalloff, TraceCachePolicy,
+    Catalog, CatalogGenerator, Climate, Collector, FalloffProfile, FaultMix, FleetEngine,
+    FleetFault, FleetMatrix, ManagerSpec, NodeProfile, PredictorSpec, RegimeTemplate, Scenario,
+    Scorecard, SiteSpec, SpatialFalloff, TraceCachePolicy,
 };
 
 /// The regime a generated (Shaped) scenario must land in.
@@ -289,10 +289,18 @@ fn golden_200_regime_scorecard_is_identical_across_threads_and_shards() {
 
     let budget = 4u64 << 20;
     let mut reference: Option<String> = None;
+    // The deterministic ledger is held to the same bar as the scorecard:
+    // byte-identical across thread counts (fresh-run ledger) and across
+    // shard splits (merge ledger) — a recording collector on every
+    // config also proves collection never moves the golden digest.
+    let mut ledger_reference: Option<String> = None;
+    let mut merge_reference: Option<String> = None;
     for threads in [1usize, 2, 8] {
+        let collector = Collector::recording();
         let engine = FleetEngine::new(GOLDEN_SEED)
             .with_threads(threads)
-            .with_trace_cache(TraceCachePolicy::bounded(budget));
+            .with_trace_cache(TraceCachePolicy::bounded(budget))
+            .with_collector(collector.clone());
         let mut cache = engine.new_cache();
         let result = engine.run_cached(&matrix, &mut cache).unwrap();
         // The 4 MiB budget admits ~60 of the 200 traces; the rest run
@@ -304,21 +312,45 @@ fn golden_200_regime_scorecard_is_identical_across_threads_and_shards() {
         );
         assert!(cache.trace_bytes() as u64 <= budget);
         let json = result.scorecard.to_json_string();
+        let ledger_json = collector.ledger().to_json_string();
+        match &ledger_reference {
+            None => ledger_reference = Some(ledger_json),
+            Some(reference) => assert_eq!(
+                &ledger_json, reference,
+                "threads {threads}: ledger bytes diverged"
+            ),
+        }
 
         // Sharded reductions (answered from the warm cache) merge back
-        // to the monolithic scorecard byte-for-byte.
+        // to the monolithic scorecard byte-for-byte, and the merge
+        // ledger records per-scenario tables — the same 200 whether the
+        // fleet was split 2 or 7 ways.
         for shard_count in [2usize, 7] {
             let sharded = engine
                 .run_sharded_cached(&matrix, shard_count, &mut cache)
                 .unwrap();
             assert_eq!(sharded.cached_jobs, matrix.job_count());
             assert_eq!(sharded.shards.len(), shard_count);
-            let merged = Scorecard::merge_shards(&sharded.manifest, &sharded.shards).unwrap();
+            let merge_collector = Collector::recording();
+            let merged = Scorecard::merge_shards_observed(
+                &sharded.manifest,
+                &sharded.shards,
+                &merge_collector,
+            )
+            .unwrap();
             assert_eq!(
                 merged.to_json_string(),
                 json,
                 "threads {threads}, {shard_count} shards: merge diverged"
             );
+            let merge_json = merge_collector.ledger().to_json_string();
+            match &merge_reference {
+                None => merge_reference = Some(merge_json),
+                Some(reference) => assert_eq!(
+                    &merge_json, reference,
+                    "threads {threads}, {shard_count} shards: merge ledger diverged"
+                ),
+            }
         }
 
         match &reference {

@@ -1,0 +1,193 @@
+//! End-to-end observability contracts: the run ledger and span report
+//! ride alongside the fleet pipeline without moving a byte of its
+//! pinned output.
+//!
+//! Unit tests in `fleet_obs` and the engine cover the pieces; these
+//! integration tests hold the cross-crate seams:
+//!
+//! 1. **collection is invisible** — a recording collector produces
+//!    scorecard JSON byte-identical to the no-op default;
+//! 2. **the ledger tells the truth** — a warm-cache re-run shows cache
+//!    hits equal to the job count and zero synthesis work;
+//! 3. **reports survive the disk** — a full `RunReport` round-trips
+//!    through a file byte-exactly, the path `--report` exercises;
+//! 4. **ledgers compose** — shard-half ledgers absorbed into one
+//!    collector equal the whole-fleet ledger, the property that makes
+//!    distributed runs mergeable like `ScorecardShard`s.
+
+use scenario_fleet::{
+    Catalog, Collector, FleetEngine, FleetMatrix, Ledger, ManagerSpec, PredictorSpec, RunReport,
+    TraceCachePolicy,
+};
+
+fn smoke_matrix(scenarios: &[&str]) -> FleetMatrix {
+    let catalog = Catalog::builtin();
+    FleetMatrix::new(
+        PredictorSpec::guideline_family(),
+        vec![ManagerSpec::EnergyNeutral {
+            target_soc: 0.5,
+            gain: 0.25,
+        }],
+        scenarios
+            .iter()
+            .map(|name| catalog.get(name).expect("builtin").clone())
+            .collect(),
+    )
+    .expect("matrix assembles")
+}
+
+#[test]
+fn recording_collector_leaves_the_scorecard_byte_identical() {
+    let matrix = smoke_matrix(&["desert-clear-sky", "marine-fog", "arctic-winter"]);
+    let plain = FleetEngine::new(7).run(&matrix).expect("plain run");
+    let collector = Collector::recording();
+    let observed = FleetEngine::new(7)
+        .with_collector(collector.clone())
+        .run(&matrix)
+        .expect("observed run");
+    assert_eq!(
+        plain.scorecard.to_json_string(),
+        observed.scorecard.to_json_string(),
+        "collection must not move a byte of the scorecard"
+    );
+    // And the ledger actually recorded the run.
+    let ledger = collector.ledger();
+    assert_eq!(ledger.counter("jobs/evaluated"), matrix.job_count() as u64);
+    assert_eq!(ledger.counter("score/scenarios_ranked"), 3);
+}
+
+#[test]
+fn warm_cache_rerun_ledger_shows_hits_equal_jobs_and_zero_synthesis() {
+    let matrix = smoke_matrix(&["desert-clear-sky", "marine-fog"]);
+    let engine = FleetEngine::new(11);
+    let mut cache = engine.new_cache();
+    engine.run_cached(&matrix, &mut cache).expect("cold run");
+
+    let collector = Collector::recording();
+    let warm_engine = FleetEngine::new(11).with_collector(collector.clone());
+    let warm = warm_engine
+        .run_cached(&matrix, &mut cache)
+        .expect("warm run");
+    assert_eq!(warm.cached_jobs, matrix.job_count());
+
+    let ledger = collector.ledger();
+    assert_eq!(ledger.counter("cache/job_hits"), matrix.job_count() as u64);
+    assert_eq!(ledger.counter("cache/job_misses"), 0);
+    assert_eq!(ledger.counter("jobs/fresh"), 0);
+    assert_eq!(ledger.counter("synth/trace_generations"), 0);
+    assert_eq!(ledger.counter("synth/streamed_passes"), 0);
+    assert_eq!(ledger.counter("slots/processed"), 0);
+}
+
+#[test]
+fn run_report_round_trips_through_a_file() {
+    let matrix = smoke_matrix(&["desert-clear-sky", "marine-fog"]);
+    let collector = Collector::recording();
+    FleetEngine::new(3)
+        .with_trace_cache(TraceCachePolicy::bounded(4 << 20))
+        .with_collector(collector.clone())
+        .run(&matrix)
+        .expect("observed run");
+
+    let report = collector.report();
+    assert!(report.wall_ns > 0, "the run took time");
+    assert!(
+        !report.scenario_top.is_empty(),
+        "per-scenario timings recorded"
+    );
+    let text = report.to_json_string();
+
+    let path = std::env::temp_dir().join("fleet_obs_report_roundtrip.json");
+    std::fs::write(&path, &text).expect("write report");
+    let read_back = std::fs::read_to_string(&path).expect("read report");
+    let parsed = RunReport::from_json_str(&read_back).expect("report parses");
+    assert_eq!(
+        parsed.to_json_string(),
+        text,
+        "report must round-trip through disk byte-exactly"
+    );
+    // The parsed ledger is the recorded ledger.
+    assert_eq!(
+        parsed.ledger.to_json_string(),
+        collector.ledger().to_json_string()
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn shard_half_ledgers_absorb_into_the_whole_fleet_ledger() {
+    let catalog = Catalog::builtin();
+    let names = [
+        "desert-clear-sky",
+        "marine-fog",
+        "arctic-winter",
+        "equatorial-rainband",
+    ];
+    let scenarios: Vec<_> = names
+        .iter()
+        .map(|name| catalog.get(name).expect("builtin").clone())
+        .collect();
+    let predictors = PredictorSpec::guideline_family();
+    let managers = vec![ManagerSpec::Greedy];
+
+    let whole = Collector::recording();
+    let whole_matrix = FleetMatrix::new(predictors.clone(), managers.clone(), scenarios.clone())
+        .expect("whole matrix");
+    FleetEngine::new(5)
+        .with_collector(whole.clone())
+        .run(&whole_matrix)
+        .expect("whole run");
+
+    // Evaluate the two scenario halves as independent runs — separate
+    // collectors, as two hosts would — then absorb both ledgers into
+    // one. Every counter in the fleet ledger is per-scenario work, so
+    // the absorbed sum must equal the whole-fleet ledger exactly.
+    let combined = Collector::recording();
+    for half in scenarios.chunks(2) {
+        let part = Collector::recording();
+        let matrix = FleetMatrix::new(predictors.clone(), managers.clone(), half.to_vec())
+            .expect("half matrix");
+        FleetEngine::new(5)
+            .with_collector(part.clone())
+            .run(&matrix)
+            .expect("half run");
+        combined
+            .absorb_ledger(&part.ledger())
+            .expect("halves absorb");
+    }
+    assert_eq!(
+        combined.ledger().to_json_string(),
+        whole.ledger().to_json_string(),
+        "absorbed shard ledgers must equal the whole-fleet ledger"
+    );
+}
+
+#[test]
+fn ledger_merge_is_order_independent_and_validates_labels() {
+    let mut a = Ledger::new();
+    a.count("jobs/evaluated", 3);
+    a.count_scenario("desert", "slots/processed", 100);
+    a.gauge("admission/trace_budget_bytes", 512);
+    a.label("admission/trace_budget_source", "configured");
+
+    let mut b = Ledger::new();
+    b.count("jobs/evaluated", 4);
+    b.count_scenario("marine", "slots/processed", 50);
+    b.gauge("admission/trace_budget_bytes", 1024);
+    b.label("admission/trace_budget_source", "configured");
+
+    let mut ab = a.clone();
+    ab.merge(&b).expect("merge a+b");
+    let mut ba = b.clone();
+    ba.merge(&a).expect("merge b+a");
+    assert_eq!(ab.to_json_string(), ba.to_json_string());
+    assert_eq!(ab.counter("jobs/evaluated"), 7);
+    // Gauges take the maximum; labels must agree.
+    assert_eq!(ab.gauge_value("admission/trace_budget_bytes"), Some(1024));
+    let mut conflicting = Ledger::new();
+    conflicting.label("admission/trace_budget_source", "unbounded");
+    assert!(
+        a.clone().merge(&conflicting).is_err(),
+        "conflicting labels must refuse to merge"
+    );
+}
