@@ -1,0 +1,260 @@
+//! The append-only run archive: one JSONL line per archived report.
+//!
+//! A [`RunArchive`] is the trend store behind `fleet_report archive`:
+//! each line is `{"run_id": ..., "report": ...}` rendered compactly,
+//! appended (never rewritten) so concurrent history survives crashes
+//! and the file stays diff-friendly in version control. Run ids are
+//! caller-supplied (a date, a commit hash, a CI build number) and must
+//! be unique within one archive — appending a duplicate id is an
+//! error, because a trend with two points at the same x tells no
+//! story.
+
+use crate::json::Json;
+use crate::report::RunReport;
+use crate::spans::format_ns;
+use std::path::Path;
+
+/// One archived run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArchiveEntry {
+    /// Caller-supplied key (commit, date, build number…).
+    pub run_id: String,
+    pub report: RunReport,
+}
+
+/// An in-memory view of a JSONL archive file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunArchive {
+    /// Entries in file (append) order: oldest first.
+    pub entries: Vec<ArchiveEntry>,
+}
+
+/// Counters the trend table tracks per run.
+const TREND_COUNTERS: [&str; 4] = [
+    "jobs/evaluated",
+    "slots/processed",
+    "cache/job_hits",
+    "synth/streamed_passes",
+];
+
+fn validate_run_id(run_id: &str) -> Result<(), String> {
+    if run_id.is_empty() {
+        return Err("archive run id must not be empty".to_string());
+    }
+    if run_id.contains('\n') || run_id.contains('\r') {
+        return Err("archive run id must not contain newlines".to_string());
+    }
+    Ok(())
+}
+
+impl RunArchive {
+    /// An empty archive.
+    pub fn new() -> RunArchive {
+        RunArchive::default()
+    }
+
+    /// Loads an archive file; a missing file is an empty archive (the
+    /// first `append` creates it).
+    ///
+    /// # Errors
+    ///
+    /// Unreadable files, malformed lines, and duplicate run ids all
+    /// fail loudly — a trend built on a half-read archive lies.
+    pub fn load(path: &Path) -> Result<RunArchive, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(RunArchive::new());
+            }
+            Err(err) => return Err(format!("cannot read archive {}: {err}", path.display())),
+        };
+        let mut archive = RunArchive::new();
+        for (number, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let value =
+                Json::parse(line).map_err(|err| format!("archive line {}: {err}", number + 1))?;
+            let run_id = value
+                .req_str("run_id")
+                .map_err(|err| format!("archive line {}: {err}", number + 1))?
+                .to_string();
+            let report = RunReport::from_json(
+                value
+                    .req("report")
+                    .map_err(|err| format!("archive line {}: {err}", number + 1))?,
+            )
+            .map_err(|err| format!("archive line {} ({run_id:?}): {err}", number + 1))?;
+            if archive.entries.iter().any(|e| e.run_id == run_id) {
+                return Err(format!(
+                    "archive line {}: duplicate run id {run_id:?}",
+                    number + 1
+                ));
+            }
+            archive.entries.push(ArchiveEntry { run_id, report });
+        }
+        Ok(archive)
+    }
+
+    /// Appends one report under `run_id`, creating the file if needed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid ids, ids already present in the file, and I/O
+    /// failures. The existing file is never rewritten.
+    pub fn append(path: &Path, run_id: &str, report: &RunReport) -> Result<(), String> {
+        validate_run_id(run_id)?;
+        let existing = RunArchive::load(path)?;
+        if existing.entries.iter().any(|e| e.run_id == run_id) {
+            return Err(format!("archive already holds run id {run_id:?}"));
+        }
+        let line = Json::obj([
+            ("run_id", Json::Str(run_id.to_string())),
+            ("report", report.to_json()),
+        ])
+        .render();
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|err| format!("cannot open archive {}: {err}", path.display()))?;
+        writeln!(file, "{line}")
+            .map_err(|err| format!("cannot append to archive {}: {err}", path.display()))
+    }
+
+    /// The last `n` entries, oldest first.
+    pub fn last(&self, n: usize) -> &[ArchiveEntry] {
+        let start = self.entries.len().saturating_sub(n);
+        &self.entries[start..]
+    }
+
+    /// A trend table plus per-metric sparklines over the last `n`
+    /// runs (oldest first, so trends read left to right).
+    pub fn trend_text(&self, n: usize) -> String {
+        use std::fmt::Write as _;
+        let window = self.last(n);
+        if window.is_empty() {
+            return "archive is empty\n".to_string();
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>14} {:>14} {:>12} {:>10}",
+            "run", "wall", "jobs", "slots", "cache hits", "streamed"
+        );
+        for entry in window {
+            let ledger = &entry.report.ledger;
+            let _ = writeln!(
+                out,
+                "{:<24} {:>12} {:>14} {:>14} {:>12} {:>10}",
+                entry.run_id,
+                format_ns(entry.report.wall_ns),
+                ledger.counter("jobs/evaluated"),
+                ledger.counter("slots/processed"),
+                ledger.counter("cache/job_hits"),
+                ledger.counter("synth/streamed_passes"),
+            );
+        }
+        let _ = writeln!(out);
+        let spark = |values: &[u64]| -> String {
+            const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+            let max = values.iter().copied().max().unwrap_or(0).max(1);
+            values
+                .iter()
+                .map(|&v| GLYPHS[(v * (GLYPHS.len() as u64 - 1)).div_ceil(max) as usize])
+                .collect()
+        };
+        let walls: Vec<u64> = window.iter().map(|e| e.report.wall_ns).collect();
+        let _ = writeln!(out, "{:<24} {}", "wall trend", spark(&walls));
+        for key in TREND_COUNTERS {
+            let values: Vec<u64> = window
+                .iter()
+                .map(|e| e.report.ledger.counter(key))
+                .collect();
+            if values.iter().any(|&v| v > 0) {
+                let _ = writeln!(out, "{key:<24} {}", spark(&values));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::Ledger;
+
+    fn report(jobs: u64) -> RunReport {
+        let mut ledger = Ledger::new();
+        ledger.count("jobs/evaluated", jobs);
+        ledger.count("slots/processed", jobs * 96);
+        RunReport {
+            ledger,
+            wall_ns: jobs * 1000,
+            ..RunReport::empty()
+        }
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "fleet_obs_archive_{name}_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn append_load_round_trips_in_order() {
+        let path = temp_path("roundtrip");
+        RunArchive::append(&path, "run-1", &report(4)).unwrap();
+        RunArchive::append(&path, "run-2", &report(8)).unwrap();
+        RunArchive::append(&path, "run-3", &report(6)).unwrap();
+        let archive = RunArchive::load(&path).unwrap();
+        assert_eq!(archive.entries.len(), 3);
+        assert_eq!(archive.entries[0].run_id, "run-1");
+        assert_eq!(archive.entries[2].run_id, "run-3");
+        assert_eq!(archive.entries[1].report, report(8));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_and_malformed_run_ids_are_rejected() {
+        let path = temp_path("dupes");
+        RunArchive::append(&path, "run-1", &report(4)).unwrap();
+        assert!(RunArchive::append(&path, "run-1", &report(5)).is_err());
+        assert!(RunArchive::append(&path, "", &report(5)).is_err());
+        assert!(RunArchive::append(&path, "two\nlines", &report(5)).is_err());
+        // The failed appends left the file untouched.
+        assert_eq!(RunArchive::load(&path).unwrap().entries.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_archive_and_garbage_fails() {
+        let path = temp_path("missing");
+        assert_eq!(RunArchive::load(&path).unwrap().entries.len(), 0);
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(RunArchive::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trend_renders_last_n_with_sparklines() {
+        let mut archive = RunArchive::new();
+        for i in 1..=5u64 {
+            archive.entries.push(ArchiveEntry {
+                run_id: format!("run-{i}"),
+                report: report(i * 3),
+            });
+        }
+        let text = archive.trend_text(3);
+        assert!(!text.contains("run-2"), "window holds only the last 3");
+        assert!(text.contains("run-3"));
+        assert!(text.contains("run-5"));
+        assert!(text.contains("jobs/evaluated"));
+        assert!(text.contains('█'), "sparkline rendered");
+        assert_eq!(RunArchive::new().trend_text(3), "archive is empty\n");
+    }
+}

@@ -96,6 +96,16 @@ impl Collector {
         }
     }
 
+    /// Records one observation into the ledger histogram `key`.
+    /// Like counters, observations happen at work-unit granularity —
+    /// never per-slot — so the ledger lock stays out of hot loops.
+    #[inline]
+    pub fn observe(&self, key: &str, value: f64) {
+        if let Some(state) = &self.state {
+            state.ledger.lock().unwrap().observe(key, value);
+        }
+    }
+
     /// Sets a ledger gauge.
     #[inline]
     pub fn gauge(&self, key: &str, value: u64) {
@@ -218,6 +228,7 @@ mod tests {
         let collector = Collector::noop();
         assert!(!collector.is_enabled());
         collector.count("synth/trace_generations", 5);
+        collector.observe("score/mape", 0.12);
         collector.gauge("admission/trace_budget_bytes", 1);
         collector.label("admission/trace_budget_source", "bounded");
         {
@@ -236,6 +247,7 @@ mod tests {
         assert!(collector.is_enabled());
         collector.count("jobs/evaluated", 3);
         collector.count_scenario("desert", "slots/processed", 96);
+        collector.observe("fleet/unit_slots", 96.0);
         {
             let _outer = collector.span("fleet");
             let _inner = collector.span_scenario("fleet/simulate", "desert");
@@ -245,6 +257,10 @@ mod tests {
         assert_eq!(
             report.ledger.scenario_counter("desert", "slots/processed"),
             96
+        );
+        assert_eq!(
+            report.ledger.histogram("fleet/unit_slots").unwrap().count(),
+            1
         );
         let fleet = report
             .spans

@@ -15,6 +15,7 @@
 //! Wall time never enters a ledger. Timing lives in the span plane
 //! ([`crate::RunReport`]), which is explicitly non-deterministic.
 
+use crate::histogram::Histogram;
 use crate::json::Json;
 use std::collections::BTreeMap;
 
@@ -30,6 +31,9 @@ pub struct Ledger {
     /// Descriptive settings (e.g. the budget source); merge requires
     /// agreement.
     labels: BTreeMap<String, String>,
+    /// Distributions, keyed `phase/name`; merge sums bucket-wise (the
+    /// bucket edges are fixed — see [`crate::histogram`]).
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl Ledger {
@@ -44,6 +48,7 @@ impl Ledger {
             && self.scenarios.is_empty()
             && self.gauges.is_empty()
             && self.labels.is_empty()
+            && self.histograms.is_empty()
     }
 
     /// Adds `n` to the run-level counter `key`.
@@ -73,6 +78,14 @@ impl Ledger {
         self.labels.insert(key.to_string(), value.to_string());
     }
 
+    /// Records one observation into the histogram `key`.
+    pub fn observe(&mut self, key: &str, value: f64) {
+        self.histograms
+            .entry(key.to_string())
+            .or_default()
+            .observe(value);
+    }
+
     /// A run-level counter (0 when never recorded).
     pub fn counter(&self, key: &str) -> u64 {
         self.counters.get(key).copied().unwrap_or(0)
@@ -95,6 +108,44 @@ impl Ledger {
     /// A label, if set.
     pub fn label_value(&self, key: &str) -> Option<&str> {
         self.labels.get(key).map(String::as_str)
+    }
+
+    /// A histogram, if any observation reached it.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Run-level counter keys in sorted order.
+    pub fn counter_keys(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// Gauge keys in sorted order.
+    pub fn gauge_keys(&self) -> impl Iterator<Item = &str> {
+        self.gauges.keys().map(String::as_str)
+    }
+
+    /// Label keys in sorted order.
+    pub fn label_keys(&self) -> impl Iterator<Item = &str> {
+        self.labels.keys().map(String::as_str)
+    }
+
+    /// Scenario ids with at least one counter, in sorted order.
+    pub fn scenario_names(&self) -> impl Iterator<Item = &str> {
+        self.scenarios.keys().map(String::as_str)
+    }
+
+    /// Counter keys recorded under `scenario`, in sorted order.
+    pub fn scenario_counter_keys(&self, scenario: &str) -> impl Iterator<Item = &str> {
+        self.scenarios
+            .get(scenario)
+            .into_iter()
+            .flat_map(|m| m.keys().map(String::as_str))
+    }
+
+    /// All histograms in sorted key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Number of scenarios with at least one counter.
@@ -135,6 +186,12 @@ impl Ledger {
             let slot = self.gauges.entry(key.clone()).or_default();
             *slot = (*slot).max(*value);
         }
+        for (key, histogram) in &other.histograms {
+            self.histograms
+                .entry(key.clone())
+                .or_default()
+                .merge(histogram);
+        }
         Ok(())
     }
 
@@ -152,6 +209,15 @@ impl Ledger {
         Json::obj([
             ("counters", counter_obj(&self.counters)),
             ("gauges", counter_obj(&self.gauges)),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
             (
                 "labels",
                 Json::Obj(
@@ -214,11 +280,22 @@ impl Ledger {
                 .collect::<Result<BTreeMap<_, _>, String>>()?,
             _ => return Err("ledger section \"scenarios\" must be an object".to_string()),
         };
+        // Optional for back-compat: `fleet-run-report/1` ledgers (and
+        // the PR 6 bench schema) predate the histogram plane.
+        let histograms = match value.get("histograms") {
+            None => BTreeMap::new(),
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(name, hist)| Ok((name.clone(), Histogram::from_json(hist)?)))
+                .collect::<Result<BTreeMap<_, _>, String>>()?,
+            Some(_) => return Err("ledger section \"histograms\" must be an object".to_string()),
+        };
         Ok(Ledger {
             counters,
             scenarios,
             gauges,
             labels,
+            histograms,
         })
     }
 
@@ -241,6 +318,9 @@ impl Ledger {
         }
         for (key, value) in &self.counters {
             let _ = writeln!(out, "{key}: {value}");
+        }
+        for (key, histogram) in &self.histograms {
+            let _ = writeln!(out, "{key} ~ {}", histogram.render_line());
         }
         if self.scenario_count() > 0 {
             let _ = writeln!(
@@ -334,5 +414,44 @@ mod tests {
         assert!(Ledger::from_json_str(bad).is_err());
         let bad = r#"{"counters": {}, "gauges": {}, "labels": {"a": 3}, "scenarios": {}}"#;
         assert!(Ledger::from_json_str(bad).is_err());
+        let bad =
+            r#"{"counters": {}, "gauges": {}, "histograms": [], "labels": {}, "scenarios": {}}"#;
+        assert!(Ledger::from_json_str(bad).is_err());
+    }
+
+    #[test]
+    fn histogram_plane_merges_and_round_trips_with_counters() {
+        let mut a = Ledger::new();
+        a.observe("score/mape", 0.08);
+        a.observe("score/mape", 0.21);
+        a.count("jobs/evaluated", 2);
+        let mut b = Ledger::new();
+        b.observe("score/mape", 0.21);
+        b.observe("fleet/unit_slots", 1440.0);
+        let mut merged = a.clone();
+        merged.merge(&b).unwrap();
+        // Merge equals recording everything into one ledger.
+        let mut whole = Ledger::new();
+        whole.observe("score/mape", 0.08);
+        whole.observe("score/mape", 0.21);
+        whole.observe("score/mape", 0.21);
+        whole.observe("fleet/unit_slots", 1440.0);
+        whole.count("jobs/evaluated", 2);
+        assert_eq!(merged.to_json_string(), whole.to_json_string());
+        assert_eq!(merged.histogram("score/mape").unwrap().count(), 3);
+        let back = Ledger::from_json_str(&merged.to_json_string()).unwrap();
+        assert_eq!(back, merged);
+        assert!(merged.render_text().contains("score/mape ~ count 3"));
+    }
+
+    #[test]
+    fn histogram_section_is_optional_on_parse_for_v1_ledgers() {
+        let v1 =
+            r#"{"counters": {"jobs/evaluated": 4}, "gauges": {}, "labels": {}, "scenarios": {}}"#;
+        let ledger = Ledger::from_json_str(v1).unwrap();
+        assert_eq!(ledger.counter("jobs/evaluated"), 4);
+        assert!(ledger.histograms().next().is_none());
+        // Re-rendering emits the (empty) section in the /2 shape.
+        assert!(ledger.to_json_string().contains("\"histograms\""));
     }
 }

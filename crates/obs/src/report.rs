@@ -12,6 +12,11 @@ use crate::json::Json;
 use crate::ledger::Ledger;
 use crate::spans::{format_ns, ScenarioTiming, SpanNode};
 
+/// The original report schema (no histogram section).
+const SCHEMA_V1: &str = "fleet-run-report/1";
+/// The current report schema (ledger carries histograms).
+const SCHEMA_V2: &str = "fleet-run-report/2";
+
 /// One run's full observability output.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunReport {
@@ -40,9 +45,13 @@ impl RunReport {
     }
 
     /// JSON form: `{schema, ledger, wall_ns, spans, scenario_top}`.
+    ///
+    /// Reports render as `fleet-run-report/2` — the `/2` schema added
+    /// the ledger's `histograms` section. [`RunReport::from_json`]
+    /// still reads `/1` documents (their histogram plane is empty).
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("schema", Json::Str("fleet-run-report/1".to_string())),
+            ("schema", Json::Str(SCHEMA_V2.to_string())),
             ("ledger", self.ledger.to_json()),
             ("wall_ns", Json::Num(self.wall_ns as f64)),
             ("spans", self.spans.to_json()),
@@ -69,10 +78,12 @@ impl RunReport {
     ///
     /// Rejects unknown schema tags and structurally invalid sections,
     /// so a consumer (e.g. the CI report check) fails loudly instead of
-    /// reading half a document.
+    /// reading half a document. Both `/1` and `/2` parse: the ledger's
+    /// histogram section is optional, which is exactly the `/1`→`/2`
+    /// difference.
     pub fn from_json(value: &Json) -> Result<RunReport, String> {
         let schema = value.req_str("schema")?;
-        if schema != "fleet-run-report/1" {
+        if schema != SCHEMA_V1 && schema != SCHEMA_V2 {
             return Err(format!("unsupported run-report schema {schema:?}"));
         }
         let scenario_top = match value.req("scenario_top")? {
@@ -154,6 +165,17 @@ mod tests {
         let report = sample();
         let back = RunReport::from_json_str(&report.to_json_string()).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v1_reports_still_parse_and_rerender_as_v2() {
+        let mut json = sample().to_json();
+        if let Json::Obj(pairs) = &mut json {
+            pairs[0].1 = Json::Str(SCHEMA_V1.to_string());
+        }
+        let report = RunReport::from_json(&json).unwrap();
+        assert_eq!(report.ledger.counter("jobs/evaluated"), 12);
+        assert!(report.to_json_string().contains(SCHEMA_V2));
     }
 
     #[test]

@@ -276,6 +276,42 @@ mod tests {
     }
 
     #[test]
+    fn equal_duration_siblings_render_in_stable_name_order() {
+        // Heaviest-first sorting must fall back to path order on equal
+        // totals, or `render_text` would depend on insertion (thread)
+        // order. Build the same tie twice with opposite insertion
+        // orders and pin both the order and the rendered text.
+        let forward = build_tree(&[
+            rec("fleet/alpha", None, 500),
+            rec("fleet/omega", None, 500),
+            rec("fleet/mid", Some("a"), 500),
+        ]);
+        let reversed = build_tree(&[
+            rec("fleet/mid", Some("a"), 500),
+            rec("fleet/omega", None, 500),
+            rec("fleet/alpha", None, 500),
+        ]);
+        let names: Vec<&str> = forward.children[0]
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, ["alpha", "mid", "omega"]);
+        assert_eq!(forward, reversed);
+        assert_eq!(forward.render_text(), reversed.render_text());
+        // The scenario ranking breaks span-time ties the same way.
+        let top = scenario_top(
+            &[
+                rec("fleet", Some("zeta"), 500),
+                rec("fleet", Some("beta"), 500),
+            ],
+            10,
+        );
+        assert_eq!(top[0].scenario, "beta");
+        assert_eq!(top[1].scenario, "zeta");
+    }
+
+    #[test]
     fn node_json_round_trips() {
         let root = build_tree(&[
             rec("fleet", None, 100),

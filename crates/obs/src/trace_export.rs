@@ -1,0 +1,165 @@
+//! Chrome-trace export of the span tree for flamegraph viewing.
+//!
+//! [`chrome_trace_json`] renders a [`RunReport`]'s aggregated span
+//! tree as a JSON **array of complete events** (`"ph": "X"`) in the
+//! Trace Event Format, which `about:tracing` and Perfetto open
+//! directly.
+//!
+//! The span tree is an *aggregate* (each node sums every span recorded
+//! at its path), not a timeline, so the export lays out a synthetic
+//! one: each node starts where its parent starts and children follow
+//! each other in rendered (heaviest-first) order. Horizontal extent is
+//! therefore faithful — a node's width is exactly its recorded
+//! nanoseconds — while horizontal *position* is presentational. The
+//! true span multiplicity rides along in `args.count`.
+
+use crate::json::Json;
+use crate::report::RunReport;
+use crate::spans::SpanNode;
+
+fn push_events(node: &SpanNode, path: &str, start_ns: u64, out: &mut Vec<Json>) {
+    let name = if node.name.is_empty() {
+        "(unnamed)"
+    } else {
+        &node.name
+    };
+    out.push(Json::obj([
+        ("name", Json::Str(name.to_string())),
+        ("cat", Json::Str("fleet".to_string())),
+        ("ph", Json::Str("X".to_string())),
+        // Trace-event timestamps are microseconds (fractional is fine).
+        ("ts", Json::Num(start_ns as f64 / 1000.0)),
+        ("dur", Json::Num(node.total_ns as f64 / 1000.0)),
+        ("pid", Json::Num(0.0)),
+        ("tid", Json::Num(0.0)),
+        (
+            "args",
+            Json::obj([
+                ("path", Json::Str(path.to_string())),
+                ("count", Json::Num(node.count as f64)),
+                ("self_ns", Json::Num(node.self_ns as f64)),
+            ]),
+        ),
+    ]));
+    let mut cursor = start_ns;
+    for child in &node.children {
+        let child_path = if path.is_empty() {
+            child.name.clone()
+        } else {
+            format!("{path}/{}", child.name)
+        };
+        push_events(child, &child_path, cursor, out);
+        cursor += child.total_ns;
+    }
+}
+
+/// The report's span tree as a Trace Event Format JSON array.
+pub fn chrome_trace_json(report: &RunReport) -> Json {
+    let mut events = Vec::new();
+    // The synthetic root spans the whole run: wall time when the
+    // collector recorded it, else the children's sum.
+    let mut root = report.spans.clone();
+    root.total_ns = root.total_ns.max(report.wall_ns);
+    push_events(&root, "", 0, &mut events);
+    Json::Arr(events)
+}
+
+/// [`chrome_trace_json`] rendered as text, ready to write to disk.
+pub fn chrome_trace_string(report: &RunReport) -> String {
+    chrome_trace_json(report).render_pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans::{build_tree, SpanRecord};
+
+    fn sample_report() -> RunReport {
+        let rec = |path: &str, dur_ns: u64| SpanRecord {
+            path: path.to_string(),
+            scenario: None,
+            dur_ns,
+        };
+        RunReport {
+            spans: build_tree(&[
+                rec("fleet", 100_000),
+                rec("fleet/synthesis", 30_000),
+                rec("fleet/simulate", 60_000),
+                rec("merge", 10_000),
+            ]),
+            wall_ns: 150_000,
+            ..RunReport::empty()
+        }
+    }
+
+    #[test]
+    fn export_is_an_array_of_complete_events() {
+        let json = chrome_trace_json(&sample_report());
+        let Json::Arr(events) = &json else {
+            panic!("chrome trace must be a JSON array");
+        };
+        // run + fleet + 2 children + merge.
+        assert_eq!(events.len(), 5);
+        for event in events {
+            assert_eq!(event.req_str("ph").unwrap(), "X");
+            assert_eq!(event.req_str("cat").unwrap(), "fleet");
+            assert!(event.req_num("ts").unwrap() >= 0.0);
+            assert!(event.req_num("dur").unwrap() >= 0.0);
+            event.req_num("pid").unwrap();
+            event.req_num("tid").unwrap();
+            event.req("args").unwrap().req_str("path").unwrap();
+        }
+        // And the rendered text parses back as the same array.
+        let text = chrome_trace_string(&sample_report());
+        assert_eq!(Json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn children_nest_inside_parents_on_the_synthetic_timeline() {
+        let json = chrome_trace_json(&sample_report());
+        let Json::Arr(events) = &json else {
+            unreachable!()
+        };
+        let find = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.req_str("name").unwrap() == name)
+                .expect(name)
+        };
+        let run = find("run");
+        assert_eq!(run.req_num("ts").unwrap(), 0.0);
+        assert_eq!(run.req_num("dur").unwrap(), 150.0, "root spans the wall");
+        let fleet = find("fleet");
+        let simulate = find("simulate");
+        let synthesis = find("synthesis");
+        // fleet starts at the run start; its children tile inside it,
+        // heaviest (simulate) first.
+        assert_eq!(fleet.req_num("ts").unwrap(), 0.0);
+        assert_eq!(simulate.req_num("ts").unwrap(), 0.0);
+        assert_eq!(
+            synthesis.req_num("ts").unwrap(),
+            simulate.req_num("dur").unwrap()
+        );
+        let fleet_end = fleet.req_num("ts").unwrap() + fleet.req_num("dur").unwrap();
+        for child in [simulate, synthesis] {
+            let end = child.req_num("ts").unwrap() + child.req_num("dur").unwrap();
+            assert!(end <= fleet_end + 1e-9, "children fit inside fleet");
+        }
+        // The sibling top-level phase follows fleet.
+        assert_eq!(find("merge").req_num("ts").unwrap(), fleet_end);
+        assert_eq!(
+            find("merge").req("args").unwrap().req_str("path").unwrap(),
+            "merge"
+        );
+    }
+
+    #[test]
+    fn empty_report_exports_just_the_root() {
+        let json = chrome_trace_json(&RunReport::empty());
+        let Json::Arr(events) = &json else {
+            unreachable!()
+        };
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].req_str("name").unwrap(), "run");
+    }
+}

@@ -180,10 +180,6 @@ pub struct FleetResult {
     pub streamed_jobs: usize,
     /// Synthesis passes this run spent, broken down by kind.
     pub passes: PassBreakdown,
-    /// Total synthesis passes (kept for source compatibility; equals
-    /// `passes.total()`).
-    #[deprecated(note = "use `synthesis_passes()` or the `passes` breakdown")]
-    pub scenario_passes: usize,
 }
 
 impl FleetResult {
@@ -211,10 +207,6 @@ pub struct ShardedFleetResult {
     pub streamed_jobs: usize,
     /// Synthesis passes this run spent, broken down by kind.
     pub passes: PassBreakdown,
-    /// Total synthesis passes (kept for source compatibility; equals
-    /// `passes.total()`).
-    #[deprecated(note = "use `synthesis_passes()` or the `passes` breakdown")]
-    pub scenario_passes: usize,
 }
 
 impl ShardedFleetResult {
@@ -656,16 +648,13 @@ impl FleetEngine {
                 evaluated.effective.scenarios.len() as u64,
             );
             scorecard.trace_budget = Some(evaluated.resolved_budget);
-            #[allow(deprecated)]
-            let result = FleetResult {
+            Ok(FleetResult {
                 outcomes: evaluated.outcomes,
                 scorecard,
                 cached_jobs: evaluated.cached_jobs,
                 streamed_jobs: evaluated.streamed_jobs,
                 passes: evaluated.passes,
-                scenario_passes: evaluated.passes.total(),
-            };
-            Ok(result)
+            })
         })
     }
 
@@ -714,17 +703,14 @@ impl FleetEngine {
                 "score/scenarios_ranked",
                 evaluated.effective.scenarios.len() as u64,
             );
-            #[allow(deprecated)]
-            let result = ShardedFleetResult {
+            Ok(ShardedFleetResult {
                 manifest,
                 shards,
                 outcomes: evaluated.outcomes,
                 cached_jobs: evaluated.cached_jobs,
                 streamed_jobs: evaluated.streamed_jobs,
                 passes: evaluated.passes,
-                scenario_passes: evaluated.passes.total(),
-            };
-            Ok(result)
+            })
         })
     }
 
@@ -1388,6 +1374,14 @@ impl FleetEngine {
                 .count_scenario(name, "slots/processed", (scenario.days * n) as u64);
             self.collector
                 .count_scenario(name, "jobs/fresh", job_indices.len() as u64);
+            // Distribution plane, still at unit granularity: the unit's
+            // slot volume and one MAPE sample per distinct predictor —
+            // deterministic inputs, so the histograms stay byte-pinned.
+            self.collector
+                .observe("fleet/unit_slots", (scenario.days * n) as f64);
+            for summary in &summaries {
+                self.collector.observe("score/mape", summary.mape);
+            }
             let banked = kernels
                 .iter()
                 .filter(|k| matches!(k, Kernel::Banked(_)))
@@ -1600,11 +1594,6 @@ mod tests {
         let fresh = engine.run_cached(&matrix, &mut cache).unwrap();
         assert_eq!(fresh.synthesis_passes(), matrix.scenarios.len());
         assert_eq!(fresh.passes.trace_generations, matrix.scenarios.len());
-        // The deprecated field keeps forwarding the same total.
-        #[allow(deprecated)]
-        {
-            assert_eq!(fresh.scenario_passes, fresh.synthesis_passes());
-        }
         // Warm trace cache: new jobs cost zero synthesis passes.
         let mut grown = matrix.clone();
         grown.predictors.push(PredictorSpec::Ewma { gamma: 0.4 });

@@ -76,5 +76,8 @@ pub use matrix::{FleetMatrix, JobSpec, ManagerSpec, PredictorSpec};
 pub use scorecard::{ScenarioRanking, ScoreEntry, Scorecard, ScorecardShard, ShardManifest};
 
 // Observability handles, re-exported so engine users configure
-// collection without naming `fleet_obs` directly.
-pub use fleet_obs::{Collector, Ledger, RunReport};
+// collection — and consume reports (diff / archive / trace export) —
+// without naming `fleet_obs` directly.
+pub use fleet_obs::{
+    Collector, DiffConfig, Histogram, Ledger, ReportDiff, RunArchive, RunReport, Verdict,
+};

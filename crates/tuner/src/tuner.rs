@@ -388,6 +388,11 @@ impl FleetTuner {
                 "tuner/search_candidates",
                 searched.evaluated as u64,
             );
+            // One distribution sample per search pass: how many
+            // candidates this pass evaluated (deterministic, so the
+            // histogram plane stays byte-pinned).
+            self.collector
+                .observe("tuner/round_candidates", searched.evaluated as f64);
         }
     }
 
@@ -482,8 +487,14 @@ mod tests {
         assert_eq!(ledger.counter("tuner/regimes"), 2);
         assert!(ledger.counter("tuner/search_candidates") > 0);
         assert!(ledger.scenario_counter("global", "tuner/search_candidates") > 0);
-        // The inner engine recorded into the same collector.
+        // One histogram sample per search pass: global + per-regime.
+        let rounds = ledger.histogram("tuner/round_candidates").unwrap();
+        assert_eq!(rounds.count(), 1 + 2);
+        // The inner engine recorded into the same collector, including
+        // its distribution plane.
         assert!(ledger.counter("jobs/evaluated") > 0);
+        assert!(ledger.histogram("score/mape").unwrap().count() > 0);
+        assert!(ledger.histogram("fleet/unit_slots").unwrap().count() > 0);
         let report = collector.report();
         let tuner_node = report
             .spans

@@ -8,7 +8,13 @@
 //! cargo run --release --example bench_pr6                      # print JSON
 //! cargo run --release --example bench_pr6 -- --out BENCH_PR6.json
 //! cargo run --release --example bench_pr6 -- --smoke           # tiny CI run
+//! cargo run --release --example bench_pr6 -- --smoke --report r.json
 //! ```
+//!
+//! `--report PATH` additionally writes the single-run [`RunReport`]
+//! (deterministic ledger + span tree) — the artifact `fleet_report
+//! diff` compares against the committed `BENCH_PR6_SMOKE.json`
+//! baseline in the CI regression sentinel.
 //!
 //! Two contracts are asserted on every run (smoke included):
 //!
@@ -26,7 +32,7 @@
 
 use fleet_obs::json::Json;
 use scenario_fleet::{
-    CatalogGenerator, Collector, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec,
+    CatalogGenerator, Collector, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, RunReport,
     TraceCachePolicy,
 };
 use std::error::Error;
@@ -54,11 +60,13 @@ fn round4(value: f64) -> f64 {
 fn main() -> Result<(), Box<dyn Error>> {
     let mut smoke = false;
     let mut out_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = Some(args.next().ok_or("--out needs a path")?),
+            "--report" => report_path = Some(args.next().ok_or("--report needs a path")?),
             other => return Err(format!("unknown argument {other:?}").into()),
         }
     }
@@ -118,6 +126,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     let single = Collector::recording();
     engine(single.clone()).run(&matrix)?;
     let ledger = single.ledger();
+
+    if let Some(path) = &report_path {
+        let report = single.report();
+        let text = report.to_json_string();
+        // Round-trip before writing; the CI sentinel diffs this file.
+        RunReport::from_json_str(&text)?;
+        std::fs::write(path, &text)?;
+        eprintln!("wrote run report to {path}");
+    }
 
     let json = Json::obj([
         ("schema", Json::Str("fleet-bench-pr6/1".into())),

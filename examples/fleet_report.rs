@@ -1,0 +1,178 @@
+//! `fleet_report`: the consumption CLI over run reports — diffing,
+//! findings, the run archive, and chrome-trace export.
+//!
+//! ```text
+//! # structural diff with a machine verdict (exit 3 on regressed)
+//! cargo run --release --example fleet_report -- diff before.json after.json
+//! cargo run --release --example fleet_report -- diff a.json b.json \
+//!     --wall-noise 0.25 --wall-min-ms 1 --wall-regress 50
+//!
+//! # ranked markdown findings report
+//! cargo run --release --example fleet_report -- findings a.json b.json --out findings.md
+//!
+//! # append-only JSONL archive + trend over the last N runs
+//! cargo run --release --example fleet_report -- archive append runs.jsonl run-42 report.json
+//! cargo run --release --example fleet_report -- archive trend runs.jsonl --last 10
+//!
+//! # chrome-trace JSON for about:tracing / Perfetto
+//! cargo run --release --example fleet_report -- trace report.json --out trace.json
+//! ```
+//!
+//! Report files may be `fleet-run-report/1` or `/2` documents, or a
+//! `fleet-bench-pr6/1` bench file — the embedded ledger is lifted into
+//! a ledger-only report (zero wall, empty span tree), so committed
+//! bench baselines diff directly against fresh `--report` runs.
+//!
+//! Exit codes for `diff`: 0 clean or drifted (drift is reported, not
+//! fatal), 3 regressed — the code the CI regression sentinel traps.
+
+use fleet_obs::json::Json;
+use fleet_obs::{chrome_trace_string, DiffConfig, ReportDiff, RunArchive, RunReport, Verdict};
+use std::error::Error;
+use std::path::Path;
+
+/// Loads a run report, accepting bench files by lifting their ledger.
+fn load_report(path: &str) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let value = Json::parse(&text).map_err(|err| format!("{path}: {err}"))?;
+    match value.req_str("schema") {
+        Ok("fleet-bench-pr6/1") => {
+            let ledger = fleet_obs::Ledger::from_json(value.req("ledger")?)
+                .map_err(|err| format!("{path}: {err}"))?;
+            Ok(RunReport {
+                ledger,
+                ..RunReport::empty()
+            })
+        }
+        _ => RunReport::from_json(&value).map_err(|err| format!("{path}: {err}")),
+    }
+}
+
+fn parse_diff_config(args: &mut Vec<String>) -> Result<DiffConfig, String> {
+    let mut config = DiffConfig::default();
+    let mut rest = Vec::new();
+    let mut iter = args.drain(..);
+    while let Some(arg) = iter.next() {
+        let mut grab = |name: &str| -> Result<f64, String> {
+            iter.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|err| format!("{name}: {err}"))
+        };
+        match arg.as_str() {
+            "--wall-noise" => config.wall_noise_ratio = grab("--wall-noise")?,
+            "--wall-min-ms" => config.wall_min_ns = (grab("--wall-min-ms")? * 1e6) as u64,
+            "--wall-regress" => config.wall_regress_ratio = grab("--wall-regress")?,
+            _ => rest.push(arg),
+        }
+    }
+    drop(iter);
+    *args = rest;
+    Ok(config)
+}
+
+/// Pulls `--flag VALUE` out of `args`, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(at) if at + 1 < args.len() => {
+            args.remove(at);
+            Ok(Some(args.remove(at)))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
+fn cmd_diff(mut args: Vec<String>, findings: bool) -> Result<i32, String> {
+    let config = parse_diff_config(&mut args)?;
+    let out = take_flag(&mut args, "--out")?;
+    let json_out = take_flag(&mut args, "--json")?;
+    let [before_path, after_path] = args.as_slice() else {
+        return Err("usage: diff|findings BEFORE AFTER [--wall-noise R] [--wall-min-ms N] [--wall-regress R] [--out PATH] [--json PATH]".to_string());
+    };
+    let before = load_report(before_path)?;
+    let after = load_report(after_path)?;
+    let diff = ReportDiff::compute(&before, &after, &config);
+    if findings {
+        let markdown = diff.render_markdown();
+        match &out {
+            Some(path) => {
+                std::fs::write(path, &markdown).map_err(|err| format!("{path}: {err}"))?;
+                eprintln!("wrote findings to {path}");
+            }
+            None => print!("{markdown}"),
+        }
+    } else {
+        print!("{}", diff.render_text());
+        if let Some(path) = &out {
+            std::fs::write(path, diff.render_markdown()).map_err(|err| format!("{path}: {err}"))?;
+            eprintln!("wrote findings to {path}");
+        }
+    }
+    if let Some(path) = &json_out {
+        std::fs::write(path, diff.to_json().render_pretty())
+            .map_err(|err| format!("{path}: {err}"))?;
+        eprintln!("wrote diff JSON to {path}");
+    }
+    Ok(match diff.verdict {
+        Verdict::Regressed => 3,
+        Verdict::Clean | Verdict::Drifted => 0,
+    })
+}
+
+fn cmd_archive(mut args: Vec<String>) -> Result<i32, String> {
+    let last = take_flag(&mut args, "--last")?
+        .map(|n| n.parse::<usize>().map_err(|err| format!("--last: {err}")))
+        .transpose()?
+        .unwrap_or(10);
+    match args.as_slice() {
+        [sub, file, run_id, report_path] if sub == "append" => {
+            let report = load_report(report_path)?;
+            RunArchive::append(Path::new(file), run_id, &report)?;
+            eprintln!("archived {run_id} into {file}");
+            Ok(0)
+        }
+        [sub, file] if sub == "trend" => {
+            let archive = RunArchive::load(Path::new(file))?;
+            print!("{}", archive.trend_text(last));
+            Ok(0)
+        }
+        _ => Err(
+            "usage: archive append FILE RUN_ID REPORT.json | archive trend FILE [--last N]"
+                .to_string(),
+        ),
+    }
+}
+
+fn cmd_trace(mut args: Vec<String>) -> Result<i32, String> {
+    let out = take_flag(&mut args, "--out")?;
+    let [report_path] = args.as_slice() else {
+        return Err("usage: trace REPORT.json [--out PATH]".to_string());
+    };
+    let report = load_report(report_path)?;
+    let trace = chrome_trace_string(&report);
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &trace).map_err(|err| format!("{path}: {err}"))?;
+            eprintln!("wrote chrome trace to {path} (open in about:tracing or Perfetto)");
+        }
+        None => print!("{trace}"),
+    }
+    Ok(0)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err("usage: fleet_report diff|findings|archive|trace …".into());
+    }
+    let command = args.remove(0);
+    let code = match command.as_str() {
+        "diff" => cmd_diff(args, false)?,
+        "findings" => cmd_diff(args, true)?,
+        "archive" => cmd_archive(args)?,
+        "trace" => cmd_trace(args)?,
+        other => return Err(format!("unknown command {other:?}").into()),
+    };
+    std::process::exit(code);
+}

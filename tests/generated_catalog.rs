@@ -295,6 +295,10 @@ fn golden_200_regime_scorecard_is_identical_across_threads_and_shards() {
     // config also proves collection never moves the golden digest.
     let mut ledger_reference: Option<String> = None;
     let mut merge_reference: Option<String> = None;
+    // Full run reports per thread config, diffed pairwise below: the
+    // report-diff verdict must read the same byte-identity the string
+    // comparisons pin, through the `ReportDiff` machinery.
+    let mut reports = Vec::new();
     for threads in [1usize, 2, 8] {
         let collector = Collector::recording();
         let engine = FleetEngine::new(GOLDEN_SEED)
@@ -313,6 +317,7 @@ fn golden_200_regime_scorecard_is_identical_across_threads_and_shards() {
         assert!(cache.trace_bytes() as u64 <= budget);
         let json = result.scorecard.to_json_string();
         let ledger_json = collector.ledger().to_json_string();
+        reports.push(collector.report());
         match &ledger_reference {
             None => ledger_reference = Some(ledger_json),
             Some(reference) => assert_eq!(
@@ -368,4 +373,52 @@ fn golden_200_regime_scorecard_is_identical_across_threads_and_shards() {
         "200-regime scorecard digest drifted — if the change is deliberate \
          (scorecard format, templates, or synthesis), re-pin GOLDEN_DIGEST"
     );
+
+    // The report-diff view of the same contract: pairing the golden
+    // runs across thread counts must come back `Clean` with zero
+    // counter and histogram deltas (wall thresholds generous — timing
+    // is the one plane allowed to move).
+    let config = fleet_obs::DiffConfig {
+        wall_noise_ratio: 1e9,
+        wall_regress_ratio: 1e9,
+        ..fleet_obs::DiffConfig::default()
+    };
+    for other in &reports[1..] {
+        let diff = fleet_obs::ReportDiff::compute(&reports[0], other, &config);
+        assert_eq!(diff.verdict, fleet_obs::Verdict::Clean);
+        assert!(diff.counter_deltas.is_empty());
+        assert!(diff.histogram_deltas.is_empty());
+        assert!(diff.scenario_drift.is_empty());
+    }
+
+    // An injected perturbation — 64 regimes instead of 200 — must
+    // surface as a regression with a ranked, non-empty findings
+    // report, the artifact the CI sentinel and `fleet_report findings`
+    // emit.
+    let small_catalog = CatalogGenerator::new(GOLDEN_SEED).generate(64).unwrap();
+    let small_matrix = FleetMatrix::new(
+        matrix.predictors.clone(),
+        matrix.managers.clone(),
+        small_catalog.scenarios().to_vec(),
+    )
+    .unwrap();
+    let perturbed = Collector::recording();
+    FleetEngine::new(GOLDEN_SEED)
+        .with_trace_cache(TraceCachePolicy::bounded(budget))
+        .with_collector(perturbed.clone())
+        .run(&small_matrix)
+        .unwrap();
+    let diff = fleet_obs::ReportDiff::compute(&reports[0], &perturbed.report(), &config);
+    assert_eq!(diff.verdict, fleet_obs::Verdict::Regressed);
+    assert!(!diff.counter_deltas.is_empty(), "run totals shrank");
+    assert!(!diff.scenario_drift.is_empty(), "dropped regimes drift");
+    for pair in diff.scenario_drift.windows(2) {
+        assert!(
+            pair[0].magnitude >= pair[1].magnitude,
+            "ranked by magnitude"
+        );
+    }
+    let findings = diff.render_markdown();
+    assert!(findings.contains("**Verdict: regressed**"));
+    assert!(findings.contains("Worst-regressing scenarios"));
 }

@@ -13,11 +13,17 @@
 //!    through a file byte-exactly, the path `--report` exercises;
 //! 4. **ledgers compose** — shard-half ledgers absorbed into one
 //!    collector equal the whole-fleet ledger, the property that makes
-//!    distributed runs mergeable like `ScorecardShard`s.
+//!    distributed runs mergeable like `ScorecardShard`s;
+//! 5. **reports consume** — two runs of the same matrix diff to
+//!    `Verdict::Clean` under a generous wall threshold, a perturbed
+//!    matrix diffs to `Regressed` with ranked findings, the archive
+//!    trends appended reports, the chrome-trace export is a valid
+//!    event array, and committed `fleet-run-report/1` documents still
+//!    parse.
 
 use scenario_fleet::{
-    Catalog, Collector, FleetEngine, FleetMatrix, Ledger, ManagerSpec, PredictorSpec, RunReport,
-    TraceCachePolicy,
+    Catalog, Collector, DiffConfig, FleetEngine, FleetMatrix, Ledger, ManagerSpec, PredictorSpec,
+    ReportDiff, RunArchive, RunReport, TraceCachePolicy, Verdict,
 };
 
 fn smoke_matrix(scenarios: &[&str]) -> FleetMatrix {
@@ -138,10 +144,15 @@ fn shard_half_ledgers_absorb_into_the_whole_fleet_ledger() {
         .run(&whole_matrix)
         .expect("whole run");
 
+    // The whole-fleet ledger carries the distribution plane too — the
+    // halves must reassemble it bucket-for-bucket below.
+    assert!(whole.ledger().histogram("score/mape").is_some());
+
     // Evaluate the two scenario halves as independent runs — separate
     // collectors, as two hosts would — then absorb both ledgers into
     // one. Every counter in the fleet ledger is per-scenario work, so
-    // the absorbed sum must equal the whole-fleet ledger exactly.
+    // the absorbed sum must equal the whole-fleet ledger exactly —
+    // histograms included, since `to_json_string` renders every plane.
     let combined = Collector::recording();
     for half in scenarios.chunks(2) {
         let part = Collector::recording();
@@ -160,6 +171,156 @@ fn shard_half_ledgers_absorb_into_the_whole_fleet_ledger() {
         whole.ledger().to_json_string(),
         "absorbed shard ledgers must equal the whole-fleet ledger"
     );
+}
+
+/// A wall config so generous that only deterministic-plane deltas can
+/// move the verdict — what the CI sentinel uses, since wall time is
+/// machine noise but counters and histograms are contracts.
+fn counters_only_config() -> DiffConfig {
+    DiffConfig {
+        wall_noise_ratio: 1e9,
+        wall_regress_ratio: 1e9,
+        ..DiffConfig::default()
+    }
+}
+
+#[test]
+fn same_matrix_runs_diff_clean_across_thread_counts() {
+    let matrix = smoke_matrix(&["desert-clear-sky", "marine-fog", "arctic-winter"]);
+    let mut reports = Vec::new();
+    for threads in [1usize, 4] {
+        let collector = Collector::recording();
+        FleetEngine::new(7)
+            .with_threads(threads)
+            .with_collector(collector.clone())
+            .run(&matrix)
+            .expect("run");
+        reports.push(collector.report());
+    }
+    let diff = ReportDiff::compute(&reports[0], &reports[1], &counters_only_config());
+    assert_eq!(diff.verdict, Verdict::Clean);
+    assert!(diff.deterministic_clean());
+    assert!(diff.counter_deltas.is_empty());
+    assert!(diff.histogram_deltas.is_empty());
+    assert!(diff.scenario_drift.is_empty());
+    // And the engine actually recorded distributions to compare: one
+    // MAPE sample per distinct predictor per scenario unit.
+    let mape = reports[0]
+        .ledger
+        .histogram("score/mape")
+        .expect("mape histogram");
+    assert_eq!(
+        mape.count(),
+        (matrix.predictors.len() * matrix.scenarios.len()) as u64
+    );
+    assert_eq!(
+        reports[0]
+            .ledger
+            .histogram("fleet/unit_slots")
+            .expect("unit_slots histogram")
+            .count(),
+        matrix.scenarios.len() as u64
+    );
+}
+
+#[test]
+fn perturbed_matrix_diffs_regressed_with_ranked_findings() {
+    let run = |names: &[&str]| {
+        let collector = Collector::recording();
+        FleetEngine::new(7)
+            .with_collector(collector.clone())
+            .run(&smoke_matrix(names))
+            .expect("run");
+        collector.report()
+    };
+    let before = run(&["desert-clear-sky", "marine-fog", "arctic-winter"]);
+    let after = run(&["desert-clear-sky", "marine-fog"]);
+    let diff = ReportDiff::compute(&before, &after, &counters_only_config());
+    assert_eq!(diff.verdict, Verdict::Regressed);
+    assert!(!diff.scenario_drift.is_empty());
+    // The dropped scenario leads the ranking: all of its work vanished.
+    assert_eq!(diff.scenario_drift[0].scenario, "arctic-winter");
+    for pair in diff.scenario_drift.windows(2) {
+        assert!(
+            pair[0].magnitude >= pair[1].magnitude,
+            "drift must rank by magnitude"
+        );
+    }
+    assert!(!diff.histogram_deltas.is_empty(), "MAPE distribution moved");
+    let markdown = diff.render_markdown();
+    assert!(markdown.contains("**Verdict: regressed**"));
+    assert!(markdown.contains("Worst-regressing scenarios"));
+    assert!(markdown.contains("arctic-winter"));
+    assert!(markdown.contains("Histogram drift"));
+}
+
+#[test]
+fn archive_appends_and_trends_engine_reports() {
+    let path =
+        std::env::temp_dir().join(format!("fleet_obs_it_archive_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    for (run_id, names) in [
+        ("run-a", vec!["desert-clear-sky"]),
+        ("run-b", vec!["desert-clear-sky", "marine-fog"]),
+    ] {
+        let collector = Collector::recording();
+        FleetEngine::new(7)
+            .with_collector(collector.clone())
+            .run(&smoke_matrix(&names))
+            .expect("run");
+        RunArchive::append(&path, run_id, &collector.report()).expect("append");
+    }
+    let archive = RunArchive::load(&path).expect("load");
+    assert_eq!(archive.entries.len(), 2);
+    assert_eq!(archive.entries[0].run_id, "run-a");
+    let trend = archive.trend_text(10);
+    assert!(trend.contains("run-a") && trend.contains("run-b"));
+    assert!(trend.contains("jobs/evaluated"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn chrome_trace_export_is_a_valid_complete_event_array() {
+    let collector = Collector::recording();
+    FleetEngine::new(3)
+        .with_collector(collector.clone())
+        .run(&smoke_matrix(&["desert-clear-sky", "marine-fog"]))
+        .expect("run");
+    let report = collector.report();
+    let text = fleet_obs::chrome_trace_string(&report);
+    let parsed = scenario_fleet::json::Json::parse(&text).expect("trace parses");
+    let scenario_fleet::json::Json::Arr(events) = &parsed else {
+        panic!("chrome trace must be a JSON array");
+    };
+    assert!(events.len() >= 2, "root plus at least one phase");
+    for event in events {
+        assert_eq!(event.req_str("ph").unwrap(), "X", "complete events only");
+        assert!(event.req_num("ts").unwrap() >= 0.0);
+        assert!(event.req_num("dur").unwrap() >= 0.0);
+        event.req_num("pid").unwrap();
+        event.req_num("tid").unwrap();
+        event.req_str("name").unwrap();
+    }
+}
+
+#[test]
+fn committed_v1_report_fixture_still_parses_and_rerenders_as_v2() {
+    let fixture = include_str!("data/run_report_v1.json");
+    let report = RunReport::from_json_str(fixture).expect("/1 fixture parses");
+    assert_eq!(report.ledger.counter("jobs/evaluated"), 36);
+    assert_eq!(
+        report
+            .ledger
+            .scenario_counter("marine-fog", "slots/processed"),
+        5760
+    );
+    assert_eq!(report.scenario_top.len(), 3);
+    assert!(report.ledger.histograms().next().is_none());
+    // Round-trip: the re-render upgrades the schema tag, keeps the data.
+    let rendered = report.to_json_string();
+    assert!(rendered.contains("fleet-run-report/2"));
+    let back = RunReport::from_json_str(&rendered).expect("re-parse");
+    assert_eq!(back, report);
 }
 
 #[test]
@@ -190,4 +351,54 @@ fn ledger_merge_is_order_independent_and_validates_labels() {
         a.clone().merge(&conflicting).is_err(),
         "conflicting labels must refuse to merge"
     );
+}
+
+proptest::proptest! {
+    /// The histogram analogue of the counter-absorption test above,
+    /// over arbitrary observation streams: observing a sequence into
+    /// one ledger equals splitting it at any point into two shard-half
+    /// ledgers and merging — bucket-wise, byte-for-byte.
+    #[test]
+    fn shard_half_histograms_absorb_bucket_wise_into_the_whole(
+        values in proptest::collection::vec(
+            proptest::prop_oneof![
+                // Spanning the bucket range, plus the zero bucket and
+                // clamped extremes.
+                1e-12f64..1e12,
+                proptest::prop_oneof![
+                    proptest::prelude::Just(0.0f64),
+                    proptest::prelude::Just(-3.5f64),
+                    proptest::prelude::Just(1e300f64),
+                ],
+            ],
+            1..40,
+        ),
+        split_at in 0usize..40,
+    ) {
+        let split_at = split_at.min(values.len());
+        let mut whole = Ledger::new();
+        for &v in &values {
+            whole.observe("score/mape", v);
+        }
+        let mut left = Ledger::new();
+        for &v in &values[..split_at] {
+            left.observe("score/mape", v);
+        }
+        let mut right = Ledger::new();
+        for &v in &values[split_at..] {
+            right.observe("score/mape", v);
+        }
+        let mut combined = left.clone();
+        combined.merge(&right).unwrap();
+        proptest::prop_assert_eq!(combined.to_json_string(), whole.to_json_string());
+        // And in the other merge order (commutativity).
+        let mut swapped = right;
+        swapped.merge(&left).unwrap();
+        proptest::prop_assert_eq!(swapped.to_json_string(), whole.to_json_string());
+        // The whole histogram holds every observation.
+        proptest::prop_assert_eq!(
+            whole.histogram("score/mape").unwrap().count(),
+            values.len() as u64
+        );
+    }
 }
