@@ -12,7 +12,7 @@ use crate::faults::FaultSpec;
 use crate::fleet_faults::{FalloffProfile, FleetFault, SpatialFalloff};
 use crate::json::Json;
 use harvest_sim::{EnergyStorage, Load, NodeConfig, SolarPanel};
-use solar_synth::{Site, SiteConfig, SiteConfigBuilder, WeatherModel};
+use solar_synth::{Site, SiteConfig, SiteConfigBuilder, StreamVersion, WeatherModel};
 use solar_trace::Resolution;
 
 /// Climate family for custom sites.
@@ -102,6 +102,11 @@ pub enum SiteSpec {
         cloudiness: f64,
         /// Clear-sky fraction removed by haze, in `[0, 0.8]`.
         turbidity: f64,
+        /// RNG stream version of the generated trace. V1 (the
+        /// default) is the original scalar draw order; V2 is the
+        /// lane-batched order. Serialized as `"stream": 2` only when
+        /// V2, so existing catalogs stay byte-identical.
+        stream_version: StreamVersion,
     },
 }
 
@@ -128,6 +133,7 @@ impl SiteSpec {
                 climate,
                 cloudiness,
                 turbidity,
+                stream_version,
             } => SiteConfigBuilder::new(name)
                 .latitude_deg(latitude_deg)
                 .resolution(
@@ -136,6 +142,7 @@ impl SiteSpec {
                 .weather(climate.weather())
                 .cloudiness(cloudiness)
                 .turbidity(turbidity)
+                .stream_version(stream_version)
                 .build(),
         }
     }
@@ -158,13 +165,22 @@ impl SiteSpec {
                 climate,
                 cloudiness,
                 turbidity,
-            } => Json::obj([
-                ("latitude_deg", Json::Num(latitude_deg)),
-                ("resolution_minutes", Json::Num(resolution_minutes as f64)),
-                ("climate", Json::Str(climate.as_str().into())),
-                ("cloudiness", Json::Num(cloudiness)),
-                ("turbidity", Json::Num(turbidity)),
-            ]),
+                stream_version,
+            } => {
+                let mut fields = vec![
+                    ("latitude_deg", Json::Num(latitude_deg)),
+                    ("resolution_minutes", Json::Num(resolution_minutes as f64)),
+                    ("climate", Json::Str(climate.as_str().into())),
+                    ("cloudiness", Json::Num(cloudiness)),
+                    ("turbidity", Json::Num(turbidity)),
+                ];
+                // V1 stays implicit so pre-version catalogs round-trip
+                // byte-exactly.
+                if stream_version == StreamVersion::V2 {
+                    fields.push(("stream", Json::Num(2.0)));
+                }
+                Json::obj(fields)
+            }
         }
     }
 
@@ -184,12 +200,21 @@ impl SiteSpec {
         // The shaping axes travel together: a site carrying either is
         // the generated form and must round-trip byte-exactly.
         if value.get("cloudiness").is_some() || value.get("turbidity").is_some() {
+            let stream_version = match value.get("stream") {
+                None => StreamVersion::V1,
+                Some(v) => match v.as_num().map(|n| n as i64) {
+                    Some(1) => StreamVersion::V1,
+                    Some(2) => StreamVersion::V2,
+                    _ => return Err(format!("unknown stream version {v:?}")),
+                },
+            };
             return Ok(SiteSpec::Shaped {
                 latitude_deg,
                 resolution_minutes,
                 climate,
                 cloudiness: value.req_num("cloudiness")?,
                 turbidity: value.req_num("turbidity")?,
+                stream_version,
             });
         }
         Ok(SiteSpec::Custom {
@@ -888,6 +913,7 @@ mod tests {
                 climate: Climate::Marine,
                 cloudiness: 1.5,
                 turbidity: 0.2,
+                stream_version: StreamVersion::V1,
             },
             days: 40,
             slots_per_day: 48,

@@ -110,7 +110,7 @@ use pred_metrics::{ErrorSummary, EvalProtocol, RecordSink, RunCost, StreamingEva
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 use solar_predict::Predictor;
-use solar_synth::TraceGenerator;
+use solar_synth::{SynthCounters, TraceGenerator};
 use solar_trace::{PowerTrace, SlotView, SlotsPerDay};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -838,15 +838,26 @@ impl FleetEngine {
         let missing: Vec<usize> = (0..matrix.scenarios.len())
             .filter(|&idx| admitted[idx] && !cache.traces.contains_key(&scenario_keys[idx]))
             .collect();
-        let generated: Vec<Result<PowerTrace, String>> = missing
+        let generated: Vec<Result<(PowerTrace, SynthCounters), String>> = missing
             .par_iter()
             .map(|&idx| self.generate_trace(&matrix.scenarios[idx]))
             .collect();
-        for (&idx, trace) in missing.iter().zip(generated) {
-            cache.traces.insert(scenario_keys[idx].clone(), trace?);
+        let mut synthesis_cost = SynthCounters::default();
+        for (&idx, generated) in missing.iter().zip(generated) {
+            let (trace, counters) = generated?;
+            synthesis_cost.add(counters);
+            cache.traces.insert(scenario_keys[idx].clone(), trace);
         }
-        self.collector
-            .count("synth/trace_generations", missing.len() as u64);
+        if self.collector.is_enabled() {
+            self.collector
+                .count("synth/trace_generations", missing.len() as u64);
+            // Keystream/draw totals for the whole materialization
+            // phase: one ledger update, never per slot or per trace.
+            self.collector
+                .count("synth/keystream_blocks", synthesis_cost.keystream_blocks);
+            self.collector
+                .count("synth/normal_draws", synthesis_cost.normal_draws);
+        }
         drop(synthesis_span);
 
         // Phase 2: only the jobs the cache cannot answer, grouped into
@@ -1015,10 +1026,12 @@ impl FleetEngine {
             * std::mem::size_of::<f64>() as u64)
     }
 
-    fn generate_trace(&self, scenario: &Scenario) -> Result<PowerTrace, String> {
+    /// Generates a scenario's trace along with its synthesis-cost
+    /// counters (keystream blocks, normal draws) for the run ledger.
+    fn generate_trace(&self, scenario: &Scenario) -> Result<(PowerTrace, SynthCounters), String> {
         let config = scenario.site_config()?;
         TraceGenerator::new(config, self.scenario_seed(scenario))
-            .generate_days(scenario.days)
+            .generate_days_counted(scenario.days)
             .map_err(|e| e.to_string())
     }
 
@@ -1070,6 +1083,10 @@ impl FleetEngine {
             .node
             .node_config(storage_capacity_factor(&scenario.faults))?;
         let mut passes = PassBreakdown::default();
+        // Keystream/normal-draw totals across this unit's generator
+        // streams (ROI prepass + evaluation pass); merged into the
+        // ledger once at the end of the unit, never per slot.
+        let mut synth_cost = SynthCounters::default();
 
         let view = match trace {
             Some(trace) => Some(SlotView::new(trace, slots).map_err(|e| e.to_string())?),
@@ -1116,12 +1133,13 @@ impl FleetEngine {
                 }
                 (None, Some(generator)) => {
                     passes.roi_prepasses += 1;
-                    for slot in generator
+                    let mut stream = generator
                         .slot_stream(scenario.days, slots)
-                        .map_err(|e| e.to_string())?
-                    {
+                        .map_err(|e| e.to_string())?;
+                    for slot in stream.by_ref() {
                         absorb(slot.day, slot.mean_power);
                     }
+                    synth_cost.add(stream.counters());
                 }
                 (None, None) => unreachable!("unit has a view or a generator"),
             }
@@ -1304,12 +1322,13 @@ impl FleetEngine {
                 }
                 (None, Some(generator)) => {
                     passes.streamed_passes += 1;
-                    for slot in generator
+                    let mut stream = generator
                         .slot_stream(scenario.days, slots)
-                        .map_err(|e| e.to_string())?
-                    {
+                        .map_err(|e| e.to_string())?;
+                    for slot in stream.by_ref() {
                         feed_slot(slot.day, slot.slot, slot.start_sample, slot.mean_power);
                     }
+                    synth_cost.add(stream.counters());
                 }
                 (None, None) => unreachable!("unit has a view or a generator"),
             }
@@ -1408,6 +1427,15 @@ impl FleetEngine {
                     "synth/roi_prepasses",
                     passes.roi_prepasses as u64,
                 );
+            }
+            if synth_cost != SynthCounters::default() {
+                self.collector.count_scenario(
+                    name,
+                    "synth/keystream_blocks",
+                    synth_cost.keystream_blocks,
+                );
+                self.collector
+                    .count_scenario(name, "synth/normal_draws", synth_cost.normal_draws);
             }
         }
         Ok((results, passes))
@@ -1707,8 +1735,8 @@ mod tests {
         twin.name = "four-seasons-twin".into();
         twin.days = base.days;
         let engine = FleetEngine::new(3);
-        let a = engine.generate_trace(&base).unwrap();
-        let b = engine.generate_trace(&twin).unwrap();
+        let (a, _) = engine.generate_trace(&base).unwrap();
+        let (b, _) = engine.generate_trace(&twin).unwrap();
         assert_ne!(a.samples(), b.samples());
     }
 

@@ -26,7 +26,7 @@
 
 use crate::catalog::{Catalog, Climate, NodeProfile, Scenario, SiteSpec};
 use crate::faults::FaultSpec;
-use solar_synth::SiteConfigBuilder;
+use solar_synth::{SiteConfigBuilder, StreamVersion};
 
 /// A named fault-mix preset attached to generated scenarios — the
 /// fault-axis analogue of the climate presets.
@@ -113,6 +113,10 @@ pub struct RegimeTemplate {
     pub slots_per_day: u32,
     /// Sample period in minutes.
     pub resolution_minutes: u32,
+    /// RNG stream version of every generated trace. V1 ids are
+    /// unchanged from before versioning existed; V2 ids carry a `-v2`
+    /// segment so an id never silently changes meaning.
+    pub stream_version: StreamVersion,
 }
 
 /// Rejects duplicates under `key` so two axis values can never collide
@@ -209,8 +213,14 @@ impl RegimeTemplate {
         node: &NodeProfile,
         mix: FaultMix,
     ) -> String {
+        let version = match self.stream_version {
+            // V1 predates versioning: no segment, so every id minted
+            // before stream versions existed is byte-unchanged.
+            StreamVersion::V1 => "",
+            StreamVersion::V2 => "-v2",
+        };
         format!(
-            "g{seed:x}-{}-lat{latitude}-cl{cloudiness}-tb{turbidity}-{}-{}",
+            "g{seed:x}-{}-lat{latitude}-cl{cloudiness}-tb{turbidity}-{}-{}{version}",
             self.family,
             node.name(),
             mix.as_str()
@@ -249,6 +259,7 @@ impl RegimeTemplate {
                                     climate: self.climate,
                                     cloudiness,
                                     turbidity,
+                                    stream_version: self.stream_version,
                                 },
                                 days: self.days,
                                 slots_per_day: self.slots_per_day,
@@ -324,6 +335,7 @@ impl CatalogGenerator {
             days: 30,
             slots_per_day: 48,
             resolution_minutes: 5,
+            stream_version: StreamVersion::V1,
         };
         vec![
             belt(
@@ -372,6 +384,17 @@ impl CatalogGenerator {
                 vec![FaultMix::Clean, FaultMix::Aging],
             ),
         ]
+    }
+
+    /// Switches every template to `version`. V2 changes both the
+    /// generated trace streams and every id (a `-v2` segment), so a
+    /// v2 catalog can never be mistaken for — or collide with — its
+    /// v1 twin in caches, shards, or reports.
+    pub fn with_stream_version(mut self, version: StreamVersion) -> Self {
+        for template in &mut self.templates {
+            template.stream_version = version;
+        }
+        self
     }
 
     /// The generator seed.
@@ -534,6 +557,44 @@ mod tests {
                 .find(|s| s.name == scenario.name)
                 .unwrap_or_else(|| panic!("{} missing from the wide expansion", scenario.name));
             assert_eq!(twin.to_json().render(), scenario.to_json().render());
+        }
+    }
+
+    #[test]
+    fn v2_catalogs_rename_and_round_trip() {
+        let v1 = CatalogGenerator::new(7).generate(40).unwrap();
+        let v2 = CatalogGenerator::new(7)
+            .with_stream_version(StreamVersion::V2)
+            .generate(40)
+            .unwrap();
+        assert_eq!(v1.len(), v2.len());
+        for (a, b) in v1.scenarios().iter().zip(v2.scenarios()) {
+            // Ids must differ (the -v2 segment) so the two streams can
+            // never collide in caches or reports.
+            assert_eq!(format!("{}-v2", a.name), b.name);
+            match (&a.site, &b.site) {
+                (
+                    SiteSpec::Shaped {
+                        stream_version: va, ..
+                    },
+                    SiteSpec::Shaped {
+                        stream_version: vb, ..
+                    },
+                ) => {
+                    assert_eq!(*va, StreamVersion::V1);
+                    assert_eq!(*vb, StreamVersion::V2);
+                }
+                other => panic!("generated scenarios are Shaped: {other:?}"),
+            }
+            // v1 JSON carries no stream key (byte-compat with catalogs
+            // minted before versioning); v2 JSON round-trips.
+            let v1_text = a.to_json().render_pretty();
+            assert!(!v1_text.contains("\"stream\""), "{v1_text}");
+            let v2_text = b.to_json().render_pretty();
+            assert!(v2_text.contains("\"stream\""), "{v2_text}");
+            let back = Scenario::from_json_str(&v2_text).unwrap();
+            assert_eq!(&back, b);
+            assert_eq!(back.to_json().render_pretty(), v2_text);
         }
     }
 

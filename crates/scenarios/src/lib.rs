@@ -65,6 +65,9 @@ mod scorecard;
 pub use fleet_obs::json;
 
 pub use catalog::{Catalog, Climate, NodeProfile, Scenario, SiteSpec};
+// The trace stream version travels with catalogs, templates, and the
+// engine's ledger; re-exported so fleet users never import the synth
+// crate just to name V1/V2.
 pub use engine::{
     FleetCache, FleetEngine, FleetResult, JobOutcome, PassBreakdown, ResolvedTraceBudget,
     ShardedFleetResult, TraceBudgetSource, TraceCachePolicy, ADAPTIVE_FALLBACK_BUDGET_BYTES,
@@ -74,6 +77,7 @@ pub use fleet_faults::{FalloffProfile, FleetFault, SpatialFalloff};
 pub use generators::{CatalogGenerator, FaultMix, RegimeTemplate};
 pub use matrix::{FleetMatrix, JobSpec, ManagerSpec, PredictorSpec};
 pub use scorecard::{ScenarioRanking, ScoreEntry, Scorecard, ScorecardShard, ShardManifest};
+pub use solar_synth::StreamVersion;
 
 // Observability handles, re-exported so engine users configure
 // collection — and consume reports (diff / archive / trace export) —

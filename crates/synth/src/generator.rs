@@ -1,9 +1,10 @@
 //! Deterministic synthetic-trace generation.
 
 use crate::geometry;
-use crate::sampling::poisson;
+use crate::lanes::{NormalSource, SynthCounters};
+use crate::sampling::{poisson, poisson_inversion};
 use crate::site::SiteConfig;
-use crate::weather::DayCondition;
+use crate::weather::{DayCondition, StreamVersion};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use solar_trace::{PowerTrace, TraceError};
@@ -89,6 +90,31 @@ impl TraceGenerator {
         &self,
         days: usize,
     ) -> Result<(PowerTrace, Vec<DayCondition>), TraceError> {
+        self.generate_counted(days)
+            .map(|(trace, conditions, _)| (trace, conditions))
+    }
+
+    /// Like [`TraceGenerator::generate_days`], but also returns the
+    /// deterministic synthesis-cost counters (keystream blocks
+    /// consumed, normal draws served) for the whole generation — the
+    /// values the fleet engine merges into its run ledger once per
+    /// work unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if `days` is zero.
+    pub fn generate_days_counted(
+        &self,
+        days: usize,
+    ) -> Result<(PowerTrace, SynthCounters), TraceError> {
+        self.generate_counted(days)
+            .map(|(trace, _, counters)| (trace, counters))
+    }
+
+    fn generate_counted(
+        &self,
+        days: usize,
+    ) -> Result<(PowerTrace, Vec<DayCondition>, SynthCounters), TraceError> {
         let res = self.config.resolution;
         let spd = res.samples_per_day();
         let mut state = self.day_state();
@@ -99,8 +125,9 @@ impl TraceGenerator {
             conditions.push(self.generate_day_into(&mut state, day, &mut day_buf));
             samples.extend_from_slice(&day_buf);
         }
+        let counters = state.counters();
         let trace = PowerTrace::new(self.config.name.clone(), res, samples)?;
-        Ok((trace, conditions))
+        Ok((trace, conditions, counters))
     }
 
     /// The carried generator state at day 0, burn-in included. Both the
@@ -134,6 +161,16 @@ impl TraceGenerator {
             cos_hour: geometry::hour_cosine_grid(res.samples_per_day(), step_h),
             fronts: Vec::new(),
             transits: Vec::new(),
+            // The normal supply fixes the draw order for the life of
+            // the stream: scalar per-draw Box–Muller on v1, batched
+            // pairwise lanes on v2.
+            normals: match weather.stream_version {
+                StreamVersion::V1 => NormalSource::scalar(),
+                StreamVersion::V2 => NormalSource::lanes(),
+            },
+            clear_panel: Vec::new(),
+            innovation_panel: Vec::new(),
+            noise_panel: Vec::new(),
         }
     }
 
@@ -141,7 +178,30 @@ impl TraceGenerator {
     /// advancing the carried state; returns the day's condition. This is
     /// the single source of every sample both `generate_*` and the
     /// streaming [`crate::SlotStream`] emit.
+    ///
+    /// Dispatches on the site's
+    /// [`StreamVersion`](crate::weather::StreamVersion): the two bodies
+    /// sample the same model, but consume the keystream in different
+    /// orders and must never be cross-edited (each order is pinned by
+    /// its own golden digest).
     pub(crate) fn generate_day_into(
+        &self,
+        state: &mut DayState,
+        day: usize,
+        out: &mut Vec<f64>,
+    ) -> DayCondition {
+        match self.config.weather.stream_version {
+            StreamVersion::V1 => self.generate_day_v1(state, day, out),
+            StreamVersion::V2 => self.generate_day_v2(state, day, out),
+        }
+    }
+
+    /// The v1 (scalar-order) day body. Every RNG call here is in the
+    /// exact sequence the original scalar generator used — one
+    /// Box–Muller draw at a time with the sin half discarded, Knuth
+    /// Poisson counts — because the pinned v1 golden digests depend on
+    /// that consumption byte-for-byte.
+    fn generate_day_v1(
         &self,
         state: &mut DayState,
         day: usize,
@@ -160,6 +220,8 @@ impl TraceGenerator {
             cos_hour,
             fronts,
             transits,
+            normals,
+            ..
         } = state;
         out.clear();
 
@@ -186,11 +248,11 @@ impl TraceGenerator {
             * self.config.weather.seasonal_amplitude
             * (std::f64::consts::TAU * (doy as f64 - 172.0) / 365.0).cos();
         let base_clearness =
-            (params.clearness_mean + seasonal + params.clearness_std * normal(rng))
+            (params.clearness_mean + seasonal + params.clearness_std * normals.next(rng))
                 .clamp(0.03, 1.08);
         // Per-day linear trend: slow synoptic evolution across the
         // day.
-        let drift_slope = weather.daily_drift_std * normal(rng);
+        let drift_slope = weather.daily_drift_std * normals.next(rng);
         // Frontal passages: step changes in base clearness that
         // persist for the rest of the day. These make hours-old
         // conditioning ratios actively misleading, which is what
@@ -199,11 +261,17 @@ impl TraceGenerator {
         fronts.clear();
         fronts.extend((0..front_count).map(|_| {
             let t_h = 6.0 + rng.gen::<f64>() * 12.0; // daylight hours
-            (t_h, weather.front_std * normal(rng))
+            (t_h, weather.front_std * normals.next(rng))
         }));
         fronts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("front times are finite"));
 
-        self.sample_transits(doy, params.transits_per_hour, rng, transits);
+        self.sample_transits(
+            doy,
+            params.transits_per_hour,
+            rng,
+            transits,
+            StreamVersion::V1,
+        );
 
         debug_assert_eq!(cos_hour.len(), spd);
         for (idx, &cos_omega) in cos_hour.iter().enumerate() {
@@ -218,7 +286,7 @@ impl TraceGenerator {
                 out.push(0.0);
                 continue;
             }
-            *ar_state = *rho * *ar_state + params.ar_sigma * *innovation_scale * normal(rng);
+            *ar_state = *rho * *ar_state + params.ar_sigma * *innovation_scale * normals.next(rng);
             let drift = drift_slope * (t_h - 12.0) / 12.0;
             let front_shift: f64 = fronts
                 .iter()
@@ -230,7 +298,7 @@ impl TraceGenerator {
             for transit in transits.iter() {
                 attenuation *= transit.factor(t_h);
             }
-            let noise = 1.0 + weather.sensor_noise_std * normal(rng);
+            let noise = 1.0 + weather.sensor_noise_std * normals.next(rng);
             let value = (clear * attenuation * noise).max(0.0);
             // Pyranometer noise floor: real instruments report ~0
             // below ~1 W/m²; without this, grazing-sun samples of
@@ -241,15 +309,165 @@ impl TraceGenerator {
         condition
     }
 
+    /// The v2 (lane-order) day body: the same weather model as v1, but
+    /// the keystream is consumed in structure-of-arrays order. The day
+    /// header (condition step, clearness, drift, fronts, transits)
+    /// draws first — with Poisson counts from the single-uniform
+    /// inversion sampler — then three flat panels are built for the
+    /// slot loop: the clear-sky GHI vector, one batched AR(1)
+    /// innovation per daylight slot, and one batched sensor-noise
+    /// normal per daylight slot. Normals come pairwise from the lane
+    /// source (both Box–Muller halves consumed), which is what makes
+    /// this a different — and faster — stream from v1.
+    fn generate_day_v2(
+        &self,
+        state: &mut DayState,
+        day: usize,
+        out: &mut Vec<f64>,
+    ) -> DayCondition {
+        let res = self.config.resolution;
+        let spd = res.samples_per_day();
+        let step_h = res.as_seconds_f64() / 3600.0;
+        let weather = &self.config.weather;
+        let DayState {
+            rng,
+            condition: day_condition,
+            ar_state,
+            rho,
+            innovation_scale,
+            cos_hour,
+            fronts,
+            transits,
+            normals,
+            clear_panel,
+            innovation_panel,
+            noise_panel,
+        } = state;
+        out.clear();
+
+        let doy = (day % 365) as u32 + 1;
+        *day_condition = weather.step(*day_condition, rng);
+        let condition = *day_condition;
+        let params = weather.params(condition);
+        let day_geom = geometry::DayGeometry::new(self.config.latitude_deg, doy);
+
+        let hemisphere = if self.config.latitude_deg < 0.0 {
+            -1.0
+        } else {
+            1.0
+        };
+        let seasonal = hemisphere
+            * weather.seasonal_amplitude
+            * (std::f64::consts::TAU * (doy as f64 - 172.0) / 365.0).cos();
+        let base_clearness =
+            (params.clearness_mean + seasonal + params.clearness_std * normals.next(rng))
+                .clamp(0.03, 1.08);
+        let drift_slope = weather.daily_drift_std * normals.next(rng);
+        let front_count = poisson_inversion(weather.fronts_per_day, rng);
+        fronts.clear();
+        fronts.extend((0..front_count).map(|_| {
+            let t_h = 6.0 + rng.gen::<f64>() * 12.0; // daylight hours
+            (t_h, weather.front_std * normals.next(rng))
+        }));
+        fronts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("front times are finite"));
+
+        self.sample_transits(
+            doy,
+            params.transits_per_hour,
+            rng,
+            transits,
+            StreamVersion::V2,
+        );
+
+        // Panel 1: the clear-sky GHI vector. Pure geometry — no RNG —
+        // so it vectorizes, and it tells us exactly how many daylight
+        // slots need stochastic draws.
+        debug_assert_eq!(cos_hour.len(), spd);
+        clear_panel.clear();
+        let mut daylight = 0usize;
+        for &cos_omega in cos_hour.iter() {
+            let sin_h = day_geom.sin_elevation(cos_omega);
+            let clear = self.config.clear_sky.ghi(sin_h) * (1.0 - self.config.turbidity);
+            if clear > 0.0 {
+                daylight += 1;
+            }
+            clear_panel.push(clear);
+        }
+
+        // Panels 2 + 3: one bulk normal fill each — AR(1) innovations
+        // and sensor noise for the daylight slots, in that order.
+        innovation_panel.resize(daylight, 0.0);
+        normals.fill(rng, innovation_panel.as_mut_slice());
+        noise_panel.resize(daylight, 0.0);
+        normals.fill(rng, noise_panel.as_mut_slice());
+
+        // Assembly: pure trace math over the panels. Front shifts are
+        // accumulated with a moving pointer (fronts are time-sorted,
+        // and adding deltas in the same order as v1's prefix sum keeps
+        // the arithmetic identical). Transits are applied afterwards,
+        // per event over its own sample window, so the main loop never
+        // scans the transit list.
+        let mut front_ptr = 0usize;
+        let mut front_shift = 0.0f64;
+        let mut lane = 0usize;
+        for (idx, &clear) in clear_panel.iter().enumerate() {
+            if clear <= 0.0 {
+                *ar_state *= *rho; // decay quietly overnight
+                out.push(0.0);
+                continue;
+            }
+            let t_h = idx as f64 * step_h;
+            *ar_state =
+                *rho * *ar_state + params.ar_sigma * *innovation_scale * innovation_panel[lane];
+            let drift = drift_slope * (t_h - 12.0) / 12.0;
+            while front_ptr < fronts.len() && fronts[front_ptr].0 <= t_h {
+                front_shift += fronts[front_ptr].1;
+                front_ptr += 1;
+            }
+            let attenuation = (base_clearness + drift + front_shift + *ar_state).clamp(0.02, 1.08);
+            let noise = 1.0 + weather.sensor_noise_std * noise_panel[lane];
+            lane += 1;
+            out.push(clear * attenuation * noise);
+        }
+
+        // Transit pass: each event only touches the samples inside its
+        // raised-cosine window (the factor is exactly 1 outside, so the
+        // conservative index bounds lose nothing). Night samples are 0
+        // and stay 0 under multiplication.
+        for transit in transits.iter() {
+            let lo = ((transit.centre_h - transit.half_width_h) / step_h)
+                .floor()
+                .max(0.0) as usize;
+            let hi =
+                (((transit.centre_h + transit.half_width_h) / step_h).ceil() as usize).min(spd - 1);
+            for (offset, value) in out[lo.min(hi)..=hi].iter_mut().enumerate() {
+                *value *= transit.factor((lo + offset) as f64 * step_h);
+            }
+        }
+
+        // Pyranometer floor, vectorized over the day (subsumes the
+        // `max(0)` guard: negatives are < 1 W/m² too).
+        for value in out.iter_mut() {
+            if *value < 1.0 {
+                *value = 0.0;
+            }
+        }
+        condition
+    }
+
     /// Samples the day's cloud-transit events over the daylight window
     /// into `out` (replacing its contents — the buffer is carried in
-    /// [`DayState`] so day generation allocates nothing per day).
+    /// [`DayState`] so day generation allocates nothing per day). The
+    /// stream version selects the count sampler (Knuth on v1, CDF
+    /// inversion on v2); the per-event draws are uniform-only and
+    /// shared.
     fn sample_transits(
         &self,
         doy: u32,
         rate_per_hour: f64,
         rng: &mut ChaCha8Rng,
         out: &mut Vec<Transit>,
+        version: StreamVersion,
     ) {
         out.clear();
         let day_len = geometry::day_length_hours(self.config.latitude_deg, doy);
@@ -257,7 +475,10 @@ impl TraceGenerator {
             return;
         }
         let sunrise = 12.0 - day_len / 2.0;
-        let count = poisson(rate_per_hour * day_len, rng);
+        let count = match version {
+            StreamVersion::V1 => poisson(rate_per_hour * day_len, rng),
+            StreamVersion::V2 => poisson_inversion(rate_per_hour * day_len, rng),
+        };
         let (depth_lo, depth_hi) = self.config.weather.transit_depth;
         out.extend((0..count).map(|_| {
             let centre_h = sunrise + rng.gen::<f64>() * day_len;
@@ -291,14 +512,20 @@ pub(crate) struct DayState {
     fronts: Vec<(f64, f64)>,
     /// Reused cloud-transit scratch.
     transits: Vec<Transit>,
+    /// The stream's normal supply (scalar on v1, batched lanes on v2).
+    normals: NormalSource,
+    /// Reused v2 SoA panels: clear-sky GHI per slot, then one AR(1)
+    /// innovation and one sensor-noise normal per *daylight* slot.
+    clear_panel: Vec<f64>,
+    innovation_panel: Vec<f64>,
+    noise_panel: Vec<f64>,
 }
 
-/// Standard normal draw via Box–Muller (keeps us off external
-/// distribution crates).
-fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+impl DayState {
+    /// Synthesis-cost counters at the stream's current position.
+    pub(crate) fn counters(&self) -> SynthCounters {
+        SynthCounters::at(&self.rng, self.normals.draws())
+    }
 }
 
 #[cfg(test)]
@@ -430,10 +657,93 @@ mod tests {
     fn normal_moments_are_close() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let n = 50_000;
-        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let draws: Vec<f64> = (0..n)
+            .map(|_| crate::lanes::scalar_normal(&mut rng))
+            .collect();
         let mean = draws.iter().sum::<f64>() / n as f64;
         let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    fn v2_config(site: Site) -> SiteConfig {
+        let mut config = site.config();
+        config.weather.stream_version = StreamVersion::V2;
+        config
+    }
+
+    #[test]
+    fn v2_stream_is_deterministic_and_differs_from_v1() {
+        let v1 = TraceGenerator::new(Site::Spmd.config(), 9)
+            .generate_days(5)
+            .unwrap();
+        let a = TraceGenerator::new(v2_config(Site::Spmd), 9)
+            .generate_days(5)
+            .unwrap();
+        let b = TraceGenerator::new(v2_config(Site::Spmd), 9)
+            .generate_days(5)
+            .unwrap();
+        assert_eq!(a, b);
+        // The lane order is a different stream by design.
+        assert_ne!(a.samples(), v1.samples());
+    }
+
+    #[test]
+    fn v2_stream_is_physical() {
+        let trace = TraceGenerator::new(v2_config(Site::Pfci), 2)
+            .generate_days(200)
+            .unwrap();
+        let spd = trace.samples_per_day();
+        for day in 0..trace.days() {
+            let d = trace.day(day).unwrap();
+            assert_eq!(d[0], 0.0, "day {day}: midnight must be dark");
+            assert!(d[spd / 2] > 50.0, "day {day}: noon {}", d[spd / 2]);
+        }
+        let peak = trace.peak_power();
+        assert!(peak > 800.0 && peak < 1250.0, "peak {peak}");
+    }
+
+    #[test]
+    fn v2_statistics_match_v1_closely() {
+        // Same model, different draw order: summary statistics must
+        // agree even though individual samples differ.
+        for site in [Site::Pfci, Site::Spmd] {
+            let v1 = TraceGenerator::new(site.config(), 11)
+                .generate_days(120)
+                .unwrap();
+            let v2 = TraceGenerator::new(v2_config(site), 11)
+                .generate_days(120)
+                .unwrap();
+            let s1 = TraceStats::of(&v1);
+            let s2 = TraceStats::of(&v2);
+            let rel = (s1.mean_power - s2.mean_power).abs() / s1.mean_power;
+            assert!(rel < 0.1, "{site:?}: mean power diverged by {rel}");
+            let cv_gap = (s1.daily_energy_cv - s2.daily_energy_cv).abs();
+            assert!(cv_gap < 0.1, "{site:?}: energy CV gap {cv_gap}");
+        }
+    }
+
+    #[test]
+    fn counted_generation_reports_stream_costs() {
+        for (version, site_config) in [
+            (StreamVersion::V1, Site::Hsu.config()),
+            (StreamVersion::V2, v2_config(Site::Hsu)),
+        ] {
+            let (trace, counters) = TraceGenerator::new(site_config, 7)
+                .generate_days_counted(10)
+                .unwrap();
+            assert_eq!(trace.days(), 10);
+            assert!(
+                counters.keystream_blocks > 0,
+                "{version:?}: no keystream accounted"
+            );
+            // At least one innovation + one noise normal per daylight
+            // slot, plus the per-day header draws.
+            assert!(
+                counters.normal_draws > 2 * 10,
+                "{version:?}: draws {}",
+                counters.normal_draws
+            );
+        }
     }
 }

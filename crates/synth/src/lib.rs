@@ -39,6 +39,7 @@
 pub mod clearsky;
 mod generator;
 pub mod geometry;
+mod lanes;
 pub mod sampling;
 mod site;
 mod site_builder;
@@ -47,7 +48,8 @@ pub mod weather;
 
 pub use clearsky::ClearSkyModel;
 pub use generator::TraceGenerator;
+pub use lanes::SynthCounters;
 pub use site::{Site, SiteConfig};
 pub use site_builder::SiteConfigBuilder;
 pub use stream::{SampleStream, SlotStream, StreamedSlot};
-pub use weather::{DayCondition, WeatherModel};
+pub use weather::{DayCondition, StreamVersion, WeatherModel};

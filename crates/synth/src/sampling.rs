@@ -4,15 +4,42 @@
 //! the fault layer in `scenario-fleet` (telemetry-gap placement) need
 //! Poisson counts; keeping one implementation here means a numerical
 //! fix reaches every caller.
+//!
+//! Two samplers coexist on purpose:
+//!
+//! * [`poisson`] — Knuth's product method. It consumes `count + 1`
+//!   uniforms, and that consumption pattern is baked into the
+//!   [`StreamVersion::V1`](crate::weather::StreamVersion) trace stream
+//!   (the pinned golden digests). It must not change.
+//! * [`poisson_inversion`] — CDF inversion, consuming exactly **one**
+//!   uniform per draw regardless of the result. This is the sampler the
+//!   v2 lane stream uses: fewer keystream words, and a draw count that
+//!   is independent of the sampled value.
 
 use rand::Rng;
 
-/// Knuth's Poisson sampler.
+/// Iteration cap shared by both samplers: turns the λ ≈ 745 underflow
+/// (see below) into a bounded result instead of a hang.
+const MAX_ITERATIONS: usize = 10_000;
+
+/// Knuth's Poisson sampler — the [`StreamVersion::V1`] stream's method.
 ///
 /// Intended for the small rates used in this workspace (tens at most):
-/// its run time is linear in the draw, and `(-lambda).exp()` underflows
-/// to 0 near `lambda ≈ 745`, which the iteration cap turns into a
-/// bounded (if meaningless) result rather than an infinite loop.
+/// its run time *and uniform consumption* are linear in the draw.
+///
+/// # The λ ≈ 745 underflow guard
+///
+/// `(-lambda).exp()` underflows to `0.0` once `lambda` exceeds
+/// `-ln(f64::MIN_POSITIVE) ≈ 744.44`. The acceptance product can then
+/// never test `<= limit` while positive, but the product of uniforms
+/// itself underflows to `0.0` after roughly a thousand multiplications
+/// (at which point `0.0 <= 0.0` accepts), and the `MAX_ITERATIONS`
+/// cap bounds the loop unconditionally — so the call always terminates
+/// with a bounded (if statistically meaningless) result. A regression
+/// test pins this. Do **not** "fix" the consumption pattern here: the
+/// v1 golden digests depend on it byte-for-byte.
+///
+/// [`StreamVersion::V1`]: crate::weather::StreamVersion::V1
 pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
     if lambda <= 0.0 {
         return 0;
@@ -22,17 +49,52 @@ pub fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
     let mut product = 1.0;
     loop {
         product *= rng.gen::<f64>();
-        if product <= limit || count > 10_000 {
+        if product <= limit || count > MAX_ITERATIONS {
             return count;
         }
         count += 1;
     }
 }
 
+/// Poisson sampling by CDF inversion — the
+/// [`StreamVersion::V2`](crate::weather::StreamVersion::V2) stream's
+/// method for the small rates this workspace uses.
+///
+/// Draws exactly one uniform `u`, then walks the CDF
+/// `P(k) = e^{-λ} λ^k / k!` upward until it passes `u`. Compared to
+/// [`poisson`] this consumes a fixed single keystream word pair per
+/// call (the property the lane stream wants) and does no RNG work in
+/// the walk itself.
+///
+/// # The λ ≈ 745 underflow guard
+///
+/// The walk starts from `p = e^{-λ}`, which underflows to `0.0` for
+/// `λ ≳ 744.44`; every subsequent term then stays `0.0`, the CDF never
+/// reaches `u`, and the walk runs to the shared `MAX_ITERATIONS` cap
+/// — a bounded, deterministic result (the cap itself) rather than an
+/// infinite loop. Rates anywhere near that regime are far outside the
+/// intended domain (use a normal approximation there); the explicit
+/// regression test pins the guard for both samplers.
+pub fn poisson_inversion<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen();
+    let mut p = (-lambda).exp();
+    let mut cdf = p;
+    let mut count = 0usize;
+    while u > cdf && count < MAX_ITERATIONS {
+        count += 1;
+        p *= lambda / count as f64;
+        cdf += p;
+    }
+    count
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
     #[test]
@@ -40,6 +102,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         assert_eq!(poisson(0.0, &mut rng), 0);
         assert_eq!(poisson(-3.0, &mut rng), 0);
+        assert_eq!(poisson_inversion(0.0, &mut rng), 0);
+        assert_eq!(poisson_inversion(-3.0, &mut rng), 0);
     }
 
     #[test]
@@ -49,5 +113,53 @@ mod tests {
         let total: usize = (0..n).map(|_| poisson(2.5, &mut rng)).sum();
         let mean = total as f64 / n as f64;
         assert!((mean - 2.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn inversion_mean_tracks_lambda() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let n = 20_000;
+        for lambda in [0.3, 2.5, 8.0] {
+            let total: usize = (0..n).map(|_| poisson_inversion(lambda, &mut rng)).sum();
+            let mean = total as f64 / n as f64;
+            assert!((mean - lambda).abs() < 0.1, "lambda {lambda}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn inversion_consumes_exactly_one_uniform_per_draw() {
+        // The fixed consumption is the property the v2 lane stream
+        // relies on: a draw's RNG cost must not depend on its value.
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        for lambda in [0.1, 1.0, 6.0, 30.0] {
+            poisson_inversion(lambda, &mut a);
+            b.next_u64(); // one f64 uniform = one u64
+            assert_eq!(a.get_word_pos(), b.get_word_pos(), "lambda {lambda}");
+        }
+    }
+
+    /// The explicit λ ≈ 745 underflow regression: `e^{-λ}` underflows
+    /// to zero, and both samplers must still terminate with a bounded
+    /// result instead of hanging (see the method docs for the exact
+    /// mechanism in each).
+    #[test]
+    fn underflow_guard_bounds_both_samplers_past_lambda_745() {
+        assert_eq!((-745.2_f64).exp(), 0.0, "λ must be in the underflow regime");
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for lambda in [745.2, 800.0, 1e6] {
+            let knuth = poisson(lambda, &mut rng);
+            assert!(knuth <= MAX_ITERATIONS + 1, "knuth {knuth} at λ={lambda}");
+            // Inversion saturates at the cap: the CDF stays 0 forever.
+            assert_eq!(poisson_inversion(lambda, &mut rng), MAX_ITERATIONS);
+        }
+        // Just below the underflow threshold both still behave.
+        let lambda = 700.0;
+        let mut total = 0usize;
+        for _ in 0..50 {
+            total += poisson_inversion(lambda, &mut rng);
+        }
+        let mean = total as f64 / 50.0;
+        assert!((mean - lambda).abs() < 25.0, "mean {mean}");
     }
 }

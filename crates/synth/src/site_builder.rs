@@ -8,7 +8,7 @@
 
 use crate::clearsky::ClearSkyModel;
 use crate::site::SiteConfig;
-use crate::weather::WeatherModel;
+use crate::weather::{StreamVersion, WeatherModel};
 use solar_trace::Resolution;
 
 /// Step-by-step construction of a [`SiteConfig`].
@@ -41,6 +41,7 @@ pub struct SiteConfigBuilder {
     seed_stream: Option<u64>,
     cloudiness: f64,
     turbidity: f64,
+    stream_version: Option<StreamVersion>,
 }
 
 impl SiteConfigBuilder {
@@ -55,6 +56,7 @@ impl SiteConfigBuilder {
             seed_stream: None,
             cloudiness: 1.0,
             turbidity: 0.0,
+            stream_version: None,
         }
     }
 
@@ -106,6 +108,14 @@ impl SiteConfigBuilder {
         self
     }
 
+    /// Overrides the RNG [`StreamVersion`] of the built site. By
+    /// default the version comes from the supplied weather model
+    /// (V1 for every preset); setting it here wins over both.
+    pub fn stream_version(mut self, version: StreamVersion) -> Self {
+        self.stream_version = Some(version);
+        self
+    }
+
     /// Validates and assembles the configuration.
     ///
     /// # Errors
@@ -137,7 +147,10 @@ impl SiteConfigBuilder {
                 self.turbidity
             ));
         }
-        let weather = self.weather.with_cloudiness(self.cloudiness);
+        let mut weather = self.weather.with_cloudiness(self.cloudiness);
+        if let Some(version) = self.stream_version {
+            weather.stream_version = version;
+        }
         weather.validate()?;
         let seed_stream = self
             .seed_stream
@@ -180,6 +193,24 @@ mod tests {
     fn explicit_seed_stream_wins() {
         let site = SiteConfigBuilder::new("x").seed_stream(7).build().unwrap();
         assert_eq!(site.seed_stream, 7);
+    }
+
+    #[test]
+    fn stream_version_defaults_to_v1_and_override_wins() {
+        let default = SiteConfigBuilder::new("v").build().unwrap();
+        assert_eq!(default.weather.stream_version, StreamVersion::V1);
+        let v2 = SiteConfigBuilder::new("v")
+            .stream_version(StreamVersion::V2)
+            .build()
+            .unwrap();
+        assert_eq!(v2.weather.stream_version, StreamVersion::V2);
+        // The override survives the cloudiness tilt.
+        let tilted = SiteConfigBuilder::new("v")
+            .cloudiness(2.0)
+            .stream_version(StreamVersion::V2)
+            .build()
+            .unwrap();
+        assert_eq!(tilted.weather.stream_version, StreamVersion::V2);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! the same sample order as `SlotView`.
 
 use crate::generator::{DayState, TraceGenerator};
+use crate::lanes::SynthCounters;
 use solar_trace::{SlotsPerDay, TraceError};
 
 /// Raw samples of a synthetic trace, produced one day at a time.
@@ -165,6 +166,14 @@ impl SlotStream {
     /// samples, regardless of horizon length.
     pub fn buffer_bytes(&self) -> usize {
         self.generator.config().resolution.samples_per_day() * std::mem::size_of::<f64>()
+    }
+
+    /// Synthesis-cost counters at the stream's current position —
+    /// keystream blocks consumed and normal draws served so far. Read
+    /// once after draining (or abandoning) the stream and merge into a
+    /// run ledger per work unit; never sample this per slot.
+    pub fn counters(&self) -> SynthCounters {
+        self.state.counters()
     }
 }
 
@@ -333,6 +342,23 @@ mod tests {
             }
             proptest::prop_assert_eq!(count, view.total_slots());
         }
+    }
+
+    #[test]
+    fn slot_stream_counters_track_consumption() {
+        let generator = TraceGenerator::new(Site::Hsu.config(), 5);
+        let mut stream = generator
+            .slot_stream(3, SlotsPerDay::new(48).unwrap())
+            .unwrap();
+        let before = stream.counters();
+        assert_eq!(before.normal_draws, 0, "no draws before iteration");
+        for _ in stream.by_ref() {}
+        let after = stream.counters();
+        assert!(after.keystream_blocks > before.keystream_blocks);
+        assert!(after.normal_draws > 0);
+        // Counters must match the batch path's accounting exactly.
+        let (_, batch) = generator.generate_days_counted(3).unwrap();
+        assert_eq!(after, batch);
     }
 
     #[test]

@@ -15,6 +15,37 @@
 
 use rand::Rng;
 
+/// Which RNG draw order the trace generator uses.
+///
+/// The generator's stream is part of its public contract: same seed ⇒
+/// same trace, everywhere, forever. Making the draw order faster meant
+/// *reordering* it (lane-batched Box–Muller consumes the sin half that
+/// the scalar path discards), so the order is versioned explicitly
+/// instead of silently changed:
+///
+/// * [`StreamVersion::V1`] — the original scalar order: one
+///   Box–Muller normal per two uniforms (cos half only), normals
+///   interleaved with trace math slot by slot. The default; every
+///   pre-existing golden digest pins this stream.
+/// * [`StreamVersion::V2`] — the lane order: normals drawn in batches
+///   from the bulk keystream, pairwise Box–Muller consuming both the
+///   cos and sin halves, and per-day panels (AR innovations, sensor
+///   noise) drawn vectorwise ahead of the slot loop. ~2× faster
+///   synthesis; its own golden digest is pinned separately.
+///
+/// Both versions are deterministic and platform-stable; they are
+/// simply *different* streams. Catalog JSON and generated-scenario ids
+/// carry the version, so an id never silently changes meaning.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum StreamVersion {
+    /// Scalar draw order (the original stream); the default.
+    #[default]
+    V1,
+    /// Lane-batched draw order (bulk keystream, pairwise Box–Muller).
+    V2,
+}
+
 /// Gross sky condition of one day.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -111,6 +142,11 @@ pub struct WeatherModel {
     /// Seasonal clearness modulation amplitude (added to base clearness,
     /// peaking mid-summer).
     pub seasonal_amplitude: f64,
+    /// Which RNG draw order the generator uses for this model
+    /// ([`StreamVersion::V1`] is the pinned legacy stream and the
+    /// default).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub stream_version: StreamVersion,
 }
 
 impl WeatherModel {
@@ -147,6 +183,7 @@ impl WeatherModel {
             transit_depth: (0.25, 0.70),
             sensor_noise_std: 0.004,
             seasonal_amplitude: 0.01,
+            stream_version: StreamVersion::V1,
         }
     }
 
@@ -183,6 +220,7 @@ impl WeatherModel {
             transit_depth: (0.35, 0.85),
             sensor_noise_std: 0.006,
             seasonal_amplitude: 0.03,
+            stream_version: StreamVersion::V1,
         }
     }
 
@@ -219,6 +257,7 @@ impl WeatherModel {
             transit_depth: (0.30, 0.75),
             sensor_noise_std: 0.005,
             seasonal_amplitude: 0.04,
+            stream_version: StreamVersion::V1,
         }
     }
 
@@ -261,6 +300,7 @@ impl WeatherModel {
             // Negative: clearness *drops* toward the summer solstice
             // (wet season), the mirror image of the temperate presets.
             seasonal_amplitude: -0.18,
+            stream_version: StreamVersion::V1,
         }
     }
 
@@ -300,6 +340,7 @@ impl WeatherModel {
             transit_depth: (0.30, 0.80),
             sensor_noise_std: 0.006,
             seasonal_amplitude: 0.05,
+            stream_version: StreamVersion::V1,
         }
     }
 

@@ -1,0 +1,182 @@
+//! Synthesis-floor runner: measures trace-synthesis ns/slot on both
+//! RNG stream versions — v1 (the original scalar draw order) and v2
+//! (the lane-batched order over the multi-block ChaCha8 keystream) —
+//! and emits the comparison as machine-readable JSON (`BENCH_PR7.json`).
+//!
+//! ```text
+//! cargo run --release --example bench_pr7                      # print JSON
+//! cargo run --release --example bench_pr7 -- --out BENCH_PR7.json
+//! cargo run --release --example bench_pr7 -- --smoke           # tiny CI run
+//! cargo run --release --example bench_pr7 -- --smoke --report r.json
+//! ```
+//!
+//! The synthesis workload is the exact BENCH_PR5 one (the Hsu site,
+//! seed `0xBE`, 48 slots/day, min-of-3), so ns/slot is directly
+//! comparable with the `1538.8479` the PR 5 trajectory pinned. The v1
+//! measurement guards against the vectorized keystream regressing the
+//! bit-pinned legacy stream; the v2 measurement is the headline —
+//! asserted ≥ 2× the embedded PR 5 baseline on full (non-smoke) runs.
+//!
+//! `--report PATH` writes the [`RunReport`] of one recording v2
+//! catalog run — deterministic ledger (including the new
+//! `synth/keystream_blocks` / `synth/normal_draws` counters) plus span
+//! tree — the artifact `fleet_report diff` compares against the
+//! committed `BENCH_PR7_SMOKE.json` baseline in the CI sentinel.
+
+use fleet_obs::json::Json;
+use scenario_fleet::{
+    CatalogGenerator, Collector, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, RunReport,
+    StreamVersion, TraceCachePolicy,
+};
+use solar_synth::{Site, SiteConfig, TraceGenerator};
+use solar_trace::SlotsPerDay;
+use std::error::Error;
+use std::time::Instant;
+
+/// Seed shared with the golden 200-regime pins (tests/generated_catalog.rs).
+const GOLDEN_SEED: u64 = 2026;
+
+/// The synthesis ns/slot BENCH_PR5.json pinned on this workload — the
+/// floor this PR breaks. Embedded so the ≥2× acceptance gate needs no
+/// baseline file at run time.
+const PR5_BASELINE_NS_PER_SLOT: f64 = 1538.8479;
+
+/// Repeats of every timed section; the minimum is reported (the
+/// least-disturbed run on a shared machine).
+const REPEATS: usize = 3;
+
+fn min_of(mut measure: impl FnMut() -> f64) -> f64 {
+    (0..REPEATS)
+        .map(|_| measure())
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Rounds to 4 decimals so the JSON stays readable; wall times are
+/// machine-dependent anyway.
+fn round4(value: f64) -> f64 {
+    (value * 1e4).round() / 1e4
+}
+
+/// The BENCH_PR5 synthesis workload on an explicit site config, so the
+/// same timing loop serves both stream versions.
+fn measure_synthesis(config: SiteConfig, days: usize) -> (f64, usize) {
+    let generator = TraceGenerator::new(config, 0xBE);
+    let n = SlotsPerDay::new(48).expect("48 is valid");
+    // Warm-up pass, then the timed passes.
+    let slots: usize = generator.slot_stream(days, n).expect("days > 0").count();
+    let wall = min_of(|| {
+        let started = Instant::now();
+        let mut sum = 0.0;
+        for slot in generator.slot_stream(days, n).expect("days > 0") {
+            sum += slot.mean_power;
+        }
+        assert!(sum.is_finite());
+        started.elapsed().as_secs_f64()
+    });
+    (wall * 1e9 / slots as f64, slots)
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = Some(args.next().ok_or("--out needs a path")?),
+            "--report" => report_path = Some(args.next().ok_or("--report needs a path")?),
+            other => return Err(format!("unknown argument {other:?}").into()),
+        }
+    }
+
+    let (synth_days, regimes) = if smoke { (5, 8) } else { (60, 200) };
+
+    eprintln!("measuring v1 (scalar-order) synthesis ({synth_days} days)…");
+    let (v1_ns, slots) = measure_synthesis(Site::Hsu.config(), synth_days);
+    eprintln!("  {v1_ns:.0} ns/slot over {slots} slots");
+
+    eprintln!("measuring v2 (lane-order) synthesis ({synth_days} days)…");
+    let mut v2_config = Site::Hsu.config();
+    v2_config.weather.stream_version = StreamVersion::V2;
+    let (v2_ns, v2_slots) = measure_synthesis(v2_config, synth_days);
+    assert_eq!(slots, v2_slots, "both streams cover the same slot grid");
+    eprintln!("  {v2_ns:.0} ns/slot over {v2_slots} slots");
+
+    let speedup_vs_pr5 = PR5_BASELINE_NS_PER_SLOT / v2_ns;
+    let speedup_vs_v1 = v1_ns / v2_ns;
+    eprintln!("  v2 is {speedup_vs_pr5:.2}x the PR 5 floor, {speedup_vs_v1:.2}x measured v1");
+    if !smoke {
+        // The tentpole acceptance gate. Smoke runs skip timing
+        // assertions (CI machines are noisy and the horizon tiny).
+        assert!(
+            speedup_vs_pr5 >= 2.0,
+            "v2 synthesis must be >= 2x the PR 5 floor: \
+             {v2_ns:.1} ns/slot vs baseline {PR5_BASELINE_NS_PER_SLOT} ns/slot"
+        );
+    }
+
+    // One recording v2 catalog run: the deterministic ledger embeds in
+    // the JSON, and `--report` writes the full RunReport the CI
+    // sentinel diffs. Scenario ids all carry the `-v2` segment, so
+    // this report can never be confused with a bench_pr6 (v1) report.
+    eprintln!("recording a {regimes}-regime v2 catalog run…");
+    let catalog = CatalogGenerator::new(GOLDEN_SEED)
+        .with_stream_version(StreamVersion::V2)
+        .generate(regimes)?;
+    let matrix = FleetMatrix::new(
+        PredictorSpec::guideline_family(),
+        ManagerSpec::default_set(),
+        catalog.scenarios().to_vec(),
+    )?;
+    let collector = Collector::recording();
+    let engine = FleetEngine::new(GOLDEN_SEED)
+        .with_trace_cache(TraceCachePolicy::bounded(4 << 20))
+        .with_collector(collector.clone());
+    let result = engine.run(&matrix)?;
+    assert_eq!(result.outcomes.len(), matrix.job_count());
+    let ledger = collector.ledger();
+    assert!(
+        ledger.counter("synth/keystream_blocks") > 0,
+        "the v2 run must account its keystream consumption"
+    );
+    assert!(
+        ledger.counter("synth/normal_draws") > 0,
+        "the v2 run must account its normal draws"
+    );
+
+    if let Some(path) = &report_path {
+        let report = collector.report();
+        let text = report.to_json_string();
+        // Round-trip before writing; the CI sentinel diffs this file.
+        RunReport::from_json_str(&text)?;
+        std::fs::write(path, &text)?;
+        eprintln!("wrote run report to {path}");
+    }
+
+    let json = Json::obj([
+        ("schema", Json::Str("fleet-bench-pr7/1".into())),
+        ("slots", Json::Num(slots as f64)),
+        ("v1_ns_per_slot", Json::Num(round4(v1_ns))),
+        ("v2_ns_per_slot", Json::Num(round4(v2_ns))),
+        (
+            "pr5_baseline_ns_per_slot",
+            Json::Num(PR5_BASELINE_NS_PER_SLOT),
+        ),
+        ("speedup_vs_pr5", Json::Num(round4(speedup_vs_pr5))),
+        ("speedup_v2_vs_v1", Json::Num(round4(speedup_vs_v1))),
+        ("regimes", Json::Num(regimes as f64)),
+        ("jobs", Json::Num(matrix.job_count() as f64)),
+        ("ledger", ledger.to_json()),
+    ])
+    .render_pretty();
+
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json)?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}

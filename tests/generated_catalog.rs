@@ -21,7 +21,7 @@ use proptest::prelude::*;
 use scenario_fleet::{
     Catalog, CatalogGenerator, Climate, Collector, FalloffProfile, FaultMix, FleetEngine,
     FleetFault, FleetMatrix, ManagerSpec, NodeProfile, PredictorSpec, RegimeTemplate, Scenario,
-    Scorecard, SiteSpec, SpatialFalloff, TraceCachePolicy,
+    Scorecard, SiteSpec, SpatialFalloff, StreamVersion, TraceCachePolicy,
 };
 
 /// The regime a generated (Shaped) scenario must land in.
@@ -70,6 +70,7 @@ fn arbitrary_template() -> impl Strategy<Value = RegimeTemplate> {
                 days: 30,
                 slots_per_day: 48,
                 resolution_minutes: 5,
+                stream_version: StreamVersion::V1,
             },
         )
 }
@@ -157,6 +158,7 @@ fn latitude_sweep(latitudes: Vec<f64>) -> Catalog {
         days: 30,
         slots_per_day: 48,
         resolution_minutes: 5,
+        stream_version: StreamVersion::V1,
     };
     CatalogGenerator::with_templates(9, vec![template])
         .unwrap()
@@ -268,6 +270,12 @@ const GOLDEN_SEED: u64 = 2026;
 /// regression pin: it must not move unless the scorecard format, the
 /// generator templates, or the synthesis pipeline deliberately change.
 const GOLDEN_DIGEST: u64 = 0xf6f8_c0ad_9b38_dde4;
+/// FNV-1a digest of the same 200 regimes on the
+/// [`StreamVersion::V2`] lane-order stream (`-v2` scenario ids). A
+/// *different* stream than v1 by design — pinned independently so the
+/// vectorized path is held to the same cross-thread/cross-shard
+/// byte-identity bar.
+const GOLDEN_DIGEST_V2: u64 = 0x99ac_0ff1_d550_4088;
 
 #[test]
 fn golden_200_regime_scorecard_is_identical_across_threads_and_shards() {
@@ -421,4 +429,96 @@ fn golden_200_regime_scorecard_is_identical_across_threads_and_shards() {
     let findings = diff.render_markdown();
     assert!(findings.contains("**Verdict: regressed**"));
     assert!(findings.contains("Worst-regressing scenarios"));
+}
+
+#[test]
+fn golden_200_regime_v2_scorecard_is_identical_across_threads_and_shards() {
+    let catalog = CatalogGenerator::new(GOLDEN_SEED)
+        .with_stream_version(StreamVersion::V2)
+        .generate(200)
+        .unwrap();
+    assert_eq!(catalog.len(), 200);
+    // Every id carries the version segment: a v2 run can never collide
+    // with its v1 twin in caches or reports.
+    for scenario in catalog.scenarios() {
+        assert!(scenario.name.ends_with("-v2"), "{}", scenario.name);
+    }
+    let matrix = FleetMatrix::new(
+        vec![PredictorSpec::Wcma {
+            alpha: 0.7,
+            days: 10,
+            k: 2,
+        }],
+        vec![ManagerSpec::EnergyNeutral {
+            target_soc: 0.5,
+            gain: 0.25,
+        }],
+        catalog.scenarios().to_vec(),
+    )
+    .unwrap();
+
+    let budget = 4u64 << 20;
+    let mut reference: Option<String> = None;
+    let mut ledger_reference: Option<String> = None;
+    for threads in [1usize, 2, 8] {
+        let collector = Collector::recording();
+        let engine = FleetEngine::new(GOLDEN_SEED)
+            .with_threads(threads)
+            .with_trace_cache(TraceCachePolicy::bounded(budget))
+            .with_collector(collector.clone());
+        let mut cache = engine.new_cache();
+        let result = engine.run_cached(&matrix, &mut cache).unwrap();
+        assert!(
+            result.streamed_jobs >= 100,
+            "threads {threads}: only {} jobs streamed",
+            result.streamed_jobs
+        );
+        let json = result.scorecard.to_json_string();
+        let ledger_json = collector.ledger().to_json_string();
+        match &ledger_reference {
+            None => ledger_reference = Some(ledger_json),
+            Some(reference) => assert_eq!(
+                &ledger_json, reference,
+                "threads {threads}: v2 ledger bytes diverged"
+            ),
+        }
+
+        for shard_count in [2usize, 7] {
+            let sharded = engine
+                .run_sharded_cached(&matrix, shard_count, &mut cache)
+                .unwrap();
+            assert_eq!(sharded.cached_jobs, matrix.job_count());
+            assert_eq!(sharded.shards.len(), shard_count);
+            let merged = Scorecard::merge_shards_observed(
+                &sharded.manifest,
+                &sharded.shards,
+                &Collector::noop(),
+            )
+            .unwrap();
+            assert_eq!(
+                merged.to_json_string(),
+                json,
+                "threads {threads}, {shard_count} shards: v2 merge diverged"
+            );
+        }
+
+        match &reference {
+            None => reference = Some(json),
+            Some(reference) => assert_eq!(
+                &json, reference,
+                "threads {threads}: v2 scorecard bytes diverged"
+            ),
+        }
+    }
+
+    let digest = solar_trace::hash::fnv1a(reference.as_ref().unwrap());
+    assert_eq!(
+        digest, GOLDEN_DIGEST_V2,
+        "200-regime v2 scorecard digest drifted — if the change is \
+         deliberate (scorecard format, templates, or the v2 lane \
+         synthesis order), re-pin GOLDEN_DIGEST_V2"
+    );
+    // The lane order is a genuinely different stream: its digest must
+    // not degenerate to v1's.
+    assert_ne!(digest, GOLDEN_DIGEST);
 }

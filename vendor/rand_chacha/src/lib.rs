@@ -9,45 +9,88 @@
 //! read as little-endian `u32`s, which is also upstream `rand_chacha`'s
 //! order; combined with the PCG32 `seed_from_u64` expansion in the
 //! vendored `rand`, seeded generators here reproduce the upstream
-//! streams on the `next_u32`/`next_u64` paths (see `vendor/README.md`
-//! for the exact scope of that claim). The order is stable across
-//! platforms and releases, which is the property the synthesizer
-//! documents (same seed ⇒ same trace, everywhere).
+//! streams on the `next_u32`/`next_u64`/`fill_bytes` paths (see
+//! `vendor/README.md` for the exact scope of that claim). The order is
+//! stable across platforms and releases, which is the property the
+//! synthesizer documents (same seed ⇒ same trace, everywhere).
+//!
+//! # Multi-block core
+//!
+//! The refill computes `LANES` (= 4) consecutive blocks at once,
+//! held word-major as `[[u32; LANES]; 16]` so every quarter-round
+//! statement is the same operation applied across 4 independent lanes
+//! — the shape LLVM's autovectorizer turns into 128-bit integer SIMD
+//! without any arch-specific intrinsics. Lane `l` runs the block
+//! function with counter `c + l`; the write-out transposes back to the
+//! flat `BUFFER_WORDS`-word buffer in sequential block order, so the
+//! emitted word stream is bit-identical to the one-block-at-a-time
+//! implementation this replaces (a reference single-block core lives
+//! in the tests and pins exactly that).
 
 use rand::{RngCore, SeedableRng};
 
+/// Words per ChaCha block.
 const BLOCK_WORDS: usize = 16;
+/// Blocks computed per refill (lanes of the wide quarter-round).
+const LANES: usize = 4;
+/// Words buffered per refill.
+const BUFFER_WORDS: usize = BLOCK_WORDS * LANES;
 
 /// A deterministic ChaCha stream cipher RNG with 8 rounds.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ChaCha8Rng {
-    /// Key words 4..12 and stream constants; rebuilt per block.
+    /// Key words 4..12 of the block state; rebuilt per refill.
     key: [u32; 8],
-    /// 64-bit block counter.
+    /// 64-bit block counter (of the *next* block to compute).
     counter: u64,
     /// Stream id (nonce words).
     stream: u64,
-    /// Current output block.
-    buffer: [u32; BLOCK_WORDS],
-    /// Next unread word in `buffer`; `BLOCK_WORDS` forces a refill.
+    /// Current output words: [`LANES`] consecutive blocks, flat, in
+    /// sequential keystream order.
+    buffer: [u32; BUFFER_WORDS],
+    /// Next unread word in `buffer`; `BUFFER_WORDS` forces a refill.
     index: usize,
 }
 
+/// One quarter-round step applied element-wise across all lanes. Each
+/// statement is a loop over the 4 independent lanes, which LLVM
+/// collapses to vector adds/xors/rotates.
+// The explicit `state[row][l]` index form is the shape the
+// autovectorizer recognizes across the four distinct rows; clippy's
+// iterator rewrite would only cover single-row loops.
+#[allow(clippy::needless_range_loop)]
 #[inline(always)]
-fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(16);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(12);
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(8);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(7);
+fn wide_quarter_round(
+    state: &mut [[u32; LANES]; BLOCK_WORDS],
+    a: usize,
+    b: usize,
+    c: usize,
+    d: usize,
+) {
+    for l in 0..LANES {
+        state[a][l] = state[a][l].wrapping_add(state[b][l]);
+        state[d][l] = (state[d][l] ^ state[a][l]).rotate_left(16);
+    }
+    for l in 0..LANES {
+        state[c][l] = state[c][l].wrapping_add(state[d][l]);
+        state[b][l] = (state[b][l] ^ state[c][l]).rotate_left(12);
+    }
+    for l in 0..LANES {
+        state[a][l] = state[a][l].wrapping_add(state[b][l]);
+        state[d][l] = (state[d][l] ^ state[a][l]).rotate_left(8);
+    }
+    for l in 0..LANES {
+        state[c][l] = state[c][l].wrapping_add(state[d][l]);
+        state[b][l] = (state[b][l] ^ state[c][l]).rotate_left(7);
+    }
 }
 
 impl ChaCha8Rng {
     fn refill(&mut self) {
-        let mut state: [u32; BLOCK_WORDS] = [
+        // Word-major: state[w][l] is word w of lane l. All 16 words are
+        // identical across lanes except the counter low/high pair.
+        let mut state = [[0u32; LANES]; BLOCK_WORDS];
+        let template: [u32; BLOCK_WORDS] = [
             0x6170_7865,
             0x3320_646e,
             0x7962_2d32,
@@ -60,36 +103,71 @@ impl ChaCha8Rng {
             self.key[5],
             self.key[6],
             self.key[7],
-            self.counter as u32,
-            (self.counter >> 32) as u32,
+            0, // per-lane counter lo, filled below
+            0, // per-lane counter hi, filled below
             self.stream as u32,
             (self.stream >> 32) as u32,
         ];
+        for (w, word) in template.iter().enumerate() {
+            state[w] = [*word; LANES];
+        }
+        for (l, lane_counter) in (0..LANES).map(|l| (l, self.counter.wrapping_add(l as u64))) {
+            state[12][l] = lane_counter as u32;
+            state[13][l] = (lane_counter >> 32) as u32;
+        }
         let initial = state;
         for _ in 0..4 {
             // Column rounds.
-            quarter_round(&mut state, 0, 4, 8, 12);
-            quarter_round(&mut state, 1, 5, 9, 13);
-            quarter_round(&mut state, 2, 6, 10, 14);
-            quarter_round(&mut state, 3, 7, 11, 15);
+            wide_quarter_round(&mut state, 0, 4, 8, 12);
+            wide_quarter_round(&mut state, 1, 5, 9, 13);
+            wide_quarter_round(&mut state, 2, 6, 10, 14);
+            wide_quarter_round(&mut state, 3, 7, 11, 15);
             // Diagonal rounds.
-            quarter_round(&mut state, 0, 5, 10, 15);
-            quarter_round(&mut state, 1, 6, 11, 12);
-            quarter_round(&mut state, 2, 7, 8, 13);
-            quarter_round(&mut state, 3, 4, 9, 14);
+            wide_quarter_round(&mut state, 0, 5, 10, 15);
+            wide_quarter_round(&mut state, 1, 6, 11, 12);
+            wide_quarter_round(&mut state, 2, 7, 8, 13);
+            wide_quarter_round(&mut state, 3, 4, 9, 14);
         }
-        for (word, init) in state.iter_mut().zip(initial) {
-            *word = word.wrapping_add(init);
+        // Transpose back to sequential keystream order: lane l's words
+        // occupy buffer[l*16 .. l*16+16].
+        for w in 0..BLOCK_WORDS {
+            for l in 0..LANES {
+                self.buffer[l * BLOCK_WORDS + w] = state[w][l].wrapping_add(initial[w][l]);
+            }
         }
-        self.buffer = state;
-        self.counter = self.counter.wrapping_add(1);
+        self.counter = self.counter.wrapping_add(LANES as u64);
         self.index = 0;
     }
 
     /// Selects an independent keystream for the same key.
     pub fn set_stream(&mut self, stream: u64) {
         self.stream = stream;
-        self.index = BLOCK_WORDS;
+        self.index = BUFFER_WORDS;
+    }
+
+    /// The number of keystream words produced so far (the position the
+    /// next `next_u32` reads). Mirrors upstream `rand_chacha`'s
+    /// `get_word_pos`, which callers use to account keystream blocks.
+    pub fn get_word_pos(&self) -> u128 {
+        (self.counter as u128) * BLOCK_WORDS as u128 - (BUFFER_WORDS - self.index) as u128
+    }
+
+    /// Fills `dest` with the next `dest.len()` keystream words — the
+    /// bulk equivalent of `dest.len()` successive [`RngCore::next_u32`]
+    /// calls, serviced by whole-buffer copies between refills.
+    pub fn fill_u32s(&mut self, dest: &mut [u32]) {
+        let mut filled = 0;
+        while filled < dest.len() {
+            if self.index >= BUFFER_WORDS {
+                self.refill();
+            }
+            let available = BUFFER_WORDS - self.index;
+            let take = available.min(dest.len() - filled);
+            dest[filled..filled + take]
+                .copy_from_slice(&self.buffer[self.index..self.index + take]);
+            self.index += take;
+            filled += take;
+        }
     }
 }
 
@@ -105,15 +183,15 @@ impl SeedableRng for ChaCha8Rng {
             key,
             counter: 0,
             stream: 0,
-            buffer: [0; BLOCK_WORDS],
-            index: BLOCK_WORDS,
+            buffer: [0; BUFFER_WORDS],
+            index: BUFFER_WORDS,
         }
     }
 }
 
 impl RngCore for ChaCha8Rng {
     fn next_u32(&mut self) -> u32 {
-        if self.index >= BLOCK_WORDS {
+        if self.index >= BUFFER_WORDS {
             self.refill();
         }
         let word = self.buffer[self.index];
@@ -126,12 +204,99 @@ impl RngCore for ChaCha8Rng {
         let hi = self.next_u32() as u64;
         lo | (hi << 32)
     }
+
+    /// Explicit `fill_bytes`: little-endian bytes of successive
+    /// keystream words, with a trailing partial chunk consuming one
+    /// whole word — byte-for-byte the semantics of the vendored
+    /// `rand` trait default, served from the buffered words directly.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            if self.index >= BUFFER_WORDS {
+                self.refill();
+            }
+            chunk.copy_from_slice(&self.buffer[self.index].to_le_bytes());
+            self.index += 1;
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::Rng;
+
+    /// The one-block-at-a-time reference core this multi-block
+    /// implementation replaced. Pins that the interleaved refill emits
+    /// the exact same word order.
+    fn reference_block(key: &[u32; 8], counter: u64, stream: u64) -> [u32; BLOCK_WORDS] {
+        fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(16);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(12);
+            state[a] = state[a].wrapping_add(state[b]);
+            state[d] = (state[d] ^ state[a]).rotate_left(8);
+            state[c] = state[c].wrapping_add(state[d]);
+            state[b] = (state[b] ^ state[c]).rotate_left(7);
+        }
+        let mut state: [u32; BLOCK_WORDS] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            key[0],
+            key[1],
+            key[2],
+            key[3],
+            key[4],
+            key[5],
+            key[6],
+            key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            stream as u32,
+            (stream >> 32) as u32,
+        ];
+        let initial = state;
+        for _ in 0..4 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        state
+    }
+
+    #[test]
+    fn multi_block_core_matches_single_block_reference() {
+        for seed in [0u64, 42, 0xDEAD_BEEF] {
+            for stream in [0u64, 7] {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                rng.set_stream(stream);
+                let key = rng.key;
+                // 8 blocks = two full refills of 4 lanes each.
+                let produced: Vec<u32> = (0..8 * BLOCK_WORDS).map(|_| rng.next_u32()).collect();
+                let mut expected = Vec::new();
+                for block in 0..8u64 {
+                    expected.extend(reference_block(&key, block, stream));
+                }
+                assert_eq!(produced, expected, "seed {seed} stream {stream}");
+            }
+        }
+    }
 
     #[test]
     fn deterministic_per_seed() {
@@ -171,5 +336,65 @@ mod tests {
         }
         let mut copy = rng.clone();
         assert_eq!(rng.next_u64(), copy.next_u64());
+    }
+
+    #[test]
+    fn fill_u32s_matches_next_u32_at_every_offset() {
+        // At every starting offset within the 64-word buffer, and for
+        // lengths that land short of, on, and past refill boundaries,
+        // the bulk fill is the same words as repeated next_u32.
+        for offset in 0..BUFFER_WORDS {
+            for len in [0usize, 1, 5, 16, 63, 64, 65, 131] {
+                let mut bulk = ChaCha8Rng::seed_from_u64(77);
+                let mut scalar = ChaCha8Rng::seed_from_u64(77);
+                for _ in 0..offset {
+                    bulk.next_u32();
+                    scalar.next_u32();
+                }
+                let mut got = vec![0u32; len];
+                bulk.fill_u32s(&mut got);
+                let expected: Vec<u32> = (0..len).map(|_| scalar.next_u32()).collect();
+                assert_eq!(got, expected, "offset {offset} len {len}");
+                // Both generators sit at the same stream position after.
+                assert_eq!(
+                    bulk.next_u32(),
+                    scalar.next_u32(),
+                    "offset {offset} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fill_bytes_pins_byte_order_against_word_stream() {
+        let mut words = ChaCha8Rng::seed_from_u64(11);
+        let expected_words: Vec<u32> = (0..4).map(|_| words.next_u32()).collect();
+
+        // 11 bytes = 2 whole words + a partial chunk that consumes a
+        // third whole word (upper byte discarded).
+        let mut bytes = ChaCha8Rng::seed_from_u64(11);
+        let mut buf = [0u8; 11];
+        bytes.fill_bytes(&mut buf);
+        let mut expected = Vec::new();
+        expected.extend(expected_words[0].to_le_bytes());
+        expected.extend(expected_words[1].to_le_bytes());
+        expected.extend(&expected_words[2].to_le_bytes()[..3]);
+        assert_eq!(&buf[..], &expected[..]);
+        // The partial chunk consumed all of word 2: the next word out
+        // is word 3 of the stream.
+        assert_eq!(bytes.next_u32(), expected_words[3]);
+    }
+
+    #[test]
+    fn word_pos_counts_produced_words() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(rng.get_word_pos(), 0);
+        rng.next_u32();
+        assert_eq!(rng.get_word_pos(), 1);
+        rng.next_u64();
+        assert_eq!(rng.get_word_pos(), 3);
+        let mut bulk = vec![0u32; 130];
+        rng.fill_u32s(&mut bulk);
+        assert_eq!(rng.get_word_pos(), 133);
     }
 }
