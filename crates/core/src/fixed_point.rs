@@ -285,6 +285,10 @@ impl Predictor for FixedWcmaPredictor {
     fn name(&self) -> &str {
         "wcma-q16"
     }
+
+    fn snapshot(&self) -> Option<Box<dyn Predictor + Send + Sync>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

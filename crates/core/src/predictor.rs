@@ -27,6 +27,19 @@ pub trait Predictor {
 
     /// A short human-readable name for reports ("wcma", "ewma", …).
     fn name(&self) -> &str;
+
+    /// A boxed deep copy of the predictor's current state — the
+    /// predictor half of a day-boundary checkpoint (see
+    /// [`crate::runner::DayCheckpoint`]). The default returns `None`
+    /// so external implementations stay source-compatible and
+    /// object-safe without opting in; every predictor in this crate
+    /// returns `Some`. A checkpoint/resume flow that receives `None`
+    /// must fall back to replaying from the start. The snapshot is
+    /// `Send + Sync` so checkpoints can cross worker threads (the
+    /// fleet engine captures them inside its parallel units).
+    fn snapshot(&self) -> Option<Box<dyn Predictor + Send + Sync>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -139,6 +139,30 @@ impl<S: RecordSink> PredictionFeed<S> {
         }
     }
 
+    /// Reconstructs a feed mid-run: `sink` already holds the prefix's
+    /// completed records and `pending` is the record awaiting its
+    /// closing boundary, both captured at the same slot (see
+    /// [`PredictionFeed::pending`]). Continuing the identical slot
+    /// sequence pushes a record stream bit-identical to an
+    /// uninterrupted run's.
+    pub fn resume(sink: S, pending: Option<(u32, u32, f64, f64)>) -> Self {
+        PredictionFeed { sink, pending }
+    }
+
+    /// The `(day, slot, predicted, actual_mean)` record awaiting its
+    /// closing boundary — together with a clone of the sink, the
+    /// feed's whole carried state, exposed for day-boundary
+    /// checkpointing.
+    pub fn pending(&self) -> Option<(u32, u32, f64, f64)> {
+        self.pending
+    }
+
+    /// The sink as filled so far (checkpoint capture clones it while
+    /// the run keeps going).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
     /// Feeds the slot at `(day, slot)` with an already-computed
     /// `predicted` value; `true_start` and `true_mean` are the
     /// ground-truth references entering the record.
@@ -252,6 +276,72 @@ impl<'a, S: RecordSink> StreamedPredictorRun<'a, S> {
     pub fn finish(self) -> S {
         self.feed.finish()
     }
+
+    /// Captures a [`DayCheckpoint`] of the run at its current
+    /// position, leaving the live run untouched. Meaningful at day
+    /// boundaries (after the last slot of a day, before the first of
+    /// the next), where it pairs with a trace checkpoint at the same
+    /// horizon. Returns `None` when the predictor does not support
+    /// [`Predictor::snapshot`] — the caller falls back to replay.
+    pub fn checkpoint(&self) -> Option<DayCheckpoint<S>>
+    where
+        S: Clone,
+    {
+        Some(DayCheckpoint {
+            predictor: self.predictor.snapshot()?,
+            sink: self.feed.sink().clone(),
+            pending: self.feed.pending(),
+        })
+    }
+
+    /// Resumes a run from the halves of a [`DayCheckpoint`]:
+    /// `predictor` carries the snapshotted state (the caller borrows
+    /// it out of the checkpoint, or restores it elsewhere), `sink`
+    /// holds the prefix's completed records, `pending` its record
+    /// awaiting a closing boundary. Feeding the remaining slots makes
+    /// the finished sink bit-identical to an uninterrupted run's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictor.slots_per_day() != n`.
+    pub fn resume_with_sink(
+        predictor: &'a mut dyn Predictor,
+        n: usize,
+        sink: S,
+        pending: Option<(u32, u32, f64, f64)>,
+    ) -> Self {
+        assert_eq!(
+            predictor.slots_per_day(),
+            n,
+            "predictor configured for N={} but stream has N={}",
+            predictor.slots_per_day(),
+            n
+        );
+        StreamedPredictorRun {
+            predictor,
+            feed: PredictionFeed::resume(sink, pending),
+        }
+    }
+}
+
+/// A day-boundary checkpoint of a [`StreamedPredictorRun`]: the deep-
+/// copied predictor plus the metrics half (sink + pending record) at
+/// the same boundary. Resume by borrowing `predictor` mutably into
+/// [`StreamedPredictorRun::resume_with_sink`] together with the other
+/// two fields; the continued run's finished sink is bit-identical to
+/// an uninterrupted run over the full horizon.
+///
+/// The metrics half is plain data (`PredictionRecord`s or streaming
+/// accumulators, serde-gated in `pred_metrics`); the predictor half is
+/// a live state machine and is persisted by keeping the checkpoint
+/// itself alive (e.g. inside a fleet cache), not by serialization.
+pub struct DayCheckpoint<S: RecordSink> {
+    /// The predictor's snapshotted state at the boundary.
+    pub predictor: Box<dyn Predictor>,
+    /// The sink with every record completed before the boundary.
+    pub sink: S,
+    /// The record awaiting its closing boundary sample.
+    pub pending: Option<(u32, u32, f64, f64)>,
 }
 
 #[cfg(test)]
@@ -337,6 +427,48 @@ mod tests {
             assert_eq!(r.predicted, 0.0);
             assert!(r.actual_mean > 0.0);
         }
+    }
+
+    #[test]
+    fn day_checkpoint_resume_is_bit_identical() {
+        use crate::wcma::WcmaPredictor;
+        let trace = view_of((0..4 * 96).map(|i| (i * 31 % 211) as f64).collect());
+        let view = SlotView::new(&trace, SlotsPerDay::new(48).unwrap()).unwrap();
+        let n = 48;
+        let params = crate::params::WcmaParamsBuilder::new()
+            .alpha(0.7)
+            .days(2)
+            .k(2)
+            .slots_per_day(n)
+            .build()
+            .unwrap();
+        let cold = run_predictor(&view, &mut WcmaPredictor::new(params));
+
+        // Run two days, checkpoint at the boundary, resume from the
+        // checkpoint alone and feed the remaining days.
+        let mut live = WcmaPredictor::new(params);
+        let mut run = StreamedPredictorRun::new(&mut live, n);
+        for day in 0..2 {
+            for slot in 0..n {
+                let s = view.start_sample(day, slot);
+                run.on_slot(day, slot, s, s, view.mean_power(day, slot));
+            }
+        }
+        let mut ckpt = run.checkpoint().expect("wcma snapshots");
+        drop(run);
+        let mut resumed = StreamedPredictorRun::resume_with_sink(
+            ckpt.predictor.as_mut(),
+            n,
+            ckpt.sink,
+            ckpt.pending,
+        );
+        for day in 2..view.days() {
+            for slot in 0..n {
+                let s = view.start_sample(day, slot);
+                resumed.on_slot(day, slot, s, s, view.mean_power(day, slot));
+            }
+        }
+        assert_eq!(resumed.finish(), cold);
     }
 
     #[test]

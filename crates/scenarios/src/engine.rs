@@ -100,19 +100,20 @@
 //! thread counts and shard splits.
 
 use crate::catalog::Scenario;
-use crate::faults::{storage_capacity_factor, FaultInjector};
+use crate::faults::{storage_capacity_factor, FaultInjector, FaultSpec};
 use crate::matrix::{FleetMatrix, JobSpec};
 use crate::scorecard::{Scorecard, ScorecardShard, ShardManifest};
 use fleet_obs::Collector;
 use harvest_sim::SlotHook;
-use harvest_sim::{NodeReport, NodeSimulation};
+use harvest_sim::{NodeReport, NodeSimulation, SimDayCheckpoint};
 use pred_metrics::{ErrorSummary, EvalProtocol, RecordSink, RunCost, StreamingEval};
 use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 use solar_predict::Predictor;
-use solar_synth::{SynthCounters, TraceGenerator};
+use solar_synth::{SynthCheckpoint, SynthCounters, TraceGenerator};
 use solar_trace::{PowerTrace, SlotView, SlotsPerDay};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Outcome of one (scenario, predictor, manager) job.
@@ -143,9 +144,12 @@ pub struct JobOutcome {
 /// the `synth/*` counters.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct PassBreakdown {
-    /// Traces generated into the cache (one per fresh admitted
-    /// scenario).
+    /// Traces generated into the cache from day zero (one per fresh
+    /// admitted scenario without a resumable generator tail).
     pub trace_generations: usize,
+    /// Cached traces *extended* in place from their stored generator
+    /// tail — a day-append pays only for the appended days.
+    pub trace_extensions: usize,
     /// Streamed slot passes (one per fresh non-admitted scenario).
     pub streamed_passes: usize,
     /// ROI pre-passes spent by streamed units above the metrics-log
@@ -156,11 +160,12 @@ pub struct PassBreakdown {
 impl PassBreakdown {
     /// Total synthesis passes of any kind.
     pub fn total(&self) -> usize {
-        self.trace_generations + self.streamed_passes + self.roi_prepasses
+        self.trace_generations + self.trace_extensions + self.streamed_passes + self.roi_prepasses
     }
 
     fn add(&mut self, other: PassBreakdown) {
         self.trace_generations += other.trace_generations;
+        self.trace_extensions += other.trace_extensions;
         self.streamed_passes += other.streamed_passes;
         self.roi_prepasses += other.roi_prepasses;
     }
@@ -407,10 +412,126 @@ fn detected_available_memory_bytes() -> Option<u64> {
     Some(kib * 1024)
 }
 
-/// Memo of traces and job outcomes across runs of one engine — the
-/// incremental re-scoring state. Create with [`FleetEngine::new_cache`];
-/// feed to [`FleetEngine::run_cached`]. The cache is bound to the
-/// engine's master seed and protocol and refuses to serve any other.
+/// One materialized trace's memory footprint: the struct itself, its
+/// label bytes, and its samples. **Both** the cache's accounting
+/// ([`FleetCache::trace_bytes`]) and the admission estimate
+/// ([`FleetEngine`]'s per-scenario projection) go through this helper,
+/// so the bytes an adaptive [`TraceCachePolicy`] budgets against are
+/// the bytes the cache will actually report once the trace exists.
+fn trace_footprint_bytes(label_len: usize, sample_count: usize) -> usize {
+    std::mem::size_of::<PowerTrace>() + label_len + sample_count * std::mem::size_of::<f64>()
+}
+
+/// The generator state at the end of a materialized trace, stored per
+/// scenario *name*: a day-append re-keys the trace under the grown
+/// scenario's JSON by generating only the appended days from here.
+#[derive(Clone, Debug)]
+struct TraceTail {
+    /// The scenario's full JSON form at the stored horizon (also the
+    /// key its trace sits under in [`FleetCache::traces`]).
+    scenario_json: String,
+    /// The stored horizon in days.
+    days: usize,
+    /// Generator state positioned at `days`.
+    tail: SynthCheckpoint,
+}
+
+/// End-of-horizon machine state of one scenario's full job cross — the
+/// O(appended days) resume point for a day-append delta. Captured by
+/// the engine at the end of an eligible work-unit pass (full predictor
+/// × manager cross, no trace-gap fault, every solo predictor
+/// snapshot-able) and stored in the [`FleetCache`] keyed by scenario
+/// name.
+struct UnitCheckpoint {
+    /// The scenario's full JSON form at capture time; resume requires
+    /// the appended scenario to render identically once its `days` is
+    /// rewound to [`UnitCheckpoint::days`].
+    scenario_json: String,
+    /// The captured horizon in days.
+    days: usize,
+    /// Predictor axis labels at capture (matrix order) — the machine
+    /// set below is only meaningful against an identical axis.
+    predictor_labels: Vec<String>,
+    /// Manager axis labels at capture (matrix order).
+    manager_labels: Vec<String>,
+    /// Whether the stored sinks are streaming accumulators (`true`) or
+    /// materialized prediction logs (`false`). A resumed pass streams
+    /// either way: logs re-fold against the extended peak at restore
+    /// (bit-identical by the sink contract), so only accumulator
+    /// checkpoints are invalidated when appended days raise the peak.
+    streaming_eval: bool,
+    /// The ROI reference peak the record filter judged against — the
+    /// prepass peak for streaming passes, the log's own for log passes.
+    roi_peak: f64,
+    /// The final slot's dimmed reference mean, not yet folded into the
+    /// peak (mirrors `PredictionLog::peak_actual_mean` excluding the
+    /// final slot).
+    roi_pending_mean: Option<f64>,
+    /// Whether the final captured slot opened a prediction record.
+    prior_included: bool,
+    /// The fault injector after the captured pass — its sequential
+    /// dropout RNG continues exactly where a cold run over the longer
+    /// horizon would be at this day boundary.
+    injector: FaultInjector,
+    /// Generator state for streamed units (`None` when materialized —
+    /// the trace itself extends through [`TraceTail`]).
+    synth: Option<SynthCheckpoint>,
+    /// The shared float-WCMA candidate bank, if the axis has any.
+    bank: Option<solar_predict::CandidateBank>,
+    /// Solo predictor snapshots, in kernel order.
+    solo: Vec<Box<dyn Predictor + Send + Sync>>,
+    /// Per-kernel record sinks, in kernel order.
+    feeds: Vec<FeedCheckpoint>,
+    /// Per-job simulation state, in unit job order.
+    sims: Vec<SimDayCheckpoint>,
+}
+
+/// One feed's captured state inside a [`UnitCheckpoint`].
+struct FeedCheckpoint {
+    /// The record sink as the captured pass fed it.
+    sink: MetricsSink,
+    /// For log sinks: the log already folded through the protocol at
+    /// [`UnitCheckpoint::roi_peak`] — the capture computes this fold
+    /// for the summary anyway, and storing it lets a resume whose
+    /// extended peak matches skip re-walking the prefix records
+    /// entirely (the common case; peaks are set by the climatology).
+    folded: Option<StreamingEval>,
+    /// The feed's still-open record straddling the day boundary.
+    pending: Option<(u32, u32, f64, f64)>,
+}
+
+impl std::fmt::Debug for UnitCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UnitCheckpoint")
+            .field("days", &self.days)
+            .field("predictors", &self.predictor_labels.len())
+            .field("managers", &self.manager_labels.len())
+            .field("streaming_eval", &self.streaming_eval)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What [`FleetCache::prune_to`] evicted, so an incremental loop can
+/// fold the dropped jobs' cost into its own running aggregate before
+/// the entries disappear from [`FleetCache::cost`].
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PruneStats {
+    /// Job outcomes evicted.
+    pub evicted_outcomes: usize,
+    /// Materialized traces evicted.
+    pub evicted_traces: usize,
+    /// Bytes of trace footprint released.
+    pub evicted_trace_bytes: usize,
+    /// Aggregate cost of the evicted job outcomes.
+    pub evicted_cost: pred_metrics::CostAggregate,
+}
+
+/// Memo of traces, job outcomes, and day-boundary resume state across
+/// runs of one engine — the incremental re-scoring state. Create with
+/// [`FleetEngine::new_cache`]; feed to [`FleetEngine::run_cached`]. The
+/// cache is bound to the engine's master seed and protocol and refuses
+/// to serve any other. It never evicts on its own — call
+/// [`FleetCache::prune_to`] from loops that retire scenarios.
 #[derive(Clone, Debug, Default)]
 pub struct FleetCache {
     master_seed: u64,
@@ -421,6 +542,12 @@ pub struct FleetCache {
     /// Outcomes keyed by (scenario JSON, predictor label, manager
     /// label); labels are injective over specs by contract.
     outcomes: HashMap<(String, String, String), JobOutcome>,
+    /// Generator tails per scenario name: day-appends extend the
+    /// materialized trace in O(appended days).
+    trace_tails: HashMap<String, TraceTail>,
+    /// Work-unit resume state per scenario name: day-appends continue
+    /// every machine from the stored day boundary.
+    checkpoints: HashMap<String, Arc<UnitCheckpoint>>,
 }
 
 impl FleetCache {
@@ -439,19 +566,75 @@ impl FleetCache {
         self.traces.len()
     }
 
-    /// Bytes of trace data the cache currently holds.
+    /// Bytes the cached traces occupy, per the same footprint
+    /// accounting the admission policy budgets with (struct, label,
+    /// and sample storage — not samples alone).
     pub fn trace_bytes(&self) -> usize {
         self.traces
             .values()
-            .map(|t| std::mem::size_of_val(t.samples()))
+            .map(|t| trace_footprint_bytes(t.label().len(), t.samples().len()))
             .sum()
     }
 
-    /// Aggregate cost of every distinct job this cache has evaluated —
-    /// the true cost of an incremental loop, with re-served jobs
-    /// counted once (order-independent, so stable despite the map).
+    /// Aggregate cost of every distinct job outcome the cache
+    /// **currently holds** — one entry per (scenario, predictor,
+    /// manager) triple, order-independent despite the map. Entries
+    /// evicted by [`FleetCache::prune_to`] leave this aggregate; the
+    /// eviction returns their cost in [`PruneStats::evicted_cost`] so
+    /// a loop tracking lifetime totals can accumulate it separately.
     pub fn cost(&self) -> pred_metrics::CostAggregate {
         pred_metrics::CostAggregate::of(self.outcomes.values().map(|o| o.cost))
+    }
+
+    /// Evicts every trace, outcome, generator tail, and resume
+    /// checkpoint belonging to scenarios **not** in `matrix` (after
+    /// fleet-fault projection under the cache's bound seed, so the
+    /// keys compared are the ones runs actually store). Call this from
+    /// loops whose scenario set shrinks or rolls forward — the cache
+    /// never evicts on its own, so a tuner sweeping hundreds of
+    /// regimes would otherwise hold every retired trace to the end.
+    ///
+    /// Returns what was dropped; fold [`PruneStats::evicted_cost`]
+    /// into your own aggregate if you report lifetime totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a fleet fault fails to project or a
+    /// scenario's site config is invalid.
+    pub fn prune_to(&mut self, matrix: &FleetMatrix) -> Result<PruneStats, String> {
+        let effective = project_fleet_faults_seeded(matrix, self.master_seed)?;
+        let keep_jsons: HashSet<String> = effective
+            .scenarios
+            .iter()
+            .map(|s| s.to_json().render())
+            .collect();
+        let keep_names: HashSet<&str> = effective
+            .scenarios
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        let evicted_cost = pred_metrics::CostAggregate::of(
+            self.outcomes
+                .iter()
+                .filter(|((scenario_json, _, _), _)| !keep_jsons.contains(scenario_json))
+                .map(|(_, o)| o.cost),
+        );
+        let before_outcomes = self.outcomes.len();
+        let before_traces = self.traces.len();
+        let before_bytes = self.trace_bytes();
+        self.outcomes
+            .retain(|(scenario_json, _, _), _| keep_jsons.contains(scenario_json));
+        self.traces.retain(|key, _| keep_jsons.contains(key));
+        self.trace_tails
+            .retain(|name, _| keep_names.contains(name.as_str()));
+        self.checkpoints
+            .retain(|name, _| keep_names.contains(name.as_str()));
+        Ok(PruneStats {
+            evicted_outcomes: before_outcomes - self.outcomes.len(),
+            evicted_traces: before_traces - self.traces.len(),
+            evicted_trace_bytes: before_bytes - self.trace_bytes(),
+            evicted_cost,
+        })
     }
 }
 
@@ -465,7 +648,9 @@ const STREAMED_LOG_CAP_BYTES: usize = 1 << 20;
 /// The streamed metrics pass's record sink: a materialized log under
 /// [`STREAMED_LOG_CAP_BYTES`], streaming protocol accumulators above
 /// it. Both evaluate through the same accumulator code, so the variants
-/// are bit-identical in output.
+/// are bit-identical in output. Cloneable so a day-boundary
+/// checkpoint can carry the sink's accumulated state.
+#[derive(Clone)]
 enum MetricsSink {
     Log(pred_metrics::PredictionLog),
     Streaming(StreamingEval),
@@ -487,13 +672,27 @@ struct WorkUnit {
     scenario_idx: usize,
     /// Fresh job indices, in matrix job order.
     job_indices: Vec<usize>,
+    /// A validated day-append resume point: the pass walks only the
+    /// appended days, continuing every machine from this state.
+    resume: Option<Arc<UnitCheckpoint>>,
+    /// Generator state standing in for [`UnitCheckpoint::synth`] when
+    /// the checkpointed pass was materialized (no stream of its own)
+    /// but the admission policy now streams the scenario — the stored
+    /// [`TraceTail`] is the same day boundary, so the appended slots
+    /// still have a source.
+    resume_synth: Option<SynthCheckpoint>,
 }
 
-/// What evaluating one work unit yields: `(job index, outcome)` pairs
-/// plus the synthesis passes the unit spent (units only ever spend
-/// streamed passes and ROI pre-passes; trace generations happen in
-/// phase 1).
-type UnitOutcomes = (Vec<(usize, JobOutcome)>, PassBreakdown);
+/// What evaluating one work unit yields: `(job index, outcome)` pairs,
+/// the synthesis passes the unit spent (units only ever spend streamed
+/// passes and ROI pre-passes; trace generations happen in phase 1),
+/// and — when the pass was checkpoint-eligible — the end-of-horizon
+/// machine state for the next day-append.
+type UnitOutcomes = (
+    Vec<(usize, JobOutcome)>,
+    PassBreakdown,
+    Option<UnitCheckpoint>,
+);
 
 /// The parallel fleet evaluator.
 #[derive(Clone, Debug)]
@@ -583,6 +782,8 @@ impl FleetEngine {
             protocol: Some(self.protocol),
             traces: HashMap::new(),
             outcomes: HashMap::new(),
+            trace_tails: HashMap::new(),
+            checkpoints: HashMap::new(),
         }
     }
 
@@ -627,10 +828,7 @@ impl FleetEngine {
                     Scorecard::build(&evaluated.effective, &evaluated.outcomes, self.master_seed)
                 }
                 Some(count) => {
-                    // Routed sharding degrades gracefully on small
-                    // matrices (a tuner's per-regime pass may hold one
-                    // scenario): clamp instead of erroring.
-                    let count = count.clamp(1, evaluated.effective.scenarios.len());
+                    let count = self.clamp_shard_count(count, evaluated.effective.scenarios.len());
                     let _span = self.collector.span("fleet/score");
                     let (manifest, shards) = Self::shard_outcomes(
                         &evaluated.effective,
@@ -664,10 +862,15 @@ impl FleetEngine {
     /// are assigned round-robin (`scenario_idx % shard_count`), so
     /// multi-year entries spread across shards.
     ///
+    /// A shard count outside `1..=scenario_count` is **clamped** into
+    /// range — the same graceful degradation the routed
+    /// [`FleetEngine::with_shards`] path has always had, so the two
+    /// entry points can no longer diverge. A clamp is recorded in the
+    /// run ledger under the `shards/clamped` label.
+    ///
     /// # Errors
     ///
-    /// Rejects a shard count of zero or above the scenario count, and
-    /// propagates evaluation errors.
+    /// Propagates evaluation errors.
     pub fn run_sharded(
         &self,
         matrix: &FleetMatrix,
@@ -692,6 +895,8 @@ impl FleetEngine {
         self.install(|| {
             let _run_span = self.collector.span("fleet");
             let evaluated = self.evaluate_matrix(matrix, cache)?;
+            let shard_count =
+                self.clamp_shard_count(shard_count, evaluated.effective.scenarios.len());
             let _span = self.collector.span("fleet/score");
             let (manifest, shards) = Self::shard_outcomes(
                 &evaluated.effective,
@@ -714,9 +919,81 @@ impl FleetEngine {
         })
     }
 
+    /// Re-scores an evolved matrix through the cheap path its
+    /// [`FleetDelta`] classification routes to, against the warm cache
+    /// of the previous run.
+    ///
+    /// The delta is advisory routing metadata — correctness never
+    /// depends on it. Every path funnels into [`FleetEngine::run_cached`],
+    /// whose per-scenario resume/reuse machinery independently verifies
+    /// (by rendered scenario JSON) that each cached artifact still
+    /// matches the incoming matrix, so a stale or wrong classification
+    /// degrades to colder work, never to a wrong scorecard:
+    ///
+    /// * [`FleetDelta::DayAppend`] — appended days resume from the unit
+    ///   checkpoints and extended traces (O(delta) work),
+    /// * [`FleetDelta::ScenarioEdit`] — only the touched scenarios
+    ///   re-evaluate; everything else replays from the outcome cache,
+    /// * [`FleetDelta::PredictorRetire`] — no simulation at all: the
+    ///   surviving outcomes re-rank from cache,
+    /// * [`FleetDelta::Unchanged`] — a pure cache replay.
+    ///
+    /// Per-unit `delta/*` ledger counters record the classification
+    /// (`delta/day_appends`, `delta/scenario_edits`,
+    /// `delta/predictor_retirements`), one increment per delta unit.
+    ///
+    /// # Errors
+    ///
+    /// As [`FleetEngine::run_cached`].
+    pub fn run_delta(
+        &self,
+        matrix: &FleetMatrix,
+        cache: &mut FleetCache,
+        delta: &FleetDelta,
+    ) -> Result<FleetResult, String> {
+        if self.collector.is_enabled() {
+            match delta {
+                FleetDelta::DayAppend { scenarios } => {
+                    for name in scenarios {
+                        self.collector.count_scenario(name, "delta/day_appends", 1);
+                    }
+                }
+                FleetDelta::ScenarioEdit { scenarios } => {
+                    for name in scenarios {
+                        self.collector
+                            .count_scenario(name, "delta/scenario_edits", 1);
+                    }
+                }
+                FleetDelta::PredictorRetire { predictors } => {
+                    self.collector
+                        .count("delta/predictor_retirements", predictors.len() as u64);
+                }
+                FleetDelta::Unchanged => {}
+            }
+        }
+        self.run_cached(matrix, cache)
+    }
+
+    /// Clamps a requested shard count into `1..=scenario_count` — the
+    /// documented degradation shared by **every** sharded entry point
+    /// (routed [`FleetEngine::with_shards`] and the explicit
+    /// [`FleetEngine::run_sharded`] family), recording a
+    /// `shards/clamped` ledger label when it bites.
+    fn clamp_shard_count(&self, requested: usize, scenario_count: usize) -> usize {
+        let clamped = requested.clamp(1, scenario_count.max(1));
+        if clamped != requested && self.collector.is_enabled() {
+            self.collector
+                .label("shards/clamped", &format!("{requested}->{clamped}"));
+        }
+        clamped
+    }
+
     fn check_cache(&self, cache: &mut FleetCache) -> Result<(), String> {
-        let unbound =
-            cache.protocol.is_none() && cache.outcomes.is_empty() && cache.traces.is_empty();
+        let unbound = cache.protocol.is_none()
+            && cache.outcomes.is_empty()
+            && cache.traces.is_empty()
+            && cache.trace_tails.is_empty()
+            && cache.checkpoints.is_empty();
         if !unbound
             && (cache.master_seed != self.master_seed || cache.protocol != Some(self.protocol))
         {
@@ -744,16 +1021,7 @@ impl FleetEngine {
     /// projected faults live in the scenario (and hence its JSON/cache
     /// key), so caching and determinism need no special cases.
     fn project_fleet_faults(&self, matrix: &FleetMatrix) -> Result<FleetMatrix, String> {
-        let mut effective = matrix.clone();
-        for (index, fault) in matrix.fleet_faults.iter().enumerate() {
-            let salted = format!("fleet-fault/{index}");
-            let event_seed = solar_trace::hash::fnv1a(&salted) ^ self.master_seed.rotate_left(23);
-            for scenario in &mut effective.scenarios {
-                scenario.faults.extend(fault.project(event_seed, scenario)?);
-            }
-        }
-        effective.fleet_faults.clear();
-        Ok(effective)
+        project_fleet_faults_seeded(matrix, self.master_seed)
     }
 
     /// The full evaluation pass: fleet-fault projection, cache-policy
@@ -788,6 +1056,32 @@ impl FleetEngine {
             .collect();
         let predictor_labels: Vec<String> = matrix.predictors.iter().map(|p| p.label()).collect();
         let manager_labels: Vec<String> = matrix.managers.iter().map(|m| m.label()).collect();
+
+        // Day-append resume candidates: a scenario may continue from
+        // its stored checkpoint iff it is byte-identical to the
+        // checkpointed scenario except for a strictly larger `days`,
+        // the predictor/manager axes match, and no trace-gap fault
+        // would re-realize its placement under the longer horizon.
+        let resume_candidates: Vec<Option<Arc<UnitCheckpoint>>> = matrix
+            .scenarios
+            .iter()
+            .map(|scenario| {
+                let ck = cache.checkpoints.get(&scenario.name)?;
+                if scenario.days <= ck.days
+                    || scenario
+                        .faults
+                        .iter()
+                        .any(|f| matches!(f, FaultSpec::TraceGap { .. }))
+                    || ck.predictor_labels != predictor_labels
+                    || ck.manager_labels != manager_labels
+                {
+                    return None;
+                }
+                let mut at_checkpoint = scenario.clone();
+                at_checkpoint.days = ck.days;
+                (at_checkpoint.to_json().render() == ck.scenario_json).then(|| Arc::clone(ck))
+            })
+            .collect();
 
         // Cache-policy admission, greedily in scenario order — a pure
         // function of the matrix and the budget resolved once here, so
@@ -832,25 +1126,105 @@ impl FleetEngine {
         drop(admission_span);
 
         // Phase 1: traces for admitted scenarios the cache has not
-        // seen, in parallel, shared read-only by every job of that
+        // seen. A missing trace whose scenario only grew in days is
+        // *extended* from its stored generator tail — O(appended
+        // days), bit-identical to a cold generation by the synth
+        // crate's resume contract — and re-keyed under the grown
+        // scenario's JSON; everything else generates cold from day
+        // zero, in parallel, shared read-only by every job of that
         // scenario.
         let synthesis_span = self.collector.span("fleet/synthesis");
         let missing: Vec<usize> = (0..matrix.scenarios.len())
             .filter(|&idx| admitted[idx] && !cache.traces.contains_key(&scenario_keys[idx]))
             .collect();
-        let generated: Vec<Result<(PowerTrace, SynthCounters), String>> = missing
-            .par_iter()
-            .map(|&idx| self.generate_trace(&matrix.scenarios[idx]))
-            .collect();
+        let mut cold: Vec<usize> = Vec::new();
+        let mut extensions: Vec<(usize, TraceTail)> = Vec::new();
         let mut synthesis_cost = SynthCounters::default();
-        for (&idx, generated) in missing.iter().zip(generated) {
-            let (trace, counters) = generated?;
+        for &idx in &missing {
+            let scenario = &matrix.scenarios[idx];
+            let extendable = cache.trace_tails.get(&scenario.name).and_then(|tail| {
+                if scenario.days <= tail.days || !cache.traces.contains_key(&tail.scenario_json) {
+                    return None;
+                }
+                let mut at_tail = scenario.clone();
+                at_tail.days = tail.days;
+                (at_tail.to_json().render() == tail.scenario_json).then(|| tail.clone())
+            });
+            match extendable {
+                Some(old) => extensions.push((idx, old)),
+                None => cold.push(idx),
+            }
+        }
+        // Tail synthesis is independent per scenario — run it with the
+        // same parallelism as cold generation; only the cache updates
+        // stay sequential.
+        type AppendedTail = (Vec<f64>, SynthCounters, SynthCheckpoint);
+        let appended_tails: Vec<Result<AppendedTail, String>> = extensions
+            .par_iter()
+            .map(|(idx, old)| {
+                let scenario = &matrix.scenarios[*idx];
+                TraceGenerator::new(scenario.site_config()?, self.scenario_seed(scenario))
+                    .resume_days_counted(old.tail.clone(), scenario.days)
+                    .map_err(|e| e.to_string())
+            })
+            .collect();
+        let extended = extensions.len();
+        for ((idx, old), appended) in extensions.into_iter().zip(appended_tails) {
+            let (appended, counters, new_tail) = appended?;
+            synthesis_cost.add(counters);
+            let scenario = &matrix.scenarios[idx];
+            // The prefix trace is being re-keyed under the grown
+            // scenario anyway — take it out of the map and extend its
+            // sample storage in place rather than copying O(horizon)
+            // samples per appended day.
+            let prefix = cache
+                .traces
+                .remove(&old.scenario_json)
+                .expect("extendability checked the prefix is cached");
+            let label = prefix.label().to_string();
+            let resolution = prefix.resolution();
+            let mut samples = prefix.into_samples();
+            samples.extend_from_slice(&appended);
+            let trace = PowerTrace::new(label, resolution, samples).map_err(|e| e.to_string())?;
+            cache.traces.insert(scenario_keys[idx].clone(), trace);
+            cache.trace_tails.insert(
+                scenario.name.clone(),
+                TraceTail {
+                    scenario_json: scenario_keys[idx].clone(),
+                    days: scenario.days,
+                    tail: new_tail,
+                },
+            );
+        }
+        let generated: Vec<Result<(PowerTrace, SynthCounters, SynthCheckpoint), String>> = cold
+            .par_iter()
+            .map(|&idx| {
+                let scenario = &matrix.scenarios[idx];
+                TraceGenerator::new(scenario.site_config()?, self.scenario_seed(scenario))
+                    .generate_days_checkpointed(scenario.days)
+                    .map_err(|e| e.to_string())
+            })
+            .collect();
+        for (&idx, generated) in cold.iter().zip(generated) {
+            let (trace, counters, tail) = generated?;
             synthesis_cost.add(counters);
             cache.traces.insert(scenario_keys[idx].clone(), trace);
+            cache.trace_tails.insert(
+                matrix.scenarios[idx].name.clone(),
+                TraceTail {
+                    scenario_json: scenario_keys[idx].clone(),
+                    days: matrix.scenarios[idx].days,
+                    tail,
+                },
+            );
         }
         if self.collector.is_enabled() {
             self.collector
-                .count("synth/trace_generations", missing.len() as u64);
+                .count("synth/trace_generations", cold.len() as u64);
+            if extended > 0 {
+                self.collector
+                    .count("delta/trace_extensions", extended as u64);
+            }
             // Keystream/draw totals for the whole materialization
             // phase: one ledger update, never per slot or per trace.
             self.collector
@@ -900,9 +1274,52 @@ impl FleetEngine {
                 if !scenario_admitted {
                     streamed_jobs += job_indices.len();
                 }
+                // Attach the resume point only when the unit can
+                // actually honour it: the checkpointed machines cover
+                // the full job cross and the appended slots have a
+                // source — the extended trace when materialized, a
+                // generator state when streamed (the checkpoint's own,
+                // or the stored trace tail when the admission policy
+                // flipped the scenario from materialized to streamed
+                // between runs). The resumed pass keeps the
+                // checkpoint's record sink regardless of what a cold
+                // pass at the new horizon would pick — the two sinks
+                // are bit-identical by contract, so an admission or
+                // log-cap flip never forces a cold pass by itself.
+                // Anything else falls back to a cold pass.
+                let scenario = &matrix.scenarios[scenario_idx];
+                let resume = resume_candidates[scenario_idx].as_ref().and_then(|ck| {
+                    let full_cross =
+                        job_indices.len() == matrix.predictors.len() * matrix.managers.len();
+                    let synth_override = (!scenario_admitted && ck.synth.is_none())
+                        .then(|| {
+                            cache.trace_tails.get(&scenario.name).and_then(|tail| {
+                                (tail.days == ck.days && tail.scenario_json == ck.scenario_json)
+                                    .then(|| tail.tail.clone())
+                            })
+                        })
+                        .flatten();
+                    let source_ok = if scenario_admitted {
+                        cache.traces.contains_key(&scenario_keys[scenario_idx])
+                    } else {
+                        ck.synth.is_some() || synth_override.is_some()
+                    };
+                    let ok = full_cross && source_ok;
+                    if !ok && self.collector.is_enabled() {
+                        self.collector
+                            .count_scenario(&scenario.name, "delta/cold_fallbacks", 1);
+                    }
+                    ok.then(|| (Arc::clone(ck), synth_override))
+                });
+                let (resume, resume_synth) = match resume {
+                    Some((ck, synth_override)) => (Some(ck), synth_override),
+                    None => (None, None),
+                };
                 units.push(WorkUnit {
                     scenario_idx,
                     job_indices,
+                    resume,
+                    resume_synth,
                 });
             }
         }
@@ -918,16 +1335,26 @@ impl FleetEngine {
                     &unit.job_indices,
                     &jobs,
                     trace,
+                    unit.resume.as_deref(),
+                    unit.resume_synth.as_ref(),
+                    None,
                 )
             })
             .collect();
         let mut passes = PassBreakdown {
-            trace_generations: missing.len(),
+            trace_generations: cold.len(),
+            trace_extensions: extended,
             ..PassBreakdown::default()
         };
-        for unit_outcomes in evaluated {
-            let (unit_outcomes, unit_passes) = unit_outcomes?;
+        for (unit, unit_outcomes) in units.iter().zip(evaluated) {
+            let (unit_outcomes, unit_passes, checkpoint) = unit_outcomes?;
             passes.add(unit_passes);
+            if let Some(checkpoint) = checkpoint {
+                cache.checkpoints.insert(
+                    matrix.scenarios[unit.scenario_idx].name.clone(),
+                    Arc::new(checkpoint),
+                );
+            }
             for (idx, outcome) in unit_outcomes {
                 cache.outcomes.insert(job_keys[idx].clone(), outcome);
             }
@@ -1019,15 +1446,23 @@ impl FleetEngine {
         solar_trace::hash::fnv1a(&salted) ^ self.master_seed.rotate_left(17)
     }
 
-    /// Bytes a scenario's materialized trace would occupy.
+    /// Bytes a scenario's materialized trace would occupy — the same
+    /// footprint [`FleetCache::trace_bytes`] reports once the trace
+    /// exists (the generated trace is labelled with the site config's
+    /// name, known before generation).
     fn trace_bytes(scenario: &Scenario) -> Result<u64, String> {
         let config = scenario.site_config()?;
-        Ok((scenario.days * config.resolution.samples_per_day()) as u64
-            * std::mem::size_of::<f64>() as u64)
+        Ok(trace_footprint_bytes(
+            config.name.len(),
+            scenario.days * config.resolution.samples_per_day(),
+        ) as u64)
     }
 
     /// Generates a scenario's trace along with its synthesis-cost
-    /// counters (keystream blocks, normal draws) for the run ledger.
+    /// counters (keystream blocks, normal draws). The engine proper now
+    /// synthesizes through the checkpointing path in `evaluate_matrix`;
+    /// this one-shot variant remains as the test oracle for it.
+    #[cfg(test)]
     fn generate_trace(&self, scenario: &Scenario) -> Result<(PowerTrace, SynthCounters), String> {
         let config = scenario.site_config()?;
         TraceGenerator::new(config, self.scenario_seed(scenario))
@@ -1060,8 +1495,25 @@ impl FleetEngine {
     /// pass when streamed. The two sinks are bit-identical, so the
     /// choice is invisible in the output.
     ///
-    /// Returns the job outcomes plus how many synthesis passes the unit
-    /// spent (0 for materialized units, 1 per generator pass else).
+    /// Returns the job outcomes, how many synthesis passes the unit
+    /// spent (0 for materialized units, 1 per generator pass else), and
+    /// — when the unit covers the full job cross and nothing blocks
+    /// checkpointing — a [`UnitCheckpoint`] of every state machine at
+    /// the final day boundary, ready for an O(delta) continuation.
+    ///
+    /// With `resume`, every machine is restored from the checkpoint and
+    /// only the appended days `checkpoint.days..scenario.days` are
+    /// walked; the output is bit-identical to a cold full-horizon pass
+    /// (pinned by engine tests). A resumed pass keeps the checkpoint's
+    /// record sink even when the new horizon would pick the other one —
+    /// the sinks are bit-identical, so admission flips stay resumable.
+    /// `resume_synth` supplies the generator state when the checkpoint
+    /// itself has none (a materialized pass whose scenario now
+    /// streams). If the extended ROI peak disagrees with the
+    /// checkpointed one, the unit transparently falls back to a cold
+    /// pass (`delta/peak_fallbacks`), reusing the already-extended peak
+    /// via `known_roi` so the fallback never re-synthesizes a prepass.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_scenario_unit(
         &self,
         matrix: &FleetMatrix,
@@ -1069,6 +1521,9 @@ impl FleetEngine {
         job_indices: &[usize],
         jobs: &[JobSpec],
         trace: Option<&PowerTrace>,
+        resume: Option<&UnitCheckpoint>,
+        resume_synth: Option<&SynthCheckpoint>,
+        known_roi: Option<(f64, Option<f64>)>,
     ) -> Result<UnitOutcomes, String> {
         let started = Instant::now();
         let scenario = &matrix.scenarios[scenario_idx];
@@ -1087,6 +1542,9 @@ impl FleetEngine {
         // streams (ROI prepass + evaluation pass); merged into the
         // ledger once at the end of the unit, never per slot.
         let mut synth_cost = SynthCounters::default();
+        // First day this pass actually walks: 0 cold, the checkpointed
+        // horizon when resuming.
+        let start_day = resume.map_or(0, |r| r.days);
 
         let view = match trace {
             Some(trace) => Some(SlotView::new(trace, slots).map_err(|e| e.to_string())?),
@@ -1105,27 +1563,47 @@ impl FleetEngine {
         // (their ROI pre-pass is a cheap view walk, and skipping the
         // log halves record handling); streamed units only pay the
         // extra generator pre-pass once the log would exceed the cap.
+        // A resumed pass always feeds streaming accumulators: a
+        // checkpointed log is re-folded into one at restore (see the
+        // feed restore below), and the sinks are bit-identical, so the
+        // choice a cold pass at the new horizon would make is moot.
         let log_bytes = scenario.days * n * std::mem::size_of::<pred_metrics::PredictionRecord>();
-        let streaming_eval = view.is_some() || log_bytes > STREAMED_LOG_CAP_BYTES;
+        let streaming_eval =
+            resume.is_some() || view.is_some() || log_bytes > STREAMED_LOG_CAP_BYTES;
 
         // ROI pre-pass (streaming sinks only): the peak of the (dimmed)
         // reference means over every slot that becomes a record — all
         // but the final one, mirroring `PredictionLog::peak_actual_mean`
         // exactly. The probe injector is only consulted for its
         // deterministic sky factor (no per-slot RNG draws happen here).
+        // A resumed pass restores the checkpointed running peak and the
+        // pending (not-yet-absorbed) final mean and walks only the
+        // appended days — sequential-max makes that equal to the cold
+        // full walk.
         let mut roi_peak = 0.0_f64;
-        if streaming_eval {
+        let mut roi_pending_mean: Option<f64> = None;
+        if let Some(r) = resume {
+            roi_peak = r.roi_peak;
+            roi_pending_mean = r.roi_pending_mean;
+        }
+        if let (true, Some((peak, pending))) = (streaming_eval, known_roi) {
+            // A peak fallback already walked the full horizon and knows
+            // the extended peak (bit-equal to what this prepass would
+            // compute); reuse it rather than synthesizing a second
+            // prepass just to rediscover it.
+            roi_peak = peak;
+            roi_pending_mean = pending;
+        } else if streaming_eval {
             let sky_probe = FaultInjector::new(&scenario.faults, fault_seed, scenario.days, n);
-            let mut pending_mean: Option<f64> = None;
             let mut absorb = |day: usize, mean_power: f64| {
-                if let Some(mean) = pending_mean.take() {
+                if let Some(mean) = roi_pending_mean.take() {
                     roi_peak = roi_peak.max(mean);
                 }
-                pending_mean = Some(mean_power * sky_probe.sky_factor(day));
+                roi_pending_mean = Some(mean_power * sky_probe.sky_factor(day));
             };
             match (&view, &generator) {
                 (Some(view), _) => {
-                    for day in 0..view.days() {
+                    for day in start_day..view.days() {
                         for slot in 0..n {
                             absorb(day, view.mean_power(day, slot));
                         }
@@ -1133,15 +1611,54 @@ impl FleetEngine {
                 }
                 (None, Some(generator)) => {
                     passes.roi_prepasses += 1;
-                    let mut stream = generator
-                        .slot_stream(scenario.days, slots)
-                        .map_err(|e| e.to_string())?;
+                    let mut stream = match resume {
+                        None => generator
+                            .slot_stream(scenario.days, slots)
+                            .map_err(|e| e.to_string())?,
+                        Some(r) => generator
+                            .slot_stream_from(
+                                r.synth
+                                    .clone()
+                                    .or_else(|| resume_synth.cloned())
+                                    .expect("streamed resume carries a synth source"),
+                                scenario.days,
+                                slots,
+                            )
+                            .map_err(|e| e.to_string())?,
+                    };
                     for slot in stream.by_ref() {
                         absorb(slot.day, slot.mean_power);
                     }
                     synth_cost.add(stream.counters());
                 }
                 (None, None) => unreachable!("unit has a view or a generator"),
+            }
+        }
+
+        // The streaming protocol's inclusion filter consulted `roi_peak`
+        // for every prefix slot. If the appended days raised the peak,
+        // checkpointed streaming *accumulators* were filtered against a
+        // different peak than a cold run would use — the continuation
+        // would not be byte-identical, so fall back to a cold pass
+        // (rare: peaks are typically set by the climatology, not the
+        // tail). A checkpointed *log* is immune: its records re-fold
+        // against the extended peak at restore, whatever it is.
+        if let Some(r) = resume {
+            if r.streaming_eval && roi_peak.to_bits() != r.roi_peak.to_bits() {
+                if self.collector.is_enabled() {
+                    self.collector
+                        .count_scenario(&scenario.name, "delta/peak_fallbacks", 1);
+                }
+                return self.evaluate_scenario_unit(
+                    matrix,
+                    scenario_idx,
+                    job_indices,
+                    jobs,
+                    trace,
+                    None,
+                    None,
+                    Some((roi_peak, roi_pending_mean)),
+                );
             }
         }
 
@@ -1203,6 +1720,21 @@ impl FleetEngine {
         } else {
             Some(solar_predict::CandidateBank::new(bank_params).map_err(|e| e.to_string())?)
         };
+        if let Some(r) = resume {
+            // Restore every predictor machine from its day-boundary
+            // snapshot — the fresh instances above only fixed the
+            // kernel layout (resume eligibility guarantees the axes
+            // match, so the layout is identical to the checkpointed
+            // run's).
+            bank = r.bank.clone();
+            solo = r
+                .solo
+                .iter()
+                .map(|p| -> Box<dyn Predictor> {
+                    p.snapshot().expect("checkpointed predictors snapshot")
+                })
+                .collect();
+        }
 
         let new_sink = |streaming_eval: bool| {
             if streaming_eval {
@@ -1220,14 +1752,55 @@ impl FleetEngine {
         // and the slot sequence), so the unit realizes it exactly once
         // per slot — one injector shared by all jobs and both pass
         // halves — instead of two injector instances per job.
-        let mut injector = FaultInjector::new(&scenario.faults, fault_seed, scenario.days, n);
+        let mut injector = match resume {
+            // The injector's dropout RNG draws exactly once per slot, so
+            // the checkpointed clone continues the cold keystream
+            // verbatim (resume eligibility excluded trace-gap faults,
+            // the one spec whose realization depends on the total
+            // horizon at construction).
+            Some(r) => r.injector.clone(),
+            None => FaultInjector::new(&scenario.faults, fault_seed, scenario.days, n),
+        };
 
         // One record feed per distinct predictor, and one prediction
         // scratch slot the simulation machines read from.
-        let mut feeds: Vec<solar_predict::PredictionFeed<MetricsSink>> = kernels
-            .iter()
-            .map(|_| solar_predict::PredictionFeed::new(new_sink(streaming_eval)))
-            .collect();
+        let mut feeds: Vec<solar_predict::PredictionFeed<MetricsSink>> = match resume {
+            Some(r) => r
+                .feeds
+                .iter()
+                .map(|fc| {
+                    let sink = match (&fc.sink, &fc.folded) {
+                        (MetricsSink::Streaming(eval), _) => MetricsSink::Streaming(eval.clone()),
+                        // Peak unchanged: the capture-time fold of the
+                        // prefix log is exactly the accumulator state a
+                        // cold pass would reach at the boundary — reuse
+                        // it and the resume never touches the prefix.
+                        (MetricsSink::Log(_), Some(folded))
+                            if roi_peak.to_bits() == r.roi_peak.to_bits() =>
+                        {
+                            MetricsSink::Streaming(folded.clone())
+                        }
+                        // Peak raised by the appended days: re-fold the
+                        // checkpointed prefix log against the extended
+                        // peak — the same fold a cold pass pays at
+                        // evaluate time, so the prefix re-filters
+                        // instead of forcing a cold pass.
+                        (MetricsSink::Log(log), _) => {
+                            let mut eval = StreamingEval::new(self.protocol, roi_peak);
+                            for record in log {
+                                eval.push_record(*record);
+                            }
+                            MetricsSink::Streaming(eval)
+                        }
+                    };
+                    solar_predict::PredictionFeed::resume(sink, fc.pending)
+                })
+                .collect(),
+            None => kernels
+                .iter()
+                .map(|_| solar_predict::PredictionFeed::new(new_sink(streaming_eval)))
+                .collect(),
+        };
         let mut predictions = vec![0.0_f64; kernels.len()];
 
         // One simulation machine per job — storage and duty state is
@@ -1255,6 +1828,15 @@ impl FleetEngine {
                 )
             })
             .collect();
+        if let Some(r) = resume {
+            // Managers are stateless (duty planning reads only the slot
+            // context), so rebuilding them above and restoring the
+            // storage/accounting state puts every simulation machine
+            // exactly where the checkpointed pass left it.
+            for (sim, saved) in sims.iter_mut().zip(&r.sims) {
+                sim.restore_day_checkpoint(saved);
+            }
+        }
 
         // The single slot pass. The corruption realization happens once
         // and serves both halves: the metrics half records predictions
@@ -1266,14 +1848,19 @@ impl FleetEngine {
         // faults and panel soiling leave the references untouched. The
         // simulation half absorbs the corrupted physical harvest and
         // plans each job's duty from its predictor's shared prediction.
+        // With streaming sinks the protocol's record filter is
+        // decidable per slot *before* any per-predictor work — it
+        // depends only on (day, reference mean, peak), all shared —
+        // so discarded slots skip record assembly for every
+        // predictor at once. A record opened at slot t completes at
+        // slot t+1, hence the carried `prior_included` (restored on
+        // resume so the record straddling the checkpoint boundary
+        // closes exactly as it would have cold).
+        let mut prior_included = resume.is_some_and(|r| r.prior_included);
+        // The evaluation stream's day-boundary generator state, captured
+        // after the pass for the next checkpoint (streamed units only).
+        let mut eval_synth: Option<SynthCheckpoint> = None;
         {
-            // With streaming sinks the protocol's record filter is
-            // decidable per slot *before* any per-predictor work — it
-            // depends only on (day, reference mean, peak), all shared —
-            // so discarded slots skip record assembly for every
-            // predictor at once. A record opened at slot t completes at
-            // slot t+1, hence the carried `prior_included`.
-            let mut prior_included = false;
             let mut feed_slot = |day: usize, slot: usize, start_sample: f64, mean_power: f64| {
                 let mut harvest_j = node_config.panel.power_w(mean_power) * slot_seconds;
                 let mut observed = start_sample;
@@ -1309,7 +1896,7 @@ impl FleetEngine {
             };
             match (&view, &generator) {
                 (Some(view), _) => {
-                    for day in 0..view.days() {
+                    for day in start_day..view.days() {
                         for slot in 0..n {
                             feed_slot(
                                 day,
@@ -1322,13 +1909,26 @@ impl FleetEngine {
                 }
                 (None, Some(generator)) => {
                     passes.streamed_passes += 1;
-                    let mut stream = generator
-                        .slot_stream(scenario.days, slots)
-                        .map_err(|e| e.to_string())?;
+                    let mut stream = match resume {
+                        None => generator
+                            .slot_stream(scenario.days, slots)
+                            .map_err(|e| e.to_string())?,
+                        Some(r) => generator
+                            .slot_stream_from(
+                                r.synth
+                                    .clone()
+                                    .or_else(|| resume_synth.cloned())
+                                    .expect("streamed resume carries a synth source"),
+                                scenario.days,
+                                slots,
+                            )
+                            .map_err(|e| e.to_string())?,
+                    };
                     for slot in stream.by_ref() {
                         feed_slot(slot.day, slot.slot, slot.start_sample, slot.mean_power);
                     }
                     synth_cost.add(stream.counters());
+                    eval_synth = stream.checkpoint();
                 }
                 (None, None) => unreachable!("unit has a view or a generator"),
             }
@@ -1346,17 +1946,113 @@ impl FleetEngine {
             }
         };
 
+        // Capture next run's resume point while the machines are still
+        // alive. Checkpointing requires: the unit covers the matrix's
+        // full job cross in canonical order (a partial unit's machines
+        // would desync from the cross a future run resumes), no
+        // trace-gap fault (its realization depends on the total horizon
+        // at construction), and — for streamed units — a generator
+        // state to continue from.
+        let full_cross = job_indices.len() == matrix.predictors.len() * matrix.managers.len()
+            && job_indices.iter().enumerate().all(|(k, &job_idx)| {
+                jobs[job_idx].predictor_idx == k / matrix.managers.len()
+                    && jobs[job_idx].manager_idx == k % matrix.managers.len()
+            });
+        let has_gap_fault = scenario
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultSpec::TraceGap { .. }));
+        let eligible = full_cross && !has_gap_fault && (view.is_some() || eval_synth.is_some());
+        let solo_snapshots: Option<Vec<_>> = if eligible {
+            solo.iter().map(|p| p.snapshot()).collect()
+        } else {
+            None
+        };
+        let sim_saves: Vec<SimDayCheckpoint> = if eligible && solo_snapshots.is_some() {
+            sims.iter().map(|s| s.day_checkpoint()).collect()
+        } else {
+            Vec::new()
+        };
+
         // One summary per distinct predictor; every job of a manager
         // pairing reuses its predictor's summary verbatim (the metrics
         // pass never depended on the manager — this just stops
-        // recomputing the identical value).
-        let summaries: Vec<ErrorSummary> = feeds
-            .into_iter()
-            .map(|feed| match feed.finish() {
-                MetricsSink::Log(log) => self.protocol.evaluate(&log),
-                MetricsSink::Streaming(eval) => eval.finish(),
+        // recomputing the identical value). The sinks are evaluated by
+        // reference so the checkpoint below can take them whole — a
+        // materialized prediction log is O(horizon) and cloning one per
+        // unit per run would dominate the delta path's wall time.
+        let pendings: Vec<Option<(u32, u32, f64, f64)>> =
+            feeds.iter().map(|f| f.pending()).collect();
+        let sinks: Vec<MetricsSink> = feeds.into_iter().map(|f| f.finish()).collect();
+        let mut folds: Vec<Option<StreamingEval>> = Vec::with_capacity(sinks.len());
+        let summaries: Vec<ErrorSummary> = sinks
+            .iter()
+            .map(|sink| match sink {
+                // The fold [`EvalProtocol::evaluate`] performs anyway,
+                // done by hand so its intermediate accumulator state
+                // can ride into the checkpoint for peak-stable resumes.
+                MetricsSink::Log(log) => {
+                    let mut eval = StreamingEval::new(self.protocol, log.peak_actual_mean());
+                    for record in log {
+                        eval.push_record(*record);
+                    }
+                    folds.push(Some(eval.clone()));
+                    eval.finish()
+                }
+                MetricsSink::Streaming(eval) => {
+                    folds.push(None);
+                    eval.clone().finish()
+                }
             })
             .collect();
+        // The ROI state the checkpoint advertises. A log pass never ran
+        // the prepass: its peak is the log's own and the pending
+        // (never-folded) final mean is the feed's still-open record —
+        // exactly what `peak_actual_mean` excludes — so a future resume
+        // can extend the peak in O(appended days).
+        let (ck_roi_peak, ck_roi_pending) = if streaming_eval {
+            (roi_peak, roi_pending_mean)
+        } else {
+            let peak = sinks
+                .iter()
+                .find_map(|sink| match sink {
+                    MetricsSink::Log(log) => Some(log.peak_actual_mean()),
+                    MetricsSink::Streaming(_) => None,
+                })
+                .unwrap_or(0.0);
+            (
+                peak,
+                pendings
+                    .first()
+                    .and_then(|p| p.map(|(_, _, _, ref_mean)| ref_mean)),
+            )
+        };
+
+        let checkpoint = solo_snapshots.map(|solo_snapshots| UnitCheckpoint {
+            scenario_json: scenario.to_json().render(),
+            days: scenario.days,
+            predictor_labels: matrix.predictors.iter().map(|p| p.label()).collect(),
+            manager_labels: matrix.managers.iter().map(|m| m.label()).collect(),
+            streaming_eval,
+            roi_peak: ck_roi_peak,
+            roi_pending_mean: ck_roi_pending,
+            prior_included,
+            injector,
+            synth: eval_synth,
+            bank,
+            solo: solo_snapshots,
+            feeds: sinks
+                .into_iter()
+                .zip(folds)
+                .zip(pendings)
+                .map(|((sink, folded), pending)| FeedCheckpoint {
+                    sink,
+                    folded,
+                    pending,
+                })
+                .collect(),
+            sims: sim_saves,
+        });
         let reports: Vec<NodeReport> = sims.into_iter().map(NodeSimulation::finish).collect();
         let mut results = Vec::with_capacity(job_indices.len());
         for ((&job_idx, &kernel_slot), report) in job_indices.iter().zip(&job_kernel).zip(reports) {
@@ -1389,15 +2085,24 @@ impl FleetEngine {
         // one batch of counter updates per scenario, nothing per slot.
         if self.collector.is_enabled() {
             let name = &scenario.name;
+            // Slot counters reflect work actually done this pass: a
+            // resumed unit only walked the appended days.
+            let processed_days = scenario.days - start_day;
             self.collector
-                .count_scenario(name, "slots/processed", (scenario.days * n) as u64);
+                .count_scenario(name, "slots/processed", (processed_days * n) as u64);
             self.collector
                 .count_scenario(name, "jobs/fresh", job_indices.len() as u64);
+            if resume.is_some() {
+                self.collector
+                    .count_scenario(name, "delta/resumed_units", 1);
+                self.collector
+                    .count_scenario(name, "delta/appended_days", processed_days as u64);
+            }
             // Distribution plane, still at unit granularity: the unit's
             // slot volume and one MAPE sample per distinct predictor —
             // deterministic inputs, so the histograms stay byte-pinned.
             self.collector
-                .observe("fleet/unit_slots", (scenario.days * n) as f64);
+                .observe("fleet/unit_slots", (processed_days * n) as f64);
             for summary in &summaries {
                 self.collector.observe("score/mape", summary.mape);
             }
@@ -1438,8 +2143,170 @@ impl FleetEngine {
                     .count_scenario(name, "synth/normal_draws", synth_cost.normal_draws);
             }
         }
-        Ok((results, passes))
+        Ok((results, passes, checkpoint))
     }
+}
+
+/// The classified difference between two fleet matrices — what changed
+/// between the run whose warm [`FleetCache`] you hold and the matrix
+/// you want scored now. Feed it to [`FleetEngine::run_delta`] to route
+/// the re-score down the matching O(delta) path.
+///
+/// Build one with [`FleetDelta::classify`]; the variants carry the
+/// affected axis labels purely for reporting/ledger purposes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FleetDelta {
+    /// One or more scenarios grew by whole appended days; everything
+    /// else (axes, faults, the scenarios' prefixes) is unchanged.
+    DayAppend {
+        /// Names of the scenarios whose horizon grew.
+        scenarios: Vec<String>,
+    },
+    /// Scenarios were added, removed, or edited in place (anything that
+    /// is not a pure day-append).
+    ScenarioEdit {
+        /// Names of the scenarios that differ between the matrices.
+        scenarios: Vec<String>,
+    },
+    /// The predictor axis shrank (order-preserving subset); scenarios
+    /// and managers are identical.
+    PredictorRetire {
+        /// Labels of the retired predictors.
+        predictors: Vec<String>,
+    },
+    /// The matrices are identical — the run is a pure cache replay.
+    Unchanged,
+}
+
+impl FleetDelta {
+    /// Classifies the change from `before` to `after`.
+    ///
+    /// The classification is deliberately conservative: only changes
+    /// with a dedicated cheap path classify. Manager-axis changes,
+    /// fleet-fault changes, predictor *growth* or reordering, and mixed
+    /// day-append + scenario-edit batches are errors — run those
+    /// through [`FleetEngine::run_cached`] directly (still warm for
+    /// every untouched scenario), or split them into single-kind
+    /// deltas.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error describing the unsupported change.
+    pub fn classify(before: &FleetMatrix, after: &FleetMatrix) -> Result<FleetDelta, String> {
+        let labels = |m: &FleetMatrix| -> (Vec<String>, Vec<String>) {
+            (
+                m.predictors.iter().map(|p| p.label()).collect(),
+                m.managers.iter().map(|m| m.label()).collect(),
+            )
+        };
+        let (before_predictors, before_managers) = labels(before);
+        let (after_predictors, after_managers) = labels(after);
+        if before_managers != after_managers {
+            return Err(
+                "manager axis changed: no delta path exists, run the matrix with run_cached"
+                    .to_string(),
+            );
+        }
+        if before.fleet_faults != after.fleet_faults {
+            return Err(
+                "fleet faults changed: they project into every scenario, run with run_cached"
+                    .to_string(),
+            );
+        }
+        let render = |s: &crate::Scenario| s.to_json().render();
+        let scenarios_equal = before.scenarios.len() == after.scenarios.len()
+            && before
+                .scenarios
+                .iter()
+                .zip(&after.scenarios)
+                .all(|(b, a)| render(b) == render(a));
+        if before_predictors != after_predictors {
+            let retired: Vec<String> = before_predictors
+                .iter()
+                .filter(|label| !after_predictors.contains(label))
+                .cloned()
+                .collect();
+            let mut survivors = before_predictors.clone();
+            survivors.retain(|label| after_predictors.contains(label));
+            let is_retirement = !retired.is_empty() && survivors == after_predictors;
+            if !is_retirement {
+                return Err(
+                    "predictor axis grew or reordered: only order-preserving retirement has a \
+                     delta path, run the matrix with run_cached"
+                        .to_string(),
+                );
+            }
+            if !scenarios_equal {
+                return Err(
+                    "predictor retirement combined with scenario changes: split into two deltas"
+                        .to_string(),
+                );
+            }
+            return Ok(FleetDelta::PredictorRetire {
+                predictors: retired,
+            });
+        }
+        if scenarios_equal {
+            return Ok(FleetDelta::Unchanged);
+        }
+        if before.scenarios.len() != after.scenarios.len() {
+            let before_names: HashSet<&str> =
+                before.scenarios.iter().map(|s| s.name.as_str()).collect();
+            let after_names: HashSet<&str> =
+                after.scenarios.iter().map(|s| s.name.as_str()).collect();
+            let mut touched: Vec<String> = before_names
+                .symmetric_difference(&after_names)
+                .map(|name| (*name).to_string())
+                .collect();
+            touched.sort_unstable();
+            return Ok(FleetDelta::ScenarioEdit { scenarios: touched });
+        }
+        let mut appends = Vec::new();
+        let mut edits = Vec::new();
+        for (b, a) in before.scenarios.iter().zip(&after.scenarios) {
+            if render(b) == render(a) {
+                continue;
+            }
+            let pure_append = b.name == a.name && a.days > b.days && {
+                let mut at_before_days = a.clone();
+                at_before_days.days = b.days;
+                render(&at_before_days) == render(b)
+            };
+            if pure_append {
+                appends.push(a.name.clone());
+            } else {
+                edits.push(a.name.clone());
+            }
+        }
+        match (appends.is_empty(), edits.is_empty()) {
+            (false, true) => Ok(FleetDelta::DayAppend { scenarios: appends }),
+            (true, false) => Ok(FleetDelta::ScenarioEdit { scenarios: edits }),
+            (false, false) => Err(
+                "mixed day-append and scenario-edit batch: split into two delta runs".to_string(),
+            ),
+            (true, true) => unreachable!("scenarios_equal was false"),
+        }
+    }
+}
+
+/// The seed-parameterized fleet-fault projection —
+/// [`FleetEngine::project_fleet_faults`] for the engine, and
+/// [`FleetCache::prune_to`] for a cache that must compare incoming
+/// matrices against the projected keys its runs actually stored.
+fn project_fleet_faults_seeded(
+    matrix: &FleetMatrix,
+    master_seed: u64,
+) -> Result<FleetMatrix, String> {
+    let mut effective = matrix.clone();
+    for (index, fault) in matrix.fleet_faults.iter().enumerate() {
+        let salted = format!("fleet-fault/{index}");
+        let event_seed = solar_trace::hash::fnv1a(&salted) ^ master_seed.rotate_left(23);
+        for scenario in &mut effective.scenarios {
+            scenario.faults.extend(fault.project(event_seed, scenario)?);
+        }
+    }
+    effective.fleet_faults.clear();
+    Ok(effective)
 }
 
 /// Internal result of one full evaluation pass.
@@ -1852,10 +2719,309 @@ mod tests {
     }
 
     #[test]
-    fn shard_counts_are_validated() {
+    fn out_of_range_shard_counts_clamp_like_the_routed_path() {
+        // `run_sharded` historically rejected counts that
+        // `with_shards` silently clamped — same matrix, divergent
+        // behavior. Both entry points now share the documented clamp
+        // into `1..=scenario_count`, and the clamped artifacts still
+        // merge back to the monolithic bytes.
         let matrix = small_matrix();
-        assert!(FleetEngine::new(1).run_sharded(&matrix, 0).is_err());
-        assert!(FleetEngine::new(1).run_sharded(&matrix, 3).is_err());
+        let monolithic = FleetEngine::new(1).run(&matrix).unwrap();
+        let low = FleetEngine::new(1).run_sharded(&matrix, 0).unwrap();
+        assert_eq!(low.shards.len(), 1);
+        let high = FleetEngine::new(1).run_sharded(&matrix, 3).unwrap();
+        assert_eq!(high.shards.len(), matrix.scenarios.len());
+        for sharded in [low, high] {
+            let merged = Scorecard::merge_shards(&sharded.manifest, &sharded.shards).unwrap();
+            assert_eq!(
+                merged.to_json_string(),
+                monolithic.scorecard.to_json_string()
+            );
+        }
+    }
+
+    #[test]
+    fn day_append_resumes_from_checkpoints_and_matches_cold_bytes() {
+        // Materialized path: the warm run leaves unit checkpoints and
+        // generator tails; appending days must extend traces in place
+        // (no full regeneration) and resume every state machine, with
+        // the scorecard byte-identical to a cold run of the extended
+        // matrix.
+        let matrix = small_matrix();
+        let engine = FleetEngine::new(41);
+        let mut cache = engine.new_cache();
+        engine.run_cached(&matrix, &mut cache).unwrap();
+
+        let mut grown = matrix.clone();
+        for scenario in &mut grown.scenarios {
+            scenario.days += 3;
+        }
+        let delta = FleetDelta::classify(&matrix, &grown).unwrap();
+        assert_eq!(
+            delta,
+            FleetDelta::DayAppend {
+                scenarios: grown.scenarios.iter().map(|s| s.name.clone()).collect()
+            }
+        );
+
+        let collector = Collector::recording();
+        let incremental = FleetEngine::new(41)
+            .with_collector(collector.clone())
+            .run_delta(&grown, &mut cache, &delta)
+            .unwrap();
+        assert_eq!(incremental.passes.trace_generations, 0);
+        assert_eq!(
+            incremental.passes.trace_extensions,
+            grown.scenarios.len(),
+            "every trace must extend from its stored tail"
+        );
+        let ledger = collector.ledger();
+        assert_eq!(ledger.counter("synth/trace_generations"), 0);
+        assert_eq!(
+            ledger.counter("delta/trace_extensions"),
+            grown.scenarios.len() as u64
+        );
+        assert_eq!(
+            ledger.counter("delta/resumed_units") + ledger.counter("delta/peak_fallbacks"),
+            grown.scenarios.len() as u64,
+            "every unit either resumes or transparently falls back"
+        );
+        assert_eq!(
+            ledger.counter("delta/day_appends"),
+            grown.scenarios.len() as u64
+        );
+
+        let cold = FleetEngine::new(41).run(&grown).unwrap();
+        assert_eq!(
+            incremental.scorecard.to_json_string(),
+            cold.scorecard.to_json_string()
+        );
+        // The extended cached trace is bitwise the cold-generated one.
+        let engine = FleetEngine::new(41);
+        for scenario in &grown.scenarios {
+            let (cold_trace, _) = engine.generate_trace(scenario).unwrap();
+            let cached = &cache.traces[&scenario.to_json().render()];
+            assert_eq!(cached.samples(), cold_trace.samples());
+        }
+    }
+
+    #[test]
+    fn streamed_day_append_resumes_the_generator_tail() {
+        // Streaming-only path: no trace exists to extend, so the resume
+        // continues the synthesis stream from the checkpointed
+        // day-boundary generator state — appended days only.
+        let matrix = small_matrix();
+        let engine = FleetEngine::new(43).with_trace_cache(TraceCachePolicy::streaming_only());
+        let mut cache = engine.new_cache();
+        engine.run_cached(&matrix, &mut cache).unwrap();
+
+        let mut grown = matrix.clone();
+        for scenario in &mut grown.scenarios {
+            scenario.days += 2;
+        }
+        let collector = Collector::recording();
+        let incremental = FleetEngine::new(43)
+            .with_trace_cache(TraceCachePolicy::streaming_only())
+            .with_collector(collector.clone())
+            .run_cached(&grown, &mut cache)
+            .unwrap();
+        let ledger = collector.ledger();
+        let n = grown.scenarios[0].slots_per_day as u64;
+        let resumed = ledger.counter("delta/resumed_units");
+        assert!(resumed > 0, "streamed units must resume their tails");
+        if resumed == grown.scenarios.len() as u64 {
+            // All units resumed: the pass walked only the appended days.
+            assert_eq!(
+                ledger.counter("slots/processed"),
+                2 * n * grown.scenarios.len() as u64
+            );
+        }
+        let cold = FleetEngine::new(43)
+            .with_trace_cache(TraceCachePolicy::streaming_only())
+            .run(&grown)
+            .unwrap();
+        assert_eq!(
+            incremental.scorecard.to_json_string(),
+            cold.scorecard.to_json_string()
+        );
+    }
+
+    #[test]
+    fn appended_days_that_raise_the_roi_peak_fall_back_to_a_cold_pass() {
+        // Dimming the whole original horizon halves every reference
+        // mean the checkpointed ROI peak saw; the appended days shine
+        // at full strength, so the extended peak must rise — the
+        // prefix's record-inclusion decisions are stale and the unit
+        // has to transparently re-run cold. Bytes still match.
+        let mut scenario = Catalog::builtin().get("desert-clear-sky").unwrap().clone();
+        scenario.faults.push(crate::FaultSpec::ClimateDimming {
+            start_day: 0,
+            duration_days: scenario.days,
+            factor: 0.5,
+        });
+        let matrix = FleetMatrix::new(
+            vec![PredictorSpec::Wcma {
+                alpha: 0.7,
+                days: 10,
+                k: 2,
+            }],
+            vec![ManagerSpec::EnergyNeutral {
+                target_soc: 0.5,
+                gain: 0.25,
+            }],
+            vec![scenario],
+        )
+        .unwrap();
+        let engine = FleetEngine::new(47);
+        let mut cache = engine.new_cache();
+        engine.run_cached(&matrix, &mut cache).unwrap();
+
+        let mut grown = matrix.clone();
+        grown.scenarios[0].days += 2;
+        let collector = Collector::recording();
+        let incremental = FleetEngine::new(47)
+            .with_collector(collector.clone())
+            .run_cached(&grown, &mut cache)
+            .unwrap();
+        let ledger = collector.ledger();
+        assert_eq!(ledger.counter("delta/peak_fallbacks"), 1);
+        assert_eq!(ledger.counter("delta/resumed_units"), 0);
+        let cold = FleetEngine::new(47).run(&grown).unwrap();
+        assert_eq!(
+            incremental.scorecard.to_json_string(),
+            cold.scorecard.to_json_string()
+        );
+    }
+
+    #[test]
+    fn delta_classification_covers_every_route() {
+        let base = small_matrix();
+
+        assert_eq!(
+            FleetDelta::classify(&base, &base).unwrap(),
+            FleetDelta::Unchanged
+        );
+
+        let mut appended = base.clone();
+        appended.scenarios[1].days += 5;
+        assert_eq!(
+            FleetDelta::classify(&base, &appended).unwrap(),
+            FleetDelta::DayAppend {
+                scenarios: vec![appended.scenarios[1].name.clone()]
+            }
+        );
+
+        // Shrinking a horizon is not an append — it edits the scenario.
+        let mut shrunk = base.clone();
+        shrunk.scenarios[0].days -= 1;
+        assert_eq!(
+            FleetDelta::classify(&base, &shrunk).unwrap(),
+            FleetDelta::ScenarioEdit {
+                scenarios: vec![shrunk.scenarios[0].name.clone()]
+            }
+        );
+
+        let mut edited = base.clone();
+        edited.scenarios[0]
+            .faults
+            .push(crate::FaultSpec::ClimateDimming {
+                start_day: 0,
+                duration_days: 5,
+                factor: 0.5,
+            });
+        assert_eq!(
+            FleetDelta::classify(&base, &edited).unwrap(),
+            FleetDelta::ScenarioEdit {
+                scenarios: vec![edited.scenarios[0].name.clone()]
+            }
+        );
+
+        let mut removed = base.clone();
+        let gone = removed.scenarios.remove(0);
+        assert_eq!(
+            FleetDelta::classify(&base, &removed).unwrap(),
+            FleetDelta::ScenarioEdit {
+                scenarios: vec![gone.name]
+            }
+        );
+
+        let mut retired = base.clone();
+        let dropped = retired.predictors.remove(0);
+        assert_eq!(
+            FleetDelta::classify(&base, &retired).unwrap(),
+            FleetDelta::PredictorRetire {
+                predictors: vec![dropped.label()]
+            }
+        );
+
+        // Growth, manager changes, and mixed batches have no delta
+        // path.
+        let mut grown_axis = base.clone();
+        grown_axis
+            .predictors
+            .push(PredictorSpec::Ewma { gamma: 0.4 });
+        assert!(FleetDelta::classify(&base, &grown_axis).is_err());
+        let mut managers_changed = base.clone();
+        managers_changed.managers.push(ManagerSpec::Greedy);
+        assert!(FleetDelta::classify(&base, &managers_changed).is_err());
+        let mut mixed = base.clone();
+        mixed.scenarios[0].days += 1;
+        mixed.scenarios[1].slots_per_day = 24;
+        assert!(FleetDelta::classify(&base, &mixed).is_err());
+    }
+
+    #[test]
+    fn retiring_a_predictor_re_ranks_entirely_from_cache() {
+        let matrix = small_matrix();
+        let engine = FleetEngine::new(53);
+        let mut cache = engine.new_cache();
+        engine.run_cached(&matrix, &mut cache).unwrap();
+
+        let mut retired = matrix.clone();
+        retired.predictors.remove(1);
+        let delta = FleetDelta::classify(&matrix, &retired).unwrap();
+        let incremental = engine.run_delta(&retired, &mut cache, &delta).unwrap();
+        assert_eq!(incremental.cached_jobs, retired.job_count());
+        assert_eq!(incremental.passes.total(), 0, "no simulation at all");
+        let cold = FleetEngine::new(53).run(&retired).unwrap();
+        assert_eq!(
+            incremental.scorecard.to_json_string(),
+            cold.scorecard.to_json_string()
+        );
+    }
+
+    #[test]
+    fn prune_to_evicts_exactly_the_entries_the_matrix_no_longer_wants() {
+        let matrix = small_matrix();
+        let engine = FleetEngine::new(59);
+        let mut cache = engine.new_cache();
+        engine.run_cached(&matrix, &mut cache).unwrap();
+        let bytes_before = cache.trace_bytes();
+
+        let mut narrowed = matrix.clone();
+        narrowed.scenarios.remove(1);
+        let stats = cache.prune_to(&narrowed).unwrap();
+        let jobs_per_scenario = matrix.predictors.len() * matrix.managers.len();
+        assert_eq!(stats.evicted_outcomes, jobs_per_scenario);
+        assert_eq!(stats.evicted_traces, 1);
+        assert!(stats.evicted_trace_bytes > 0);
+        assert_eq!(
+            cache.trace_bytes(),
+            bytes_before - stats.evicted_trace_bytes
+        );
+        assert_eq!(cache.trace_count(), 1);
+
+        // Pruning to the same matrix is a no-op.
+        assert_eq!(cache.prune_to(&narrowed).unwrap(), PruneStats::default());
+
+        // The surviving scenario still replays entirely from cache.
+        let warm = engine.run_cached(&narrowed, &mut cache).unwrap();
+        assert_eq!(warm.cached_jobs, narrowed.job_count());
+        let cold = FleetEngine::new(59).run(&narrowed).unwrap();
+        assert_eq!(
+            warm.scorecard.to_json_string(),
+            cold.scorecard.to_json_string()
+        );
     }
 
     #[test]

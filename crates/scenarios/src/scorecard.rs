@@ -38,7 +38,7 @@
 //! JSON output is deterministic: entries carry explicit ranks, object
 //! keys have fixed order, and floats use shortest-round-trip formatting
 //! — byte-identical across runs and thread counts for the same inputs.
-//! Cost accounting follows the [`pred_metrics::cost`] split: per-entry
+//! Cost accounting follows the [`pred_metrics::CostAggregate`] split: per-entry
 //! `peak_candidates` is spec-derived and appears in JSON; wall time and
 //! peak trace memory are non-deterministic (the latter varies with
 //! cache policy) and appear **only** in [`Scorecard::render_text`] (a
@@ -441,6 +441,218 @@ impl Scorecard {
         })
     }
 
+    /// Subtracts a previously merged shard's contribution — the
+    /// inverse of the bucket-wise merge law behind
+    /// [`Scorecard::merge_shards`]. The returned scorecard is exactly
+    /// what merging every *other* shard of `manifest` produces: the
+    /// shard's scenario tables are removed at their manifest
+    /// positions and the overall table re-derives through the shared
+    /// reduction, so a retract-then-reabsorb round-trip is
+    /// byte-identical (pinned by a property test).
+    ///
+    /// Cost accounting follows the [`pred_metrics::CostAggregate`] split:
+    /// summed fields (`jobs`, wall total) subtract; `peak_candidates`
+    /// is recomputed from the remaining entries; the non-serialized
+    /// machine-dependent maxima (peak wall, peak trace memory) are
+    /// high-water marks of work already performed and deliberately
+    /// keep their values.
+    ///
+    /// # Errors
+    ///
+    /// Rejects seed mismatches, out-of-range shard indices, and — the
+    /// load-bearing guard — a shard whose scenario tables are not
+    /// byte-for-byte the ones this scorecard absorbed at the
+    /// manifest's positions (a foreign or already-retracted shard
+    /// would otherwise silently corrupt the reduction).
+    pub fn retract_shard(
+        &self,
+        manifest: &ShardManifest,
+        shard: &ScorecardShard,
+    ) -> Result<Scorecard, String> {
+        if shard.master_seed != manifest.master_seed || self.master_seed != manifest.master_seed {
+            return Err(format!(
+                "seed mismatch: scorecard {}, manifest {}, shard {}",
+                self.master_seed, manifest.master_seed, shard.master_seed
+            ));
+        }
+        if shard.shard_index >= manifest.shard_count {
+            return Err(format!(
+                "shard index {} out of range (manifest has {} shards)",
+                shard.shard_index, manifest.shard_count
+            ));
+        }
+        if self.per_scenario.len() != manifest.scenarios.len() {
+            return Err(format!(
+                "scorecard has {} scenario tables where the manifest names {} — \
+                 retraction needs the fully merged scorecard",
+                self.per_scenario.len(),
+                manifest.scenarios.len()
+            ));
+        }
+        let mut kept = Vec::with_capacity(self.per_scenario.len());
+        let mut shard_cursor = 0usize;
+        for ((name, shard_idx), ranking) in manifest.scenarios.iter().zip(&self.per_scenario) {
+            if &ranking.scenario != name {
+                return Err(format!(
+                    "scorecard has scenario {:?} where manifest expects {name:?}",
+                    ranking.scenario
+                ));
+            }
+            if *shard_idx != shard.shard_index {
+                kept.push(ranking.clone());
+                continue;
+            }
+            let absorbed = shard.per_scenario.get(shard_cursor).ok_or_else(|| {
+                format!(
+                    "shard {} is short a scenario: manifest assigns it {name:?}",
+                    shard.shard_index
+                )
+            })?;
+            shard_cursor += 1;
+            if absorbed != ranking {
+                return Err(format!(
+                    "shard {} table for {name:?} is not the one this scorecard \
+                     absorbed — refusing to retract a foreign shard",
+                    shard.shard_index
+                ));
+            }
+        }
+        if shard_cursor != shard.per_scenario.len() {
+            return Err(format!(
+                "shard {} has scenarios the manifest never assigned to it",
+                shard.shard_index
+            ));
+        }
+        let jobs = self.cost.jobs.checked_sub(shard.cost.jobs).ok_or_else(|| {
+            format!(
+                "shard retracts {} jobs but the scorecard only holds {}",
+                shard.cost.jobs, self.cost.jobs
+            )
+        })?;
+        let overall = Self::overall_from_per_scenario(&kept);
+        let cost = CostAggregate {
+            jobs,
+            total_wall_nanos: self
+                .cost
+                .total_wall_nanos
+                .saturating_sub(shard.cost.total_wall_nanos),
+            peak_candidates: kept
+                .iter()
+                .flat_map(|r| r.entries.iter().map(|e| e.peak_candidates))
+                .max()
+                .unwrap_or(0),
+            ..self.cost
+        };
+        Ok(Scorecard {
+            master_seed: self.master_seed,
+            per_scenario: kept,
+            overall,
+            cost,
+            trace_budget: None,
+        })
+    }
+
+    /// Re-inserts one shard into a scorecard that
+    /// [`Scorecard::retract_shard`] removed it from — the other
+    /// direction of the inverse law. The shard's tables slot back into
+    /// their manifest positions and the overall table re-derives, so
+    /// the result is byte-identical to merging all shards at once.
+    ///
+    /// # Errors
+    ///
+    /// Rejects seed mismatches, out-of-range indices, a scorecard
+    /// whose tables do not line up with the manifest minus this shard,
+    /// and shards whose combo set disagrees with the retained tables.
+    pub fn absorb_shard(
+        &self,
+        manifest: &ShardManifest,
+        shard: &ScorecardShard,
+    ) -> Result<Scorecard, String> {
+        if shard.master_seed != manifest.master_seed || self.master_seed != manifest.master_seed {
+            return Err(format!(
+                "seed mismatch: scorecard {}, manifest {}, shard {}",
+                self.master_seed, manifest.master_seed, shard.master_seed
+            ));
+        }
+        if shard.shard_index >= manifest.shard_count {
+            return Err(format!(
+                "shard index {} out of range (manifest has {} shards)",
+                shard.shard_index, manifest.shard_count
+            ));
+        }
+        let mut per_scenario = Vec::with_capacity(manifest.scenarios.len());
+        let mut kept_cursor = 0usize;
+        let mut shard_cursor = 0usize;
+        for (name, shard_idx) in &manifest.scenarios {
+            let (source, ranking) = if *shard_idx == shard.shard_index {
+                let ranking = shard.per_scenario.get(shard_cursor).ok_or_else(|| {
+                    format!(
+                        "shard {} is short a scenario: manifest assigns it {name:?}",
+                        shard.shard_index
+                    )
+                })?;
+                shard_cursor += 1;
+                ("shard", ranking)
+            } else {
+                let ranking = self.per_scenario.get(kept_cursor).ok_or_else(|| {
+                    format!("scorecard is short a scenario: manifest expects {name:?}")
+                })?;
+                kept_cursor += 1;
+                ("scorecard", ranking)
+            };
+            if &ranking.scenario != name {
+                return Err(format!(
+                    "{source} has scenario {:?} where manifest expects {name:?}",
+                    ranking.scenario
+                ));
+            }
+            per_scenario.push(ranking.clone());
+        }
+        if shard_cursor != shard.per_scenario.len() {
+            return Err(format!(
+                "shard {} has scenarios the manifest never assigned to it",
+                shard.shard_index
+            ));
+        }
+        if kept_cursor != self.per_scenario.len() {
+            return Err(
+                "scorecard has scenario tables the manifest does not account for".to_string(),
+            );
+        }
+        // The same cross-matrix guard merge_shards applies: every table
+        // must rank one combo set.
+        if let (Some(reference), Some(incoming)) =
+            (self.per_scenario.first(), shard.per_scenario.first())
+        {
+            let combo_set = |ranking: &ScenarioRanking| {
+                let mut combos: Vec<(String, String)> = ranking
+                    .entries
+                    .iter()
+                    .map(|e| (e.predictor.clone(), e.manager.clone()))
+                    .collect();
+                combos.sort();
+                combos
+            };
+            if combo_set(reference) != combo_set(incoming) {
+                return Err(format!(
+                    "shard {} ranks a different combo set than the scorecard — \
+                     it comes from a different matrix",
+                    shard.shard_index
+                ));
+            }
+        }
+        let overall = Self::overall_from_per_scenario(&per_scenario);
+        let mut cost = self.cost;
+        cost.merge(&shard.cost);
+        Ok(Scorecard {
+            master_seed: self.master_seed,
+            per_scenario,
+            overall,
+            cost,
+            trace_budget: None,
+        })
+    }
+
     /// [`Scorecard::merge_shards`] with the merge recorded into a run
     /// ledger: counts the scenario tables reassembled
     /// (`merge/scenario_tables`) — deliberately *not* the shard count,
@@ -815,6 +1027,100 @@ mod tests {
         assert!(card.per_scenario[0].entries.is_empty());
         assert_eq!(card.overall.len(), 4);
         assert!(card.overall.iter().all(|e| e.score.is_finite()));
+    }
+
+    fn three_scenario_matrix() -> FleetMatrix {
+        FleetMatrix::new(
+            vec![
+                PredictorSpec::Wcma {
+                    alpha: 0.7,
+                    days: 10,
+                    k: 2,
+                },
+                PredictorSpec::Persistence,
+            ],
+            vec![ManagerSpec::EnergyNeutral {
+                target_soc: 0.5,
+                gain: 0.25,
+            }],
+            vec![
+                Catalog::builtin().get("desert-clear-sky").unwrap().clone(),
+                Catalog::builtin().get("marine-fog").unwrap().clone(),
+                Catalog::builtin()
+                    .get("continental-storms")
+                    .unwrap()
+                    .clone(),
+            ],
+        )
+        .unwrap()
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(6))]
+
+        /// Retraction is the exact inverse of the bucket-wise merge:
+        /// subtracting any shard and re-absorbing it reproduces the
+        /// merged scorecard byte-for-byte, for any split and seed.
+        #[test]
+        fn retract_then_reabsorb_round_trips(
+            shard_count in 1usize..=3,
+            retract_raw in 0usize..3,
+            seed_sel in 0usize..2,
+        ) {
+            let seed = [11u64, 2026][seed_sel];
+            let retract = retract_raw % shard_count;
+            let matrix = three_scenario_matrix();
+            let sharded = FleetEngine::new(seed)
+                .run_sharded(&matrix, shard_count)
+                .unwrap();
+            let merged =
+                Scorecard::merge_shards(&sharded.manifest, &sharded.shards).unwrap();
+            let shard = &sharded.shards[retract];
+            let without = merged.retract_shard(&sharded.manifest, shard).unwrap();
+            // The retracted scorecard equals merging the other shards'
+            // tables: no trace of the shard's scenarios remains.
+            for ranking in &without.per_scenario {
+                proptest::prop_assert!(shard
+                    .per_scenario
+                    .iter()
+                    .all(|r| r.scenario != ranking.scenario));
+            }
+            let back = without.absorb_shard(&sharded.manifest, shard).unwrap();
+            proptest::prop_assert_eq!(back.to_json_string(), merged.to_json_string());
+            proptest::prop_assert_eq!(back.cost.jobs, merged.cost.jobs);
+            // Retracting twice must fail: the tables are gone.
+            proptest::prop_assert!(without
+                .retract_shard(&sharded.manifest, shard)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn retraction_rejects_foreign_and_mismatched_shards() {
+        let matrix = three_scenario_matrix();
+        let sharded = FleetEngine::new(11).run_sharded(&matrix, 2).unwrap();
+        let merged = Scorecard::merge_shards(&sharded.manifest, &sharded.shards).unwrap();
+        // Foreign seed.
+        let mut foreign = sharded.shards[0].clone();
+        foreign.master_seed ^= 1;
+        assert!(merged.retract_shard(&sharded.manifest, &foreign).is_err());
+        // Out-of-range index.
+        let mut out_of_range = sharded.shards[0].clone();
+        out_of_range.shard_index = 9;
+        assert!(merged
+            .retract_shard(&sharded.manifest, &out_of_range)
+            .is_err());
+        // A shard the scorecard never absorbed: same shape, edited
+        // content.
+        let mut edited = sharded.shards[0].clone();
+        edited.per_scenario[0].entries[0].score += 1.0;
+        assert!(merged.retract_shard(&sharded.manifest, &edited).is_err());
+        // Absorbing into a scorecard that still holds the shard's
+        // scenarios must fail (the manifest walk finds too many
+        // tables).
+        assert!(merged
+            .absorb_shard(&sharded.manifest, &sharded.shards[0])
+            .is_err());
     }
 
     #[test]

@@ -70,4 +70,4 @@ pub use manager::{
 pub use node::{simulate_node, simulate_node_hooked, NodeConfig, NodeReport};
 pub use panel::SolarPanel;
 pub use storage::{ChargeOutcome, EnergyStorage};
-pub use stream::{simulate_node_streamed, NodeSimulation, SlotInput};
+pub use stream::{simulate_node_streamed, NodeSimulation, SimDayCheckpoint, SlotInput};

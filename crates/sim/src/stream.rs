@@ -217,6 +217,37 @@ impl<'a> NodeSimulation<'a> {
         self.report.slots += 1;
     }
 
+    /// Captures the machine's whole carried state as a
+    /// [`SimDayCheckpoint`], leaving the live simulation untouched.
+    /// Meaningful at day boundaries, where it pairs with predictor and
+    /// trace checkpoints at the same horizon; a simulation restored
+    /// from it and fed the remaining slots produces a report
+    /// bit-identical to an uninterrupted run (managers are stateless —
+    /// they are rebuilt from their spec, not checkpointed).
+    pub fn day_checkpoint(&self) -> SimDayCheckpoint {
+        SimDayCheckpoint {
+            storage: self.config.storage.clone(),
+            storage_initial_j: self.storage_initial_j,
+            report: self.report.clone(),
+            duty_sum: self.duty_sum,
+            planned_duty: self.planned_duty,
+        }
+    }
+
+    /// Restores the carried state captured by
+    /// [`NodeSimulation::day_checkpoint`] into a freshly assembled
+    /// machine (same config, manager spec, and slot duration as the
+    /// checkpointed run — the checkpoint carries the *mutable* state
+    /// only, and restoring across different specs is a logic error the
+    /// machine cannot detect).
+    pub fn restore_day_checkpoint(&mut self, checkpoint: &SimDayCheckpoint) {
+        self.config.storage = checkpoint.storage.clone();
+        self.storage_initial_j = checkpoint.storage_initial_j;
+        self.report = checkpoint.report.clone();
+        self.duty_sum = checkpoint.duty_sum;
+        self.planned_duty = checkpoint.planned_duty;
+    }
+
     /// Finalizes the accounting and returns the report.
     pub fn finish(mut self) -> NodeReport {
         self.report.stored_delta_j = self.config.storage.level_j() - self.storage_initial_j;
@@ -235,6 +266,27 @@ impl<'a> NodeSimulation<'a> {
         };
         self.report
     }
+}
+
+/// The mutable half of a [`NodeSimulation`] at a day boundary: storage
+/// charge state, the accumulated report, and the duty plan carried into
+/// the next slot. Everything else a simulation holds (panel, load,
+/// manager, hook) is immutable spec, rebuilt on resume rather than
+/// checkpointed. Plain data — serializable under the `serde` feature
+/// like the report itself.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SimDayCheckpoint {
+    /// The storage element, including its current charge level.
+    pub storage: crate::storage::EnergyStorage,
+    /// The charge level the run started from (feeds `stored_delta_j`).
+    pub storage_initial_j: f64,
+    /// The report accumulated over the prefix.
+    pub report: NodeReport,
+    /// Sum of planned duties over the prefix (feeds `mean_duty`).
+    pub duty_sum: f64,
+    /// The duty planned for the next slot.
+    pub planned_duty: f64,
 }
 
 /// Simulates a node over any slot source — the streaming counterpart of
@@ -349,6 +401,58 @@ mod tests {
             external.plan_with(predicted);
         }
         assert_eq!(owned.finish(), external.finish());
+    }
+
+    #[test]
+    fn day_checkpoint_restore_is_bit_identical() {
+        let day: Vec<f64> = (0..24)
+            .map(|h| {
+                if (6..18).contains(&h) {
+                    500.0 + h as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let inputs: Vec<SlotInput> = (0..24 * 10)
+            .map(|step| SlotInput {
+                day: step / 24,
+                slot: step % 24,
+                start_sample: day[step % 24],
+                mean_power: day[step % 24],
+            })
+            .collect();
+        let params = WcmaParams::new(0.5, 5, 2, 24).unwrap();
+
+        let mut p1 = WcmaPredictor::new(params);
+        let mut m1 = EnergyNeutralManager::default();
+        let mut hook1 = NoFaults;
+        let mut cold = NodeSimulation::new(&mut p1, &mut m1, &config(), &mut hook1, 3600.0);
+        for &input in &inputs {
+            cold.on_slot(input);
+        }
+        let cold_report = cold.finish();
+
+        // Run four days, checkpoint sim + predictor, resume in a fresh
+        // machine and feed the remaining days.
+        let mut p2 = WcmaPredictor::new(params);
+        let mut m2 = EnergyNeutralManager::default();
+        let mut hook2 = NoFaults;
+        let mut prefix = NodeSimulation::new(&mut p2, &mut m2, &config(), &mut hook2, 3600.0);
+        for &input in &inputs[..4 * 24] {
+            prefix.on_slot(input);
+        }
+        let checkpoint = prefix.day_checkpoint();
+        let mut snapshot = solar_predict::Predictor::snapshot(&p2).unwrap();
+        let mut m3 = EnergyNeutralManager::default();
+        let mut hook3 = NoFaults;
+        let mut resumed =
+            NodeSimulation::new(snapshot.as_mut(), &mut m3, &config(), &mut hook3, 3600.0);
+        resumed.restore_day_checkpoint(&checkpoint);
+        for &input in &inputs[4 * 24..] {
+            resumed.on_slot(input);
+        }
+        assert_eq!(resumed.finish(), cold_report);
     }
 
     #[test]

@@ -270,6 +270,17 @@ impl SynthCounters {
         self.keystream_blocks += other.keystream_blocks;
         self.normal_draws += other.normal_draws;
     }
+
+    /// Component-wise difference against an earlier reading of the
+    /// same stream (`self − base`) — attributes resumed generation to
+    /// the resumed segment alone, so segment counters sum exactly to
+    /// the cold-run total. Saturating, so a foreign base never wraps.
+    pub fn since(&self, base: SynthCounters) -> SynthCounters {
+        SynthCounters {
+            keystream_blocks: self.keystream_blocks.saturating_sub(base.keystream_blocks),
+            normal_draws: self.normal_draws.saturating_sub(base.normal_draws),
+        }
+    }
 }
 
 #[cfg(test)]

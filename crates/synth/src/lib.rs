@@ -47,7 +47,7 @@ mod stream;
 pub mod weather;
 
 pub use clearsky::ClearSkyModel;
-pub use generator::TraceGenerator;
+pub use generator::{SynthCheckpoint, TraceGenerator};
 pub use lanes::SynthCounters;
 pub use site::{Site, SiteConfig};
 pub use site_builder::SiteConfigBuilder;

@@ -16,7 +16,7 @@
 //! generation core (same RNG draw order) and the slot mean is summed in
 //! the same sample order as `SlotView`.
 
-use crate::generator::{DayState, TraceGenerator};
+use crate::generator::{DayState, SynthCheckpoint, TraceGenerator};
 use crate::lanes::SynthCounters;
 use solar_trace::{SlotsPerDay, TraceError};
 
@@ -120,6 +120,10 @@ pub struct SlotStream {
     slot: usize,
     n: usize,
     samples_per_slot: usize,
+    /// Counter reading at construction: zero for fresh streams,
+    /// the checkpoint's cumulative position for resumed ones —
+    /// [`SlotStream::counters`] reports work done by *this* stream.
+    base: SynthCounters,
 }
 
 impl SlotStream {
@@ -131,14 +135,7 @@ impl SlotStream {
                 required: res.samples_per_day(),
             });
         }
-        let slot_seconds = n.slot_seconds();
-        if !slot_seconds.is_multiple_of(res.as_seconds()) {
-            return Err(TraceError::IncompatibleSlots {
-                n: n.get() as u32,
-                resolution_seconds: res.as_seconds(),
-            });
-        }
-        let samples_per_slot = (slot_seconds / res.as_seconds()) as usize;
+        let samples_per_slot = Self::samples_per_slot(&generator, n)?;
         let state = generator.day_state();
         Ok(SlotStream {
             generator,
@@ -149,7 +146,48 @@ impl SlotStream {
             slot: 0,
             n: n.get(),
             samples_per_slot,
+            base: SynthCounters::default(),
         })
+    }
+
+    fn resume(
+        generator: TraceGenerator,
+        checkpoint: SynthCheckpoint,
+        total_days: usize,
+        n: SlotsPerDay,
+    ) -> Result<Self, TraceError> {
+        let res = generator.config().resolution;
+        if total_days <= checkpoint.next_day {
+            return Err(TraceError::TooShort {
+                provided: total_days * res.samples_per_day(),
+                required: (checkpoint.next_day + 1) * res.samples_per_day(),
+            });
+        }
+        let samples_per_slot = Self::samples_per_slot(&generator, n)?;
+        let base = checkpoint.state.counters();
+        Ok(SlotStream {
+            generator,
+            state: checkpoint.state,
+            day_buf: Vec::new(),
+            day: checkpoint.next_day,
+            days: total_days,
+            slot: 0,
+            n: n.get(),
+            samples_per_slot,
+            base,
+        })
+    }
+
+    fn samples_per_slot(generator: &TraceGenerator, n: SlotsPerDay) -> Result<usize, TraceError> {
+        let res = generator.config().resolution;
+        let slot_seconds = n.slot_seconds();
+        if !slot_seconds.is_multiple_of(res.as_seconds()) {
+            return Err(TraceError::IncompatibleSlots {
+                n: n.get() as u32,
+                resolution_seconds: res.as_seconds(),
+            });
+        }
+        Ok((slot_seconds / res.as_seconds()) as usize)
     }
 
     /// Slots per day of the stream.
@@ -169,11 +207,28 @@ impl SlotStream {
     }
 
     /// Synthesis-cost counters at the stream's current position —
-    /// keystream blocks consumed and normal draws served so far. Read
-    /// once after draining (or abandoning) the stream and merge into a
-    /// run ledger per work unit; never sample this per slot.
+    /// keystream blocks consumed and normal draws served so far. For
+    /// a resumed stream this is the resumed segment's work alone (the
+    /// checkpoint's position is subtracted), so per-segment readings
+    /// sum exactly to the cold-run total. Read once after draining
+    /// (or abandoning) the stream and merge into a run ledger per
+    /// work unit; never sample this per slot.
     pub fn counters(&self) -> SynthCounters {
-        self.state.counters()
+        self.state.counters().since(self.base)
+    }
+
+    /// The synthesis resume point at the stream's current position,
+    /// or `None` mid-day: checkpoints exist only at day boundaries
+    /// (before any slot of a day has been yielded — which includes a
+    /// fully drained stream).
+    pub fn checkpoint(&self) -> Option<SynthCheckpoint> {
+        if self.slot != 0 {
+            return None;
+        }
+        Some(SynthCheckpoint {
+            state: self.state.clone(),
+            next_day: self.day,
+        })
     }
 }
 
@@ -235,6 +290,28 @@ impl TraceGenerator {
     /// not a whole multiple of the site resolution.
     pub fn slot_stream(&self, days: usize, n: SlotsPerDay) -> Result<SlotStream, TraceError> {
         SlotStream::new(self.clone(), days, n)
+    }
+
+    /// Streams the days `checkpoint.next_day()..total_days` discretized
+    /// into `n` slots per day, continuing the keystream from
+    /// `checkpoint` — every yielded slot is bit-identical to the
+    /// corresponding slot of a fresh [`TraceGenerator::slot_stream`]
+    /// over the full horizon, without regenerating the prefix.
+    /// [`SlotStream::counters`] on the resumed stream reports the
+    /// resumed segment's synthesis work alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if `total_days` does not extend past the
+    /// checkpoint or the slot duration is not a whole multiple of the
+    /// site resolution.
+    pub fn slot_stream_from(
+        &self,
+        checkpoint: SynthCheckpoint,
+        total_days: usize,
+        n: SlotsPerDay,
+    ) -> Result<SlotStream, TraceError> {
+        SlotStream::resume(self.clone(), checkpoint, total_days, n)
     }
 }
 
@@ -359,6 +436,78 @@ mod tests {
         // Counters must match the batch path's accounting exactly.
         let (_, batch) = generator.generate_days_counted(3).unwrap();
         assert_eq!(after, batch);
+    }
+
+    #[test]
+    fn resumed_slot_stream_is_bit_equal_to_fresh_tail() {
+        use crate::weather::StreamVersion;
+        for version in [StreamVersion::V1, StreamVersion::V2] {
+            let mut config = Site::Hsu.config();
+            config.weather.stream_version = version;
+            let generator = TraceGenerator::new(config, 5);
+            let n = SlotsPerDay::new(48).unwrap();
+            let (prefix_days, total_days) = (3usize, 7usize);
+
+            // Drain a prefix stream and checkpoint at its horizon.
+            let mut prefix = generator.slot_stream(prefix_days, n).unwrap();
+            for _ in prefix.by_ref() {}
+            let prefix_counters = prefix.counters();
+            let checkpoint = prefix
+                .checkpoint()
+                .expect("drained stream is at a boundary");
+            assert_eq!(checkpoint.next_day(), prefix_days);
+
+            let full: Vec<StreamedSlot> = generator.slot_stream(total_days, n).unwrap().collect();
+            let mut resumed = generator
+                .slot_stream_from(checkpoint, total_days, n)
+                .unwrap();
+            let tail: Vec<StreamedSlot> = resumed.by_ref().collect();
+            assert_eq!(tail.len(), (total_days - prefix_days) * n.get());
+            for (a, b) in tail.iter().zip(&full[prefix_days * n.get()..]) {
+                assert_eq!(a.day, b.day);
+                assert_eq!(a.slot, b.slot);
+                assert_eq!(a.start_sample.to_bits(), b.start_sample.to_bits());
+                assert_eq!(a.mean_power.to_bits(), b.mean_power.to_bits());
+            }
+
+            // Segment counters sum exactly to the cold-run total.
+            let mut sum = prefix_counters;
+            sum.add(resumed.counters());
+            let (_, cold) = generator.generate_days_counted(total_days).unwrap();
+            assert_eq!(sum, cold, "{version:?}: segment counters must add up");
+        }
+    }
+
+    #[test]
+    fn checkpoints_only_exist_at_day_boundaries() {
+        let generator = TraceGenerator::new(Site::Hsu.config(), 5);
+        let n = SlotsPerDay::new(48).unwrap();
+        let mut stream = generator.slot_stream(2, n).unwrap();
+        assert!(
+            stream.checkpoint().is_some(),
+            "unstarted stream is at day 0"
+        );
+        stream.next();
+        assert!(stream.checkpoint().is_none(), "mid-day has no checkpoint");
+        for _ in stream.by_ref() {}
+        let checkpoint = stream.checkpoint().unwrap();
+        // Resuming requires a horizon beyond the checkpoint.
+        assert!(generator
+            .slot_stream_from(checkpoint.clone(), 2, n)
+            .is_err());
+        assert!(generator.slot_stream_from(checkpoint, 3, n).is_ok());
+    }
+
+    #[test]
+    fn resumed_size_hint_counts_the_tail_only() {
+        let generator = TraceGenerator::new(Site::Spmd.config(), 3);
+        let n = SlotsPerDay::new(24).unwrap();
+        let mut prefix = generator.slot_stream(1, n).unwrap();
+        for _ in prefix.by_ref() {}
+        let resumed = generator
+            .slot_stream_from(prefix.checkpoint().unwrap(), 3, n)
+            .unwrap();
+        assert_eq!(resumed.size_hint(), (48, Some(48)));
     }
 
     #[test]

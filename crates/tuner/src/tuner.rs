@@ -290,22 +290,54 @@ impl FleetTuner {
         self.record_search("global", &global_searched);
         drop(global_span);
 
-        // Pass 2 + 3: per-regime search and deployment scoring.
+        // Pass 2 + 3: per-regime search and deployment scoring. A
+        // finished regime's cache entries are dead weight for every
+        // later pass (regimes partition the scenario set), so the loop
+        // prunes the cache down to the still-pending regimes after each
+        // one — peak cache footprint tracks the *largest* regime, not
+        // the whole fleet. Evicted cost is folded back into the report
+        // so the ledger still covers the whole loop.
         let mut rows = Vec::new();
-        for (regime, members) in group_by_regime(scenarios) {
-            let row = self.tune_regime(regime, members, global, &mut cache)?;
+        let mut evicted_cost = pred_metrics::CostAggregate::default();
+        let regimes = group_by_regime(scenarios);
+        for (index, (regime, members)) in regimes.iter().enumerate() {
+            let row = self.tune_regime(*regime, members.clone(), global, &mut cache)?;
             rows.push(row);
+            let pending: Vec<Scenario> = regimes[index + 1..]
+                .iter()
+                .flat_map(|(_, members)| members.iter().cloned())
+                .collect();
+            if !pending.is_empty() {
+                let keep =
+                    FleetMatrix::new(vec![GUIDELINE.spec()], config.managers.clone(), pending)?;
+                let stats = cache.prune_to(&keep)?;
+                evicted_cost.merge(&stats.evicted_cost);
+                if self.collector.is_enabled() && stats.evicted_outcomes > 0 {
+                    self.collector.count_scenario(
+                        regime.as_str(),
+                        "tuner/evicted_outcomes",
+                        stats.evicted_outcomes as u64,
+                    );
+                    self.collector.count_scenario(
+                        regime.as_str(),
+                        "tuner/evicted_trace_bytes",
+                        stats.evicted_trace_bytes as u64,
+                    );
+                }
+            }
         }
         self.collector.count("tuner/regimes", rows.len() as u64);
 
+        // Every distinct job the loop evaluated, counted once: what the
+        // cache still holds plus what the round pruning evicted.
+        let mut cost = cache.cost();
+        cost.merge(&evicted_cost);
         Ok(TuningReport {
             master_seed: config.master_seed,
             global,
             global_overall_score,
             regimes: rows,
-            // Every distinct job the loop evaluated, counted once —
-            // the cache is the ledger of the whole loop.
-            cost: cache.cost(),
+            cost,
         })
     }
 
@@ -493,6 +525,10 @@ mod tests {
         // The inner engine recorded into the same collector, including
         // its distribution plane.
         assert!(ledger.counter("jobs/evaluated") > 0);
+        // Round pruning evicted the finished first regime (desert) once
+        // the loop moved on to marine; the report above proved the
+        // fold-back kept the cost ledger whole.
+        assert!(ledger.scenario_counter("desert", "tuner/evicted_outcomes") > 0);
         assert!(ledger.histogram("score/mape").unwrap().count() > 0);
         assert!(ledger.histogram("fleet/unit_slots").unwrap().count() > 0);
         let report = collector.report();

@@ -19,9 +19,9 @@
 use fleet_tuner::{group_by_regime, Regime};
 use proptest::prelude::*;
 use scenario_fleet::{
-    Catalog, CatalogGenerator, Climate, Collector, FalloffProfile, FaultMix, FleetEngine,
-    FleetFault, FleetMatrix, ManagerSpec, NodeProfile, PredictorSpec, RegimeTemplate, Scenario,
-    Scorecard, SiteSpec, SpatialFalloff, StreamVersion, TraceCachePolicy,
+    Catalog, CatalogGenerator, Climate, Collector, FalloffProfile, FaultMix, FleetDelta,
+    FleetEngine, FleetFault, FleetMatrix, ManagerSpec, NodeProfile, PredictorSpec, RegimeTemplate,
+    Scenario, Scorecard, SiteSpec, SpatialFalloff, StreamVersion, TraceCachePolicy,
 };
 
 /// The regime a generated (Shaped) scenario must land in.
@@ -521,4 +521,93 @@ fn golden_200_regime_v2_scorecard_is_identical_across_threads_and_shards() {
     // The lane order is a genuinely different stream: its digest must
     // not degenerate to v1's.
     assert_ne!(digest, GOLDEN_DIGEST);
+}
+
+/// The differential-scorecard contract at fleet scale: appending days
+/// to every scenario and re-scoring through [`FleetEngine::run_delta`]
+/// — which resumes checkpointed unit state and extends cached traces
+/// from their generator tails instead of recomputing the prefix — must
+/// produce a scorecard **byte-identical** to a cold full-horizon run.
+/// Held on both stream versions, across 1/2/8 worker threads, and
+/// through 2- and 7-way sharded reductions, under a trace budget tight
+/// enough that part of the fleet resumes via the materialized path and
+/// part via the streamed-generator path.
+#[test]
+fn day_append_delta_is_byte_identical_to_cold_across_threads_and_shards() {
+    for version in [StreamVersion::V1, StreamVersion::V2] {
+        let catalog = CatalogGenerator::new(GOLDEN_SEED)
+            .with_stream_version(version)
+            .generate(24)
+            .unwrap();
+        let matrix = FleetMatrix::new(
+            vec![PredictorSpec::Wcma {
+                alpha: 0.7,
+                days: 10,
+                k: 2,
+            }],
+            vec![ManagerSpec::EnergyNeutral {
+                target_soc: 0.5,
+                gain: 0.25,
+            }],
+            catalog.scenarios().to_vec(),
+        )
+        .unwrap();
+        let mut grown = matrix.clone();
+        for scenario in &mut grown.scenarios {
+            scenario.days += 2;
+        }
+        let delta = FleetDelta::classify(&matrix, &grown).unwrap();
+        assert!(matches!(&delta, FleetDelta::DayAppend { scenarios } if scenarios.len() == 24));
+
+        // A budget around half the fleet: some scenarios resume off
+        // their extended materialized traces, the rest off streamed
+        // generator checkpoints.
+        let budget = 1u64 << 20;
+        let mut reference: Option<String> = None;
+        for threads in [1usize, 2, 8] {
+            let engine = FleetEngine::new(GOLDEN_SEED)
+                .with_threads(threads)
+                .with_trace_cache(TraceCachePolicy::bounded(budget));
+            let mut cache = engine.new_cache();
+            engine.run_cached(&matrix, &mut cache).unwrap();
+            let incremental = engine.run_delta(&grown, &mut cache, &delta).unwrap();
+            assert_eq!(
+                incremental.passes.trace_generations, 0,
+                "threads {threads}, {version:?}: appended days must never regenerate a prefix"
+            );
+            let cold = FleetEngine::new(GOLDEN_SEED)
+                .with_threads(threads)
+                .with_trace_cache(TraceCachePolicy::bounded(budget))
+                .run(&grown)
+                .unwrap();
+            let json = incremental.scorecard.to_json_string();
+            assert_eq!(
+                json,
+                cold.scorecard.to_json_string(),
+                "threads {threads}, {version:?}: incremental diverged from cold"
+            );
+            match &reference {
+                None => reference = Some(json.clone()),
+                Some(reference) => assert_eq!(
+                    &json, reference,
+                    "threads {threads}, {version:?}: delta scorecard bytes diverged"
+                ),
+            }
+
+            // Sharded reductions over the incrementally re-scored fleet
+            // merge back to the same bytes.
+            for shard_count in [2usize, 7] {
+                let sharded = engine
+                    .run_sharded_cached(&grown, shard_count, &mut cache)
+                    .unwrap();
+                assert_eq!(sharded.cached_jobs, grown.job_count());
+                let merged = Scorecard::merge_shards(&sharded.manifest, &sharded.shards).unwrap();
+                assert_eq!(
+                    merged.to_json_string(),
+                    json,
+                    "threads {threads}, {shard_count} shards, {version:?}: merge diverged"
+                );
+            }
+        }
+    }
 }
