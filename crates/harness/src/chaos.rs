@@ -1,0 +1,162 @@
+//! Deterministic chaos injection.
+//!
+//! Fault-tolerance code that is only exercised by real faults is dead
+//! code until the worst night of the year. The harness therefore makes
+//! workers *hurt themselves on purpose*: under `--chaos SEED` each
+//! worker consults a [`ChaosPlan`] — a pure function of
+//! `(seed, shard, attempt)` — and either runs clean or injects one
+//! failure mode: exit mid-run, truncate its artifact, flip a bit in it,
+//! stall past the supervisor's timeout, or panic inside a work unit.
+//!
+//! Because the plan is pure, a chaos run is *replayable*: the same seed
+//! produces the same failure schedule on every host, every time, so CI
+//! can pin "this exact storm of failures recovers to the golden
+//! digests" as a regression test. And because the number of failing
+//! attempts per shard is bounded (at most [`MAX_FAIL_ATTEMPTS`]), any
+//! retry budget of `MAX_FAIL_ATTEMPTS + 1` or more is guaranteed to see
+//! a clean attempt eventually — chaos exercises recovery, not luck.
+
+/// Upper bound on failing attempts the plan schedules for one shard.
+/// Attempts at or beyond this index always run clean.
+pub const MAX_FAIL_ATTEMPTS: u32 = 3;
+
+/// What one worker attempt does to itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// No injected fault.
+    Clean,
+    /// Exit with a nonzero status before writing any artifact — a
+    /// crashed worker.
+    ExitMidRun,
+    /// Run to completion, then truncate the written artifact — a torn
+    /// write / full disk.
+    TruncateArtifact,
+    /// Run to completion, then flip one bit of the written artifact —
+    /// a storage medium fault.
+    BitFlipArtifact,
+    /// Never finish — a hung worker the supervisor must time out and
+    /// kill.
+    Stall,
+    /// Panic inside one scenario work unit — exercises the in-process
+    /// quarantine path rather than the process boundary.
+    PanicUnit,
+}
+
+impl ChaosMode {
+    /// Stable CLI/debug name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosMode::Clean => "clean",
+            ChaosMode::ExitMidRun => "exit-mid-run",
+            ChaosMode::TruncateArtifact => "truncate-artifact",
+            ChaosMode::BitFlipArtifact => "bit-flip-artifact",
+            ChaosMode::Stall => "stall",
+            ChaosMode::PanicUnit => "panic-unit",
+        }
+    }
+}
+
+/// The full failure schedule of a chaos run, derived from one seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// The chaos seed (independent of the workload seed).
+    pub seed: u64,
+}
+
+impl ChaosPlan {
+    /// A plan for `seed`.
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan { seed }
+    }
+
+    fn hash(&self, tag: &str, shard: usize, attempt: u32) -> u64 {
+        let h = solar_trace::hash::fnv1a(&format!("chaos/{}/{tag}/{shard}/{attempt}", self.seed));
+        // FNV-1a's low bits stay correlated across inputs that differ
+        // only near the tail (e.g. adjacent shard indices), and the
+        // plan reduces hashes with small moduli — avalanche the bits
+        // first so every (seed, shard, attempt) point is independent.
+        let h = (h ^ (h >> 33)).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        let h = (h ^ (h >> 33)).wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^ (h >> 33)
+    }
+
+    /// How many leading attempts of `shard` fail (0 ⇒ the shard never
+    /// fails under this seed). Strictly less than
+    /// [`MAX_FAIL_ATTEMPTS`] + 1.
+    pub fn fail_attempts(&self, shard: usize) -> u32 {
+        (self.hash("budget", shard, 0) % (MAX_FAIL_ATTEMPTS as u64 + 1)) as u32
+    }
+
+    /// The mode of attempt `attempt` (0-based) of `shard`. Attempts at
+    /// or past [`Self::fail_attempts`] are always [`ChaosMode::Clean`].
+    pub fn mode(&self, shard: usize, attempt: u32) -> ChaosMode {
+        if attempt >= self.fail_attempts(shard) {
+            return ChaosMode::Clean;
+        }
+        match self.hash("mode", shard, attempt) % 5 {
+            0 => ChaosMode::ExitMidRun,
+            1 => ChaosMode::TruncateArtifact,
+            2 => ChaosMode::BitFlipArtifact,
+            3 => ChaosMode::Stall,
+            _ => ChaosMode::PanicUnit,
+        }
+    }
+
+    /// Deterministic corruption site for the truncate/bit-flip modes:
+    /// `(byte_offset, bit)` within a file of `len` bytes.
+    pub fn corruption_site(&self, shard: usize, attempt: u32, len: u64) -> (u64, u32) {
+        let h = self.hash("site", shard, attempt);
+        (h % len.max(1), (h >> 32) as u32 % 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_and_bounded() {
+        for seed in [0u64, 1, 2026, u64::MAX] {
+            let plan = ChaosPlan::new(seed);
+            for shard in 0..16 {
+                let budget = plan.fail_attempts(shard);
+                assert!(budget <= MAX_FAIL_ATTEMPTS);
+                for attempt in 0..8 {
+                    // Pure: same inputs, same answer.
+                    assert_eq!(plan.mode(shard, attempt), plan.mode(shard, attempt));
+                    // Bounded: the clean tail is guaranteed.
+                    if attempt >= budget {
+                        assert_eq!(plan.mode(shard, attempt), ChaosMode::Clean);
+                    } else {
+                        assert_ne!(plan.mode(shard, attempt), ChaosMode::Clean);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_reach_every_mode() {
+        // Sweep a few hundred (seed, shard, attempt) points: all five
+        // failure modes must be reachable, or chaos silently stops
+        // covering a recovery path.
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..100u64 {
+            let plan = ChaosPlan::new(seed);
+            for shard in 0..4 {
+                for attempt in 0..plan.fail_attempts(shard) {
+                    seen.insert(plan.mode(shard, attempt).name());
+                }
+            }
+        }
+        for mode in [
+            "exit-mid-run",
+            "truncate-artifact",
+            "bit-flip-artifact",
+            "stall",
+            "panic-unit",
+        ] {
+            assert!(seen.contains(mode), "mode {mode} never scheduled");
+        }
+    }
+}

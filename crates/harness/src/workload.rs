@@ -1,0 +1,322 @@
+//! Named fleet workloads, shared by the worker binary, the supervisor,
+//! and the tests.
+//!
+//! The supervisor and its workers live in different processes, so they
+//! can only agree on *what to evaluate* through the command line. A
+//! [`Workload`] is that agreement made first-class: a small value that
+//! both sides construct identically — the supervisor to derive the
+//! expected [`ShardManifest`](scenario_fleet::ShardManifest) and
+//! coverage, the worker to build the matrix it actually runs — with a
+//! lossless [`Workload::to_args`]/[`Workload::from_cli`] round-trip
+//! between them.
+
+use scenario_fleet::{
+    Catalog, CatalogGenerator, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec, Scenario,
+    StreamVersion, TraceCachePolicy,
+};
+
+/// Which matrix a workload expands to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Three builtin regimes × one predictor × one manager — the
+    /// debug-speed matrix the recovery tests drill on.
+    Tiny,
+    /// The fleet_scorecard `--smoke` matrix: four regimes (including
+    /// the 3-year la-niña entry) × guideline predictors × default
+    /// managers.
+    Smoke,
+    /// The full builtin catalog × extended predictors × default
+    /// managers.
+    Builtin,
+    /// `count` scenarios from the parameterized catalog generator ×
+    /// extended predictors × default managers.
+    Generated {
+        /// How many regimes to generate.
+        count: usize,
+    },
+    /// The pinned 200-regime golden matrix: generated catalog ×
+    /// `Wcma{0.7,10,2}` × `EnergyNeutral{0.5,0.25}` — the workload
+    /// whose scorecard digest CI holds byte-constant.
+    Golden200,
+}
+
+/// A complete, CLI-serialisable description of one fleet evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Workload {
+    /// Master seed (drives generation and per-scenario seeds).
+    pub seed: u64,
+    /// The matrix to expand.
+    pub kind: WorkloadKind,
+    /// Evaluate on the v2 (lane-order) synthesis stream. Only the
+    /// generated kinds carry a stream version.
+    pub v2: bool,
+    /// Trace-cache budget override in bytes (kind default otherwise).
+    pub budget: Option<u64>,
+    /// Worker-thread override (rayon default otherwise).
+    pub threads: Option<usize>,
+}
+
+impl Workload {
+    /// A workload of `kind` under `seed`, with kind-default budget.
+    pub fn new(seed: u64, kind: WorkloadKind) -> Self {
+        Workload {
+            seed,
+            kind,
+            v2: false,
+            budget: None,
+            threads: None,
+        }
+    }
+
+    /// Evaluate on the v2 synthesis stream (generated kinds only —
+    /// [`Workload::matrix`] rejects the combination otherwise).
+    pub fn with_v2(mut self, v2: bool) -> Self {
+        self.v2 = v2;
+        self
+    }
+
+    /// Override the trace-cache budget.
+    pub fn with_budget(mut self, bytes: u64) -> Self {
+        self.budget = Some(bytes);
+        self
+    }
+
+    /// Override the worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The trace-cache budget this workload runs under.
+    pub fn effective_budget(&self) -> u64 {
+        self.budget.unwrap_or(match self.kind {
+            WorkloadKind::Tiny | WorkloadKind::Smoke => 2 << 20,
+            _ => 4 << 20,
+        })
+    }
+
+    fn builtin_subset(names: &[&str]) -> Result<Vec<Scenario>, String> {
+        let catalog = Catalog::builtin();
+        names
+            .iter()
+            .map(|name| {
+                catalog
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| format!("builtin scenario {name:?} missing"))
+            })
+            .collect()
+    }
+
+    /// Expands the workload into its fleet matrix. Deterministic: both
+    /// sides of the process boundary call this and must see the same
+    /// scenario list in the same order.
+    pub fn matrix(&self) -> Result<FleetMatrix, String> {
+        if self.v2
+            && !matches!(
+                self.kind,
+                WorkloadKind::Generated { .. } | WorkloadKind::Golden200
+            )
+        {
+            return Err("--v2 requires a generated workload".to_string());
+        }
+        let generated = |count: usize| -> Result<Vec<Scenario>, String> {
+            let mut generator = CatalogGenerator::new(self.seed);
+            if self.v2 {
+                generator = generator.with_stream_version(StreamVersion::V2);
+            }
+            Ok(generator.generate(count)?.scenarios().to_vec())
+        };
+        let (scenarios, predictors, managers) = match self.kind {
+            WorkloadKind::Tiny => (
+                Self::builtin_subset(&["desert-clear-sky", "marine-fog", "continental-storms"])?,
+                vec![PredictorSpec::Wcma {
+                    alpha: 0.7,
+                    days: 10,
+                    k: 2,
+                }],
+                vec![ManagerSpec::Greedy],
+            ),
+            WorkloadKind::Smoke => (
+                Self::builtin_subset(&[
+                    "desert-clear-sky",
+                    "marine-fog",
+                    "arctic-winter",
+                    "la-nina-triennium",
+                ])?,
+                PredictorSpec::guideline_family(),
+                ManagerSpec::default_set(),
+            ),
+            WorkloadKind::Builtin => (
+                Catalog::builtin().scenarios().to_vec(),
+                PredictorSpec::extended_family(),
+                ManagerSpec::default_set(),
+            ),
+            WorkloadKind::Generated { count } => (
+                generated(count)?,
+                PredictorSpec::extended_family(),
+                ManagerSpec::default_set(),
+            ),
+            WorkloadKind::Golden200 => (
+                generated(200)?,
+                vec![PredictorSpec::Wcma {
+                    alpha: 0.7,
+                    days: 10,
+                    k: 2,
+                }],
+                vec![ManagerSpec::EnergyNeutral {
+                    target_soc: 0.5,
+                    gain: 0.25,
+                }],
+            ),
+        };
+        FleetMatrix::new(predictors, managers, scenarios)
+    }
+
+    /// The engine this workload evaluates under (bounded trace cache,
+    /// optional thread pin). Collector, quarantine, and chaos are the
+    /// worker's to attach.
+    pub fn engine(&self) -> FleetEngine {
+        let mut engine = FleetEngine::new(self.seed)
+            .with_trace_cache(TraceCachePolicy::bounded(self.effective_budget()));
+        if let Some(threads) = self.threads {
+            engine = engine.with_threads(threads);
+        }
+        engine
+    }
+
+    /// The kind's CLI name.
+    pub fn kind_name(&self) -> String {
+        match self.kind {
+            WorkloadKind::Tiny => "tiny".to_string(),
+            WorkloadKind::Smoke => "smoke".to_string(),
+            WorkloadKind::Builtin => "builtin".to_string(),
+            WorkloadKind::Generated { count } => format!("generated:{count}"),
+            WorkloadKind::Golden200 => "golden200".to_string(),
+        }
+    }
+
+    /// Parses a kind CLI name.
+    pub fn parse_kind(name: &str) -> Result<WorkloadKind, String> {
+        match name {
+            "tiny" => Ok(WorkloadKind::Tiny),
+            "smoke" => Ok(WorkloadKind::Smoke),
+            "builtin" => Ok(WorkloadKind::Builtin),
+            "golden200" => Ok(WorkloadKind::Golden200),
+            other => match other.strip_prefix("generated:") {
+                Some(count) => Ok(WorkloadKind::Generated {
+                    count: count
+                        .parse()
+                        .map_err(|e| format!("bad generated count {count:?}: {e}"))?,
+                }),
+                None => Err(format!("unknown workload {other:?}")),
+            },
+        }
+    }
+
+    /// The worker-CLI arguments that reconstruct this workload.
+    pub fn to_args(&self) -> Vec<String> {
+        let mut args = vec![
+            "--workload".to_string(),
+            self.kind_name(),
+            "--seed".to_string(),
+            self.seed.to_string(),
+        ];
+        if self.v2 {
+            args.push("--v2".to_string());
+        }
+        if let Some(budget) = self.budget {
+            args.push("--budget".to_string());
+            args.push(budget.to_string());
+        }
+        if let Some(threads) = self.threads {
+            args.push("--threads".to_string());
+            args.push(threads.to_string());
+        }
+        args
+    }
+
+    /// Reassembles a workload from parsed CLI pieces — the inverse of
+    /// [`Workload::to_args`].
+    pub fn from_cli(
+        kind: &str,
+        seed: u64,
+        v2: bool,
+        budget: Option<u64>,
+        threads: Option<usize>,
+    ) -> Result<Workload, String> {
+        Ok(Workload {
+            seed,
+            kind: Self::parse_kind(kind)?,
+            v2,
+            budget,
+            threads,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_round_trip() {
+        for workload in [
+            Workload::new(42, WorkloadKind::Tiny),
+            Workload::new(7, WorkloadKind::Smoke).with_budget(1 << 20),
+            Workload::new(2026, WorkloadKind::Golden200)
+                .with_v2(true)
+                .with_threads(2),
+            Workload::new(9, WorkloadKind::Generated { count: 16 }),
+        ] {
+            let args = workload.to_args();
+            // Re-parse the flag stream the way the worker binary does.
+            let mut kind = None;
+            let mut seed = None;
+            let mut v2 = false;
+            let mut budget = None;
+            let mut threads = None;
+            let mut iter = args.iter();
+            while let Some(arg) = iter.next() {
+                match arg.as_str() {
+                    "--workload" => kind = iter.next().cloned(),
+                    "--seed" => seed = iter.next().map(|s| s.parse().unwrap()),
+                    "--v2" => v2 = true,
+                    "--budget" => budget = iter.next().map(|s| s.parse().unwrap()),
+                    "--threads" => threads = iter.next().map(|s| s.parse().unwrap()),
+                    other => panic!("unexpected arg {other}"),
+                }
+            }
+            let parsed =
+                Workload::from_cli(kind.as_deref().unwrap(), seed.unwrap(), v2, budget, threads)
+                    .unwrap();
+            assert_eq!(parsed, workload);
+        }
+    }
+
+    #[test]
+    fn tiny_matrix_is_three_jobs_and_v2_needs_generation() {
+        let matrix = Workload::new(1, WorkloadKind::Tiny).matrix().unwrap();
+        assert_eq!(matrix.job_count(), 3);
+        assert!(matrix.fleet_faults.is_empty());
+        let err = Workload::new(1, WorkloadKind::Tiny)
+            .with_v2(true)
+            .matrix()
+            .unwrap_err();
+        assert!(err.contains("--v2"), "{err}");
+    }
+
+    #[test]
+    fn golden_matrix_matches_the_pinned_shape() {
+        let matrix = Workload::new(2026, WorkloadKind::Golden200)
+            .matrix()
+            .unwrap();
+        assert_eq!(matrix.scenarios.len(), 200);
+        assert_eq!(matrix.job_count(), 200);
+        let v2 = Workload::new(2026, WorkloadKind::Golden200)
+            .with_v2(true)
+            .matrix()
+            .unwrap();
+        assert!(v2.scenarios.iter().all(|s| s.name.ends_with("-v2")));
+    }
+}

@@ -1,0 +1,128 @@
+//! Crash-safe file writes: temp file + fsync + atomic rename.
+//!
+//! Every artifact this workspace persists — run reports, archive
+//! JSONL, harness shard envelopes — lands through [`write_atomic`], so
+//! a crash (or a chaos-injected worker kill) mid-write can leave
+//! behind either the old file or the new one, never a torn hybrid.
+//! The sequence is the standard one:
+//!
+//! 1. write the full contents to a unique dot-temp file in the target
+//!    directory (same filesystem, so the rename cannot degrade to a
+//!    copy),
+//! 2. `fsync` the temp file so the data is durable before it becomes
+//!    visible under the real name,
+//! 3. `rename` over the target — atomic on POSIX,
+//! 4. best-effort `fsync` of the parent directory so the rename itself
+//!    survives power loss (some filesystems don't support directory
+//!    fsync; that failure is ignored by design).
+//!
+//! Readers still defend in depth (the harness artifact envelope
+//! carries a length + checksum) because not every byte that reaches a
+//! loader came from this writer.
+
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes temp files from concurrent writers in one process
+/// (e.g. parallel tests targeting sibling paths).
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` crash-safely (temp + fsync + rename).
+///
+/// Parent directories are created if missing. On any failure the
+/// target file is left untouched (either absent or holding its prior
+/// contents) and the temp file is cleaned up best-effort.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    fs::create_dir_all(&dir).map_err(|e| format!("creating directory {}: {e}", dir.display()))?;
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| format!("invalid target path {}", path.display()))?;
+    let tmp = dir.join(format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let write_result = (|| -> Result<(), String> {
+        let mut file =
+            File::create(&tmp).map_err(|e| format!("creating {}: {e}", tmp.display()))?;
+        file.write_all(bytes)
+            .map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+        file.sync_all()
+            .map_err(|e| format!("syncing {}: {e}", tmp.display()))?;
+        fs::rename(&tmp, path)
+            .map_err(|e| format!("renaming {} over {}: {e}", tmp.display(), path.display()))?;
+        Ok(())
+    })();
+    if write_result.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return write_result;
+    }
+
+    // Durability of the rename itself; unsupported on some
+    // filesystems, so failures are deliberately ignored.
+    if let Ok(dir_handle) = File::open(&dir) {
+        let _ = dir_handle.sync_all();
+    }
+    Ok(())
+}
+
+/// String-payload convenience over [`write_atomic`].
+pub fn write_atomic_str(path: &Path, text: &str) -> Result<(), String> {
+    write_atomic(path, text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fleet_fsio_{tag}_{}_{}",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces_contents() {
+        let dir = temp_dir("replace");
+        let path = dir.join("report.json");
+        write_atomic_str(&path, "first").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "first");
+        write_atomic_str(&path, "second").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "second");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let dir = temp_dir("mkdirs");
+        let path = dir.join("nested/deeper/out.json");
+        write_atomic_str(&path, "x").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "x");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = temp_dir("clean");
+        write_atomic_str(&dir.join("a.json"), "a").unwrap();
+        write_atomic_str(&dir.join("a.json"), "b").unwrap();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a.json".to_string()], "{names:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -16,6 +16,38 @@
 
 use std::fmt::Write as _;
 
+/// A parse failure with the byte offset where parsing stopped.
+///
+/// Artifact loaders (scorecard shards, run reports, harness envelopes)
+/// wrap this into their own typed errors so a truncated or bit-flipped
+/// file is reported as "`<artifact>: <what> at byte <where>`" instead of
+/// an anonymous string — or worse, a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed. For truncation
+    /// ("unexpected end of input") this is the input length.
+    pub offset: usize,
+    /// What went wrong, without the offset (Display appends it).
+    pub message: String,
+}
+
+impl JsonError {
+    fn at(offset: usize, message: impl Into<String>) -> Self {
+        JsonError {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 /// A JSON value. Objects are ordered vectors, not maps: order in ==
 /// order out.
 #[derive(Clone, Debug, PartialEq)]
@@ -182,12 +214,18 @@ impl Json {
 
     /// Parses a JSON document.
     pub fn parse(text: &str) -> Result<Json, String> {
+        Self::parse_located(text).map_err(|e| e.to_string())
+    }
+
+    /// Parses a JSON document, reporting failures as a structured
+    /// [`JsonError`] carrying the byte offset.
+    pub fn parse_located(text: &str) -> Result<Json, JsonError> {
         let bytes = text.as_bytes();
         let mut pos = 0;
         let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
-            return Err(format!("trailing input at byte {pos}"));
+            return Err(JsonError::at(pos, "trailing input"));
         }
         Ok(value)
     }
@@ -224,10 +262,14 @@ fn write_str(out: &mut String, s: &str) {
 }
 
 /// Reads four hex digits starting at `at`.
-fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
-    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
-    u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
-        .map_err(|e| e.to_string())
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| JsonError::at(bytes.len(), "truncated \\u escape"))?;
+    let text =
+        std::str::from_utf8(hex).map_err(|e| JsonError::at(at, format!("bad \\u escape: {e}")))?;
+    u32::from_str_radix(text, 16)
+        .map_err(|_| JsonError::at(at, format!("bad \\u escape digits {text:?}")))
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -236,13 +278,13 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), String> {
+fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), JsonError> {
     skip_ws(bytes, pos);
     if *pos < bytes.len() && bytes[*pos] == token {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!("expected {:?} at byte {}", token as char, *pos))
+        Err(JsonError::at(*pos, format!("expected {:?}", token as char)))
     }
 }
 
@@ -251,15 +293,16 @@ fn expect(bytes: &[u8], pos: &mut usize, token: u8) -> Result<(), String> {
 /// return `Err`, not blow the stack.
 const MAX_DEPTH: usize = 128;
 
-fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
     if depth > MAX_DEPTH {
-        return Err(format!(
-            "nesting deeper than {MAX_DEPTH} levels at byte {pos}"
+        return Err(JsonError::at(
+            *pos,
+            format!("nesting deeper than {MAX_DEPTH} levels"),
         ));
     }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
+        None => Err(JsonError::at(bytes.len(), "unexpected end of input")),
         Some(b'{') => {
             *pos += 1;
             let mut pairs = Vec::new();
@@ -270,9 +313,10 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Stri
             }
             loop {
                 skip_ws(bytes, pos);
+                let key_at = *pos;
                 let key = match parse_value(bytes, pos, depth + 1)? {
                     Json::Str(s) => s,
-                    _ => return Err(format!("object key must be a string at byte {pos}")),
+                    _ => return Err(JsonError::at(key_at, "object key must be a string")),
                 };
                 expect(bytes, pos, b':')?;
                 let value = parse_value(bytes, pos, depth + 1)?;
@@ -284,7 +328,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Stri
                         *pos += 1;
                         return Ok(Json::Obj(pairs));
                     }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    _ => return Err(JsonError::at(*pos, "expected ',' or '}'")),
                 }
             }
         }
@@ -305,7 +349,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Stri
                         *pos += 1;
                         return Ok(Json::Arr(items));
                     }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    _ => return Err(JsonError::at(*pos, "expected ',' or ']'")),
                 }
             }
         }
@@ -314,7 +358,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Stri
             let mut s = String::new();
             loop {
                 match bytes.get(*pos) {
-                    None => return Err("unterminated string".to_string()),
+                    None => return Err(JsonError::at(bytes.len(), "unterminated string")),
                     Some(b'"') => {
                         *pos += 1;
                         return Ok(Json::Str(s));
@@ -341,37 +385,44 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Stri
                                     // these) — combine it.
                                     0xD800..=0xDBFF => {
                                         if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
-                                            return Err(format!(
-                                                "lone high surrogate \\u{code:04x}"
+                                            return Err(JsonError::at(
+                                                *pos,
+                                                format!("lone high surrogate \\u{code:04x}"),
                                             ));
                                         }
                                         let low = parse_hex4(bytes, *pos + 3)?;
                                         if !(0xDC00..=0xDFFF).contains(&low) {
-                                            return Err(format!(
-                                                "invalid low surrogate \\u{low:04x}"
+                                            return Err(JsonError::at(
+                                                *pos,
+                                                format!("invalid low surrogate \\u{low:04x}"),
                                             ));
                                         }
                                         *pos += 6;
                                         0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
                                     }
                                     0xDC00..=0xDFFF => {
-                                        return Err(format!("lone low surrogate \\u{code:04x}"))
+                                        return Err(JsonError::at(
+                                            *pos,
+                                            format!("lone low surrogate \\u{code:04x}"),
+                                        ))
                                     }
                                     code => code,
                                 };
-                                s.push(
-                                    char::from_u32(scalar)
-                                        .ok_or_else(|| format!("invalid \\u{scalar:04x}"))?,
-                                );
+                                s.push(char::from_u32(scalar).ok_or_else(|| {
+                                    JsonError::at(*pos, format!("invalid \\u{scalar:04x}"))
+                                })?);
                             }
-                            other => return Err(format!("bad escape {other:?}")),
+                            other => {
+                                return Err(JsonError::at(*pos, format!("bad escape {other:?}")))
+                            }
                         }
                         *pos += 1;
                     }
                     Some(_) => {
                         // Consume one UTF-8 scalar.
                         let rest = &bytes[*pos..];
-                        let text = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                        let text = std::str::from_utf8(rest)
+                            .map_err(|e| JsonError::at(*pos, format!("invalid UTF-8: {e}")))?;
                         let c = text.chars().next().expect("non-empty");
                         s.push(c);
                         *pos += c.len_utf8();
@@ -398,10 +449,11 @@ fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, Stri
             {
                 *pos += 1;
             }
-            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            let text = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|e| JsonError::at(start, format!("invalid UTF-8: {e}")))?;
             text.parse::<f64>()
                 .map(Json::Num)
-                .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+                .map_err(|_| JsonError::at(start, format!("invalid number {text:?}")))
         }
     }
 }
@@ -448,6 +500,21 @@ mod tests {
         for bad in ["{", "[1,", "\"abc", "{\"a\" 1}", "nul", "1 2", "{1: 2}"] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn located_errors_carry_byte_offsets() {
+        // Truncation points at the end of input.
+        let err = Json::parse_located("{\"a\": 1").unwrap_err();
+        assert_eq!(err.offset, 7, "{err}");
+        // A mid-document syntax error points at the offending byte.
+        let err = Json::parse_located(r#"{"a": 1 "b": 2}"#).unwrap_err();
+        assert_eq!(err.offset, 8, "{err}");
+        // Display appends the offset so string-typed surfaces keep it.
+        assert!(err.to_string().contains("at byte 8"), "{err}");
+        // Trailing garbage after a complete value.
+        let err = Json::parse_located("1 2").unwrap_err();
+        assert_eq!(err.offset, 2, "{err}");
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod archive;
 pub mod collector;
 pub mod diff;
+pub mod fsio;
 pub mod histogram;
 pub mod json;
 pub mod ledger;
@@ -52,7 +53,7 @@ pub mod report;
 pub mod spans;
 pub mod trace_export;
 
-pub use archive::{ArchiveEntry, RunArchive};
+pub use archive::{ArchiveEntry, RunArchive, TruncatedTail};
 pub use collector::{Collector, SpanGuard};
 pub use diff::{
     CounterDelta, DiffConfig, HistogramDelta, LabelChange, ReportDiff, ScenarioDrift, SpanDelta,

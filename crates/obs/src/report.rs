@@ -106,6 +106,14 @@ impl RunReport {
         Self::from_json(&Json::parse(text)?)
     }
 
+    /// Writes the rendered report crash-safely (temp + fsync +
+    /// rename via [`crate::fsio::write_atomic`]): a kill mid-write
+    /// leaves the previous report (or nothing), never a torn file.
+    pub fn write_atomic(&self, path: &std::path::Path) -> Result<(), String> {
+        crate::fsio::write_atomic_str(path, &self.to_json_string())
+            .map_err(|err| format!("cannot write report: {err}"))
+    }
+
     /// Human-readable summary: wall time, span tree, scenario ranking,
     /// then the ledger.
     pub fn render_text(&self) -> String {

@@ -171,6 +171,20 @@ impl PassBreakdown {
     }
 }
 
+/// A scenario whose work unit failed (panicked or errored) under
+/// [`FleetEngine::with_quarantine`]: its jobs are absent from the
+/// outcomes and its ranking table is empty, and the failure is
+/// surfaced here instead of aborting the run. The harness folds these
+/// into its `CoverageManifest` so a degraded run states exactly what
+/// is missing and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedScenario {
+    /// The scenario whose unit failed.
+    pub scenario: String,
+    /// The unit's error, or the panic message for caught panics.
+    pub error: String,
+}
+
 /// Everything one fleet run produces.
 #[derive(Clone, Debug)]
 pub struct FleetResult {
@@ -185,6 +199,9 @@ pub struct FleetResult {
     pub streamed_jobs: usize,
     /// Synthesis passes this run spent, broken down by kind.
     pub passes: PassBreakdown,
+    /// Scenarios quarantined under [`FleetEngine::with_quarantine`]
+    /// (always empty otherwise — failures abort the run instead).
+    pub quarantined: Vec<QuarantinedScenario>,
 }
 
 impl FleetResult {
@@ -212,6 +229,9 @@ pub struct ShardedFleetResult {
     pub streamed_jobs: usize,
     /// Synthesis passes this run spent, broken down by kind.
     pub passes: PassBreakdown,
+    /// Scenarios quarantined under [`FleetEngine::with_quarantine`]
+    /// (always empty otherwise — failures abort the run instead).
+    pub quarantined: Vec<QuarantinedScenario>,
 }
 
 impl ShardedFleetResult {
@@ -703,6 +723,8 @@ pub struct FleetEngine {
     cache_policy: TraceCachePolicy,
     shards: Option<usize>,
     collector: Collector,
+    quarantine: bool,
+    chaos_unit_panic: Option<String>,
 }
 
 impl FleetEngine {
@@ -719,7 +741,31 @@ impl FleetEngine {
             cache_policy: TraceCachePolicy::default(),
             shards: None,
             collector: Collector::noop(),
+            quarantine: false,
+            chaos_unit_panic: None,
         }
+    }
+
+    /// Quarantines failing work units instead of aborting the run: a
+    /// scenario whose unit errors or panics is excluded from the
+    /// outcomes (its ranking table comes out empty), counted under
+    /// `fleet/quarantined_units`, and reported in
+    /// [`FleetResult::quarantined`] so callers can fold it into an
+    /// explicit coverage manifest. Off by default — the classic
+    /// behaviour propagates the first failure.
+    pub fn with_quarantine(mut self, enabled: bool) -> Self {
+        self.quarantine = enabled;
+        self
+    }
+
+    /// Deterministic chaos injection for the quarantine path: the work
+    /// unit for the named scenario panics at dispatch. Exists so the
+    /// harness (and its tests) can drive a *real* in-process panic
+    /// through `catch_unwind` end-to-end; useless — and off — in
+    /// production runs.
+    pub fn with_chaos_unit_panic(mut self, scenario: &str) -> Self {
+        self.chaos_unit_panic = Some(scenario.to_string());
+        self
     }
 
     /// Pins the worker-thread count (useful for determinism tests and
@@ -792,7 +838,10 @@ impl FleetEngine {
     /// # Errors
     ///
     /// Returns the first trace-generation or hardware-construction
-    /// error; per-job panics (contract violations) propagate.
+    /// error; a per-job panic (a contract violation) is caught at the
+    /// work-unit boundary and returned as an error naming its
+    /// scenario — or, under [`FleetEngine::with_quarantine`], excluded
+    /// from the outcomes and reported in [`FleetResult::quarantined`].
     pub fn run(&self, matrix: &FleetMatrix) -> Result<FleetResult, String> {
         let mut cache = self.new_cache();
         self.run_cached(matrix, &mut cache)
@@ -852,6 +901,7 @@ impl FleetEngine {
                 cached_jobs: evaluated.cached_jobs,
                 streamed_jobs: evaluated.streamed_jobs,
                 passes: evaluated.passes,
+                quarantined: evaluated.quarantined,
             })
         })
     }
@@ -915,6 +965,7 @@ impl FleetEngine {
                 cached_jobs: evaluated.cached_jobs,
                 streamed_jobs: evaluated.streamed_jobs,
                 passes: evaluated.passes,
+                quarantined: evaluated.quarantined,
             })
         })
     }
@@ -1324,21 +1375,37 @@ impl FleetEngine {
             }
         }
 
+        // Each unit runs under `catch_unwind`: a panicking unit (a
+        // contract violation in predictor/manager code, or injected
+        // chaos) surfaces as `Err` naming its scenario instead of
+        // unwinding through rayon and aborting the whole process.
         let evaluated: Vec<Result<UnitOutcomes, String>> = units
             .par_iter()
             .map(|unit| {
-                let trace = admitted[unit.scenario_idx]
-                    .then(|| &cache.traces[&scenario_keys[unit.scenario_idx]]);
-                self.evaluate_scenario_unit(
-                    matrix,
-                    unit.scenario_idx,
-                    &unit.job_indices,
-                    &jobs,
-                    trace,
-                    unit.resume.as_deref(),
-                    unit.resume_synth.as_ref(),
-                    None,
-                )
+                let scenario_name = &matrix.scenarios[unit.scenario_idx].name;
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    if self.chaos_unit_panic.as_deref() == Some(scenario_name.as_str()) {
+                        panic!("chaos: injected work-unit panic");
+                    }
+                    let trace = admitted[unit.scenario_idx]
+                        .then(|| &cache.traces[&scenario_keys[unit.scenario_idx]]);
+                    self.evaluate_scenario_unit(
+                        matrix,
+                        unit.scenario_idx,
+                        &unit.job_indices,
+                        &jobs,
+                        trace,
+                        unit.resume.as_deref(),
+                        unit.resume_synth.as_ref(),
+                        None,
+                    )
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(format!(
+                        "scenario {scenario_name:?}: work unit panicked: {}",
+                        panic_message(&payload)
+                    ))
+                })
             })
             .collect();
         let mut passes = PassBreakdown {
@@ -1346,8 +1413,24 @@ impl FleetEngine {
             trace_extensions: extended,
             ..PassBreakdown::default()
         };
+        let mut quarantined: Vec<QuarantinedScenario> = Vec::new();
         for (unit, unit_outcomes) in units.iter().zip(evaluated) {
-            let (unit_outcomes, unit_passes, checkpoint) = unit_outcomes?;
+            let (unit_outcomes, unit_passes, checkpoint) = match unit_outcomes {
+                Ok(result) => result,
+                Err(error) if self.quarantine => {
+                    let name = matrix.scenarios[unit.scenario_idx].name.clone();
+                    if self.collector.is_enabled() {
+                        self.collector
+                            .count_scenario(&name, "fleet/quarantined_units", 1);
+                    }
+                    quarantined.push(QuarantinedScenario {
+                        scenario: name,
+                        error,
+                    });
+                    continue;
+                }
+                Err(error) => return Err(error),
+            };
             passes.add(unit_passes);
             if let Some(checkpoint) = checkpoint {
                 cache.checkpoints.insert(
@@ -1362,13 +1445,18 @@ impl FleetEngine {
 
         // Phase 3: assemble in job order (cached outcomes carry stale
         // matrix coordinates from the run that produced them — rewrite).
+        // Quarantined scenarios' jobs have no outcome and are skipped;
+        // without quarantine every key is present (a missing one would
+        // have errored above).
         let outcomes: Vec<JobOutcome> = jobs
             .iter()
             .zip(&job_keys)
-            .map(|(job, key)| {
-                let mut outcome = cache.outcomes[key].clone();
-                outcome.spec = *job;
-                outcome
+            .filter_map(|(job, key)| {
+                cache.outcomes.get(key).map(|cached| {
+                    let mut outcome = cached.clone();
+                    outcome.spec = *job;
+                    outcome
+                })
             })
             .collect();
         Ok(EvaluatedMatrix {
@@ -1378,6 +1466,7 @@ impl FleetEngine {
             streamed_jobs,
             passes,
             resolved_budget: resolved,
+            quarantined,
         })
     }
 
@@ -2318,6 +2407,19 @@ struct EvaluatedMatrix {
     streamed_jobs: usize,
     passes: PassBreakdown,
     resolved_budget: ResolvedTraceBudget,
+    quarantined: Vec<QuarantinedScenario>,
+}
+
+/// Best-effort text of a caught panic payload (`panic!` carries `&str`
+/// or `String`; anything else renders opaquely).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -2375,6 +2477,53 @@ mod tests {
                 outcome.report.energy_balance_error_j()
             );
         }
+    }
+
+    #[test]
+    fn work_unit_panic_is_an_error_not_an_abort() {
+        let err = FleetEngine::new(42)
+            .with_chaos_unit_panic("desert-clear-sky")
+            .run(&small_matrix())
+            .unwrap_err();
+        assert!(err.contains("desert-clear-sky"), "{err}");
+        assert!(err.contains("panicked"), "{err}");
+    }
+
+    #[test]
+    fn quarantine_excludes_the_failed_scenario_and_keeps_the_rest() {
+        let matrix = small_matrix();
+        let clean = FleetEngine::new(42).run(&matrix).unwrap();
+        assert!(clean.quarantined.is_empty());
+        let result = FleetEngine::new(42)
+            .with_quarantine(true)
+            .with_chaos_unit_panic("desert-clear-sky")
+            .run(&matrix)
+            .unwrap();
+        assert_eq!(result.quarantined.len(), 1);
+        assert_eq!(result.quarantined[0].scenario, "desert-clear-sky");
+        assert!(result.quarantined[0].error.contains("panicked"));
+        // Only the healthy scenario's jobs survive, and its rankings
+        // are byte-identical to the clean run's table for it.
+        assert_eq!(result.outcomes.len(), 2 * 2);
+        assert!(result.outcomes.iter().all(|o| o.scenario == "aging-node"));
+        let table_of = |scorecard: &Scorecard, name: &str| {
+            scorecard
+                .per_scenario
+                .iter()
+                .find(|r| r.scenario == name)
+                .unwrap()
+                .clone()
+        };
+        assert_eq!(
+            table_of(&result.scorecard, "aging-node"),
+            table_of(&clean.scorecard, "aging-node")
+        );
+        assert!(
+            table_of(&result.scorecard, "desert-clear-sky")
+                .entries
+                .is_empty(),
+            "the quarantined scenario's table is empty, not wrong"
+        );
     }
 
     #[test]

@@ -70,14 +70,17 @@ pub use catalog::{Catalog, Climate, NodeProfile, Scenario, SiteSpec};
 // crate just to name V1/V2.
 pub use engine::{
     FleetCache, FleetDelta, FleetEngine, FleetResult, JobOutcome, PassBreakdown, PruneStats,
-    ResolvedTraceBudget, ShardedFleetResult, TraceBudgetSource, TraceCachePolicy,
-    ADAPTIVE_FALLBACK_BUDGET_BYTES,
+    QuarantinedScenario, ResolvedTraceBudget, ShardedFleetResult, TraceBudgetSource,
+    TraceCachePolicy, ADAPTIVE_FALLBACK_BUDGET_BYTES,
 };
 pub use faults::{storage_capacity_factor, FaultInjector, FaultSpec};
 pub use fleet_faults::{FalloffProfile, FleetFault, SpatialFalloff};
 pub use generators::{CatalogGenerator, FaultMix, RegimeTemplate};
 pub use matrix::{FleetMatrix, JobSpec, ManagerSpec, PredictorSpec};
-pub use scorecard::{ScenarioRanking, ScoreEntry, Scorecard, ScorecardShard, ShardManifest};
+pub use scorecard::{
+    CoverageManifest, MissingCoverage, ScenarioRanking, ScoreEntry, Scorecard, ScorecardShard,
+    ShardManifest,
+};
 pub use solar_synth::StreamVersion;
 
 // Observability handles, re-exported so engine users configure

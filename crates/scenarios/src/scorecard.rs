@@ -673,6 +673,147 @@ impl Scorecard {
         Ok(merged)
     }
 
+    /// Merges whatever shards survived, reporting the holes.
+    ///
+    /// This is the graceful-degradation counterpart of
+    /// [`Scorecard::merge_shards`]: shards may be missing (a worker
+    /// exhausted its retry budget) and present shards may carry empty
+    /// ranking tables (a scenario quarantined in-process). The merged
+    /// scorecard contains only the covered scenarios' tables, and the
+    /// returned [`CoverageManifest`] names every missing scenario with
+    /// a reason — an honest partial answer, never a silently wrong
+    /// one. With every shard present and no empty tables, the output
+    /// scorecard is byte-identical to [`Scorecard::merge_shards`] and
+    /// the coverage manifest is complete (a test pins this).
+    ///
+    /// `shard_reasons` explains absent shard indices;
+    /// `scenario_reasons` annotates scenarios whose tables came back
+    /// empty (e.g. quarantine errors from the worker artifact).
+    ///
+    /// # Errors
+    ///
+    /// Present shards are validated as strictly as the complete merge:
+    /// foreign seeds, duplicate or out-of-range indices, scenario-name
+    /// mismatches, and combo-set disagreement all fail. A shard both
+    /// present and listed in `shard_reasons` is a caller bug and
+    /// fails too.
+    pub fn merge_shards_partial(
+        manifest: &ShardManifest,
+        shards: &[ScorecardShard],
+        shard_reasons: &std::collections::BTreeMap<usize, String>,
+        scenario_reasons: &std::collections::BTreeMap<String, String>,
+    ) -> Result<(Scorecard, CoverageManifest), String> {
+        let mut by_index: Vec<Option<&ScorecardShard>> = vec![None; manifest.shard_count];
+        for shard in shards {
+            if shard.master_seed != manifest.master_seed {
+                return Err(format!(
+                    "shard {} carries seed {}, manifest has {}",
+                    shard.shard_index, shard.master_seed, manifest.master_seed
+                ));
+            }
+            let slot = by_index
+                .get_mut(shard.shard_index)
+                .ok_or_else(|| format!("shard index {} out of range", shard.shard_index))?;
+            if slot.is_some() {
+                return Err(format!("duplicate shard index {}", shard.shard_index));
+            }
+            if shard_reasons.contains_key(&shard.shard_index) {
+                return Err(format!(
+                    "shard {} is both present and declared missing",
+                    shard.shard_index
+                ));
+            }
+            *slot = Some(shard);
+        }
+        let mut cursors = vec![0usize; manifest.shard_count];
+        let mut per_scenario = Vec::new();
+        let mut coverage = CoverageManifest::default();
+        let mut cost = CostAggregate::default();
+        for (name, shard_idx) in &manifest.scenarios {
+            if *shard_idx >= manifest.shard_count {
+                return Err(format!(
+                    "manifest names shard {shard_idx}, which is out of range"
+                ));
+            }
+            let Some(shard) = by_index[*shard_idx] else {
+                let reason = shard_reasons
+                    .get(shard_idx)
+                    .cloned()
+                    .unwrap_or_else(|| format!("shard {shard_idx} missing"));
+                coverage.missing.push(MissingCoverage {
+                    scenario: name.clone(),
+                    reason,
+                });
+                continue;
+            };
+            let ranking = shard
+                .per_scenario
+                .get(cursors[*shard_idx])
+                .ok_or_else(|| format!("shard {shard_idx} is short a scenario"))?;
+            cursors[*shard_idx] += 1;
+            if &ranking.scenario != name {
+                return Err(format!(
+                    "shard {shard_idx} has scenario {:?} where manifest expects {name:?}",
+                    ranking.scenario
+                ));
+            }
+            if ranking.entries.is_empty() {
+                let reason = scenario_reasons
+                    .get(name)
+                    .cloned()
+                    .unwrap_or_else(|| "scenario produced no outcomes".to_string());
+                coverage.missing.push(MissingCoverage {
+                    scenario: name.clone(),
+                    reason,
+                });
+                continue;
+            }
+            coverage.covered.push(name.clone());
+            per_scenario.push(ranking.clone());
+        }
+        for (idx, shard) in by_index.iter().enumerate() {
+            let Some(shard) = shard else { continue };
+            if cursors[idx] != shard.per_scenario.len() {
+                return Err(format!("shard {idx} has scenarios the manifest lacks"));
+            }
+            cost.merge(&shard.cost);
+        }
+        // The combo-set agreement check from the complete merge, over
+        // the covered tables only.
+        let combo_set = |ranking: &ScenarioRanking| {
+            let mut combos: Vec<(String, String)> = ranking
+                .entries
+                .iter()
+                .map(|e| (e.predictor.clone(), e.manager.clone()))
+                .collect();
+            combos.sort();
+            combos
+        };
+        if let Some(first) = per_scenario.first() {
+            let reference = combo_set(first);
+            for ranking in &per_scenario[1..] {
+                if combo_set(ranking) != reference {
+                    return Err(format!(
+                        "scenario {:?} ranks a different combo set than {:?} — \
+                         shards come from different matrices",
+                        ranking.scenario, first.scenario
+                    ));
+                }
+            }
+        }
+        let overall = Self::overall_from_per_scenario(&per_scenario);
+        Ok((
+            Scorecard {
+                master_seed: manifest.master_seed,
+                per_scenario,
+                overall,
+                cost,
+                trace_budget: None,
+            },
+            coverage,
+        ))
+    }
+
     /// The best overall combo.
     pub fn winner(&self) -> Option<&ScoreEntry> {
         self.overall.first()
@@ -876,6 +1017,129 @@ impl ShardManifest {
     /// Parses a manifest from JSON text.
     pub fn from_json_str(text: &str) -> Result<ShardManifest, String> {
         Self::from_json(&Json::parse(text)?)
+    }
+}
+
+/// One scenario a degraded run could not score, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MissingCoverage {
+    /// The unscored scenario's name.
+    pub scenario: String,
+    /// Why it is missing (retry exhaustion, quarantine error, …).
+    pub reason: String,
+}
+
+/// What a (possibly partial) merged scorecard actually covers.
+///
+/// Produced by [`Scorecard::merge_shards_partial`]: `covered` lists
+/// the scenarios whose ranking tables made it into the scorecard, in
+/// manifest (global matrix) order; `missing` names each hole with the
+/// reason it exists. A complete run has an empty `missing` list. The
+/// harness attaches this to every degraded scorecard so a partial
+/// answer is explicit, never mistaken for a full one.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoverageManifest {
+    /// Scenarios present in the merged scorecard, manifest order.
+    pub covered: Vec<String>,
+    /// Scenarios absent from the merged scorecard, manifest order.
+    pub missing: Vec<MissingCoverage>,
+}
+
+/// Schema tag for [`CoverageManifest`] JSON.
+const COVERAGE_SCHEMA: &str = "fleet-coverage/1";
+
+impl CoverageManifest {
+    /// Whether every scenario is covered.
+    pub fn is_complete(&self) -> bool {
+        self.missing.is_empty()
+    }
+
+    /// Deterministic JSON form: `{schema, covered, missing}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(COVERAGE_SCHEMA.to_string())),
+            (
+                "covered",
+                Json::Arr(
+                    self.covered
+                        .iter()
+                        .map(|name| Json::Str(name.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "missing",
+                Json::Arr(
+                    self.missing
+                        .iter()
+                        .map(|m| {
+                            Json::obj([
+                                ("scenario", Json::Str(m.scenario.clone())),
+                                ("reason", Json::Str(m.reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(value: &Json) -> Result<CoverageManifest, String> {
+        let schema = value.req_str("schema")?;
+        if schema != COVERAGE_SCHEMA {
+            return Err(format!("unsupported coverage schema {schema:?}"));
+        }
+        Ok(CoverageManifest {
+            covered: value
+                .req("covered")?
+                .as_arr()
+                .ok_or("covered must be an array")?
+                .iter()
+                .map(|item| {
+                    item.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "covered entries must be strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            missing: value
+                .req("missing")?
+                .as_arr()
+                .ok_or("missing must be an array")?
+                .iter()
+                .map(|item| {
+                    Ok(MissingCoverage {
+                        scenario: item.req_str("scenario")?.to_string(),
+                        reason: item.req_str("reason")?.to_string(),
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        })
+    }
+
+    /// Parses a coverage manifest from JSON text.
+    pub fn from_json_str(text: &str) -> Result<CoverageManifest, String> {
+        Self::from_json(&Json::parse(text)?)
+    }
+
+    /// A terminal summary: one line per hole, or a completeness note.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.is_complete() {
+            let _ = writeln!(out, "coverage: complete ({} scenarios)", self.covered.len());
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "coverage: DEGRADED — {} of {} scenarios missing",
+            self.missing.len(),
+            self.covered.len() + self.missing.len()
+        );
+        for m in &self.missing {
+            let _ = writeln!(out, "  missing {:<32} {}", m.scenario, m.reason);
+        }
+        out
     }
 }
 
@@ -1150,5 +1414,84 @@ mod tests {
         let mut foreign_matrix = sharded.shards.clone();
         foreign_matrix[0].per_scenario[0].entries.pop();
         assert!(Scorecard::merge_shards(&sharded.manifest, &foreign_matrix).is_err());
+    }
+
+    #[test]
+    fn partial_merge_with_everything_present_matches_complete_merge() {
+        use std::collections::BTreeMap;
+        let matrix = three_scenario_matrix();
+        let sharded = FleetEngine::new(11).run_sharded(&matrix, 2).unwrap();
+        let complete = Scorecard::merge_shards(&sharded.manifest, &sharded.shards).unwrap();
+        let (partial, coverage) = Scorecard::merge_shards_partial(
+            &sharded.manifest,
+            &sharded.shards,
+            &BTreeMap::new(),
+            &BTreeMap::new(),
+        )
+        .unwrap();
+        assert_eq!(partial.to_json_string(), complete.to_json_string());
+        assert!(coverage.is_complete());
+        assert_eq!(coverage.covered.len(), 3);
+    }
+
+    #[test]
+    fn partial_merge_reports_missing_shards_and_empty_tables() {
+        use std::collections::BTreeMap;
+        let matrix = three_scenario_matrix();
+        let sharded = FleetEngine::new(11).run_sharded(&matrix, 3).unwrap();
+        // Drop shard 1 (retry exhaustion) and empty shard 2's table
+        // (in-process quarantine).
+        let mut shards = vec![sharded.shards[0].clone(), sharded.shards[2].clone()];
+        let quarantined_scenario = shards[1].per_scenario[0].scenario.clone();
+        shards[1].per_scenario[0].entries.clear();
+        let shard_reasons: BTreeMap<usize, String> =
+            [(1usize, "retry budget exhausted".to_string())].into();
+        let scenario_reasons: BTreeMap<String, String> = [(
+            quarantined_scenario.clone(),
+            "work unit panicked".to_string(),
+        )]
+        .into();
+        let (partial, coverage) = Scorecard::merge_shards_partial(
+            &sharded.manifest,
+            &shards,
+            &shard_reasons,
+            &scenario_reasons,
+        )
+        .unwrap();
+        assert_eq!(coverage.covered.len(), 1);
+        assert_eq!(coverage.missing.len(), 2);
+        assert_eq!(partial.per_scenario.len(), 1);
+        assert!(!partial.overall.is_empty());
+        let reasons: Vec<&str> = coverage.missing.iter().map(|m| m.reason.as_str()).collect();
+        assert!(reasons.contains(&"retry budget exhausted"), "{reasons:?}");
+        assert!(reasons.contains(&"work unit panicked"), "{reasons:?}");
+        assert!(coverage
+            .missing
+            .iter()
+            .any(|m| m.scenario == quarantined_scenario));
+        // The coverage manifest round-trips through its JSON form.
+        let back = CoverageManifest::from_json_str(&coverage.to_json().render_pretty()).unwrap();
+        assert_eq!(back, coverage);
+        assert!(coverage.render_text().contains("DEGRADED"));
+
+        // Contradiction (shard both present and declared missing) and
+        // strict validation of present shards still hold.
+        let all_reasons: BTreeMap<usize, String> = [(0usize, "x".to_string())].into();
+        assert!(Scorecard::merge_shards_partial(
+            &sharded.manifest,
+            &shards,
+            &all_reasons,
+            &BTreeMap::new(),
+        )
+        .is_err());
+        let mut foreign = shards.clone();
+        foreign[0].master_seed ^= 1;
+        assert!(Scorecard::merge_shards_partial(
+            &sharded.manifest,
+            &foreign,
+            &shard_reasons,
+            &BTreeMap::new(),
+        )
+        .is_err());
     }
 }

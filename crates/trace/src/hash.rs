@@ -8,8 +8,16 @@
 
 /// 64-bit FNV-1a over the bytes of `name`.
 pub fn fnv1a(name: &str) -> u64 {
+    fnv1a_bytes(name.as_bytes())
+}
+
+/// 64-bit FNV-1a over raw bytes — the same stream the string form
+/// hashes, exposed for payloads that may not be valid UTF-8 (e.g. the
+/// harness artifact checksum, which must hash whatever bytes actually
+/// landed on disk, bit-flips and all).
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for byte in name.bytes() {
+    for &byte in bytes {
         hash ^= byte as u64;
         hash = hash.wrapping_mul(0x100_0000_01b3);
     }

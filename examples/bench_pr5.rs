@@ -237,7 +237,7 @@ fn render(m: &Measurements, baseline: Option<&str>) -> String {
     out
 }
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn run() -> Result<(), Box<dyn Error>> {
     let mut smoke = false;
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
@@ -245,9 +245,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
-            "--out" => out_path = Some(args.next().ok_or("--out needs a path")?),
-            "--baseline" => baseline_path = Some(args.next().ok_or("--baseline needs a path")?),
-            other => return Err(format!("unknown argument {other:?}").into()),
+            "--out" => out_path = Some(args.next().ok_or("usage: --out needs a path")?),
+            "--baseline" => {
+                baseline_path = Some(args.next().ok_or("usage: --baseline needs a path")?)
+            }
+            other => return Err(format!("usage: unknown argument {other:?}").into()),
         }
     }
 
@@ -285,10 +287,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     let json = render(&measurements, baseline.as_deref());
     match out_path {
         Some(path) => {
-            std::fs::write(&path, &json)?;
+            fleet_obs::fsio::write_atomic_str(std::path::Path::new(&path), &json)?;
             eprintln!("wrote {path}");
         }
         None => print!("{json}"),
     }
     Ok(())
+}
+
+fn main() {
+    // Workspace exit codes (see `fleet_harness::exit`): 64 for bad
+    // command lines, 3 for runtime or regression failures.
+    if let Err(e) = run() {
+        eprintln!("bench_pr5: {e}");
+        let usage = e.to_string().starts_with("usage:");
+        std::process::exit(if usage { 64 } else { 3 });
+    }
 }

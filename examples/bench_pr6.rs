@@ -57,7 +57,7 @@ fn round4(value: f64) -> f64 {
     (value * 1e4).round() / 1e4
 }
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn run() -> Result<(), Box<dyn Error>> {
     let mut smoke = false;
     let mut out_path: Option<String> = None;
     let mut report_path: Option<String> = None;
@@ -65,9 +65,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
-            "--out" => out_path = Some(args.next().ok_or("--out needs a path")?),
-            "--report" => report_path = Some(args.next().ok_or("--report needs a path")?),
-            other => return Err(format!("unknown argument {other:?}").into()),
+            "--out" => out_path = Some(args.next().ok_or("usage: --out needs a path")?),
+            "--report" => report_path = Some(args.next().ok_or("usage: --report needs a path")?),
+            other => return Err(format!("usage: unknown argument {other:?}").into()),
         }
     }
 
@@ -132,7 +132,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         let text = report.to_json_string();
         // Round-trip before writing; the CI sentinel diffs this file.
         RunReport::from_json_str(&text)?;
-        std::fs::write(path, &text)?;
+        fleet_obs::fsio::write_atomic_str(std::path::Path::new(path), &text)?;
         eprintln!("wrote run report to {path}");
     }
 
@@ -150,10 +150,20 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     match out_path {
         Some(path) => {
-            std::fs::write(&path, &json)?;
+            fleet_obs::fsio::write_atomic_str(std::path::Path::new(&path), &json)?;
             eprintln!("wrote {path}");
         }
         None => print!("{json}"),
     }
     Ok(())
+}
+
+fn main() {
+    // Workspace exit codes (see `fleet_harness::exit`): 64 for bad
+    // command lines, 3 for runtime or regression failures.
+    if let Err(e) = run() {
+        eprintln!("bench_pr6: {e}");
+        let usage = e.to_string().starts_with("usage:");
+        std::process::exit(if usage { 64 } else { 3 });
+    }
 }

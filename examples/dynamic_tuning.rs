@@ -17,7 +17,7 @@ use solar_synth::{Site, TraceGenerator};
 use solar_trace::{SlotView, SlotsPerDay};
 use std::error::Error;
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn run() -> Result<(), Box<dyn Error>> {
     let site = Site::Ecsu;
     let trace = TraceGenerator::new(site.config(), 2010).generate_days(180)?;
     let protocol = EvalProtocol::paper();
@@ -58,4 +58,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("algorithm can reach (the paper's Table V); the causal column is");
     println!("what a deployable score-and-switch selector achieves today.");
     Ok(())
+}
+
+fn main() {
+    // Workspace exit codes (see `fleet_harness::exit`): 3 on failure.
+    if let Err(e) = run() {
+        eprintln!("dynamic_tuning: {e}");
+        std::process::exit(3);
+    }
 }

@@ -23,13 +23,19 @@
 //! a ledger-only report (zero wall, empty span tree), so committed
 //! bench baselines diff directly against fresh `--report` runs.
 //!
-//! Exit codes for `diff`: 0 clean or drifted (drift is reported, not
-//! fatal), 3 regressed — the code the CI regression sentinel traps.
+//! Exit codes follow the workspace convention (documented in
+//! `fleet_harness::exit`; this crate sits below the harness, so the
+//! values are spelled out): 0 clean or drifted (drift is reported, not
+//! fatal), 3 regressed or failed — the code the CI regression sentinel
+//! traps — and 64 for usage errors.
 
 use fleet_obs::json::Json;
 use fleet_obs::{chrome_trace_string, DiffConfig, ReportDiff, RunArchive, RunReport, Verdict};
-use std::error::Error;
 use std::path::Path;
+
+/// Workspace exit codes (see `fleet_harness::exit`).
+const EXIT_FAILED: i32 = 3;
+const EXIT_USAGE: i32 = 64;
 
 /// Loads a run report, accepting bench files by lifting their ledger.
 fn load_report(path: &str) -> Result<RunReport, String> {
@@ -97,7 +103,7 @@ fn cmd_diff(mut args: Vec<String>, findings: bool) -> Result<i32, String> {
         let markdown = diff.render_markdown();
         match &out {
             Some(path) => {
-                std::fs::write(path, &markdown).map_err(|err| format!("{path}: {err}"))?;
+                fleet_obs::fsio::write_atomic_str(Path::new(path), &markdown)?;
                 eprintln!("wrote findings to {path}");
             }
             None => print!("{markdown}"),
@@ -105,17 +111,16 @@ fn cmd_diff(mut args: Vec<String>, findings: bool) -> Result<i32, String> {
     } else {
         print!("{}", diff.render_text());
         if let Some(path) = &out {
-            std::fs::write(path, diff.render_markdown()).map_err(|err| format!("{path}: {err}"))?;
+            fleet_obs::fsio::write_atomic_str(Path::new(path), &diff.render_markdown())?;
             eprintln!("wrote findings to {path}");
         }
     }
     if let Some(path) = &json_out {
-        std::fs::write(path, diff.to_json().render_pretty())
-            .map_err(|err| format!("{path}: {err}"))?;
+        fleet_obs::fsio::write_atomic_str(Path::new(path), &diff.to_json().render_pretty())?;
         eprintln!("wrote diff JSON to {path}");
     }
     Ok(match diff.verdict {
-        Verdict::Regressed => 3,
+        Verdict::Regressed => EXIT_FAILED,
         Verdict::Clean | Verdict::Drifted => 0,
     })
 }
@@ -153,7 +158,7 @@ fn cmd_trace(mut args: Vec<String>) -> Result<i32, String> {
     let trace = chrome_trace_string(&report);
     match &out {
         Some(path) => {
-            std::fs::write(path, &trace).map_err(|err| format!("{path}: {err}"))?;
+            fleet_obs::fsio::write_atomic_str(Path::new(path), &trace)?;
             eprintln!("wrote chrome trace to {path} (open in about:tracing or Perfetto)");
         }
         None => print!("{trace}"),
@@ -161,18 +166,32 @@ fn cmd_trace(mut args: Vec<String>) -> Result<i32, String> {
     Ok(0)
 }
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        return Err("usage: fleet_report diff|findings|archive|trace …".into());
+        eprintln!("usage: fleet_report diff|findings|archive|trace …");
+        std::process::exit(EXIT_USAGE);
     }
     let command = args.remove(0);
-    let code = match command.as_str() {
-        "diff" => cmd_diff(args, false)?,
-        "findings" => cmd_diff(args, true)?,
-        "archive" => cmd_archive(args)?,
-        "trace" => cmd_trace(args)?,
-        other => return Err(format!("unknown command {other:?}").into()),
+    let result = match command.as_str() {
+        "diff" => cmd_diff(args, false),
+        "findings" => cmd_diff(args, true),
+        "archive" => cmd_archive(args),
+        "trace" => cmd_trace(args),
+        other => Err(format!("usage: unknown command {other:?}")),
+    };
+    let code = match result {
+        Ok(code) => code,
+        // The cmd functions signal bad command lines with "usage: …"
+        // messages; everything else is a runtime failure.
+        Err(e) if e.starts_with("usage:") => {
+            eprintln!("fleet_report: {e}");
+            EXIT_USAGE
+        }
+        Err(e) => {
+            eprintln!("fleet_report: {e}");
+            EXIT_FAILED
+        }
     };
     std::process::exit(code);
 }

@@ -9,12 +9,13 @@
 //! cargo run --release --example fleet_scorecard -- 42 --shards 4
 //! cargo run --release --example fleet_scorecard -- --smoke
 //! cargo run --release --example fleet_scorecard -- --generated 64 --smoke
+//! cargo run --release --example fleet_scorecard -- --shard 0/2 --shard-out s0.artifact --smoke
 //! ```
 //!
 //! * positional args: master seed, then worker-thread count;
-//! * `--shards N` — run the sharded reduction: shard JSONs plus the
-//!   manifest land in `target/`, and the example verifies the merged
-//!   scorecard is byte-identical to the monolithic one;
+//! * `--shards N` — run the sharded reduction in-process: shard JSONs
+//!   plus the manifest land in `target/`, and the example verifies the
+//!   merged scorecard is byte-identical to the monolithic one;
 //! * `--smoke` — a fast matrix that still spans a multi-year horizon:
 //!   four regimes including the 3-year la-niña entry, evaluated under a
 //!   bounded trace-cache budget so the multi-year scenario runs
@@ -29,46 +30,149 @@
 //!   `PATH`, plus a text summary to stdout. Collection does not move a
 //!   byte of the scorecard output.
 //!
+//! **Worker mode** — `--shard i/N --shard-out PATH` runs one shard of
+//! the matrix through the fault-tolerant harness protocol instead:
+//! the shard's rankings, manifest, quarantined scenarios, and ledger
+//! land at `PATH` as a checksummed, atomically-written artifact (see
+//! `fleet_harness`). `--chaos SEED --attempt K` adds deterministic
+//! fault injection. The matrix flags map to named workloads: plain
+//! `--smoke` is the `smoke` workload, `--generated N` is
+//! `generated:N` (extended predictor family), and no flag is the full
+//! `builtin` catalog.
+//!
 //! The run is deterministic for a given seed: the scorecard JSON (also
 //! written to `target/fleet_scorecard.json`) is byte-identical across
 //! runs, thread counts, shard counts, and trace-cache policies.
+//!
+//! Exit codes follow `fleet_harness::exit`: 0 success, 3 failure,
+//! 64 usage.
 
+use fleet_harness::worker::{ChaosSpec, WorkerConfig};
+use fleet_harness::{exit, run_worker, Workload, WorkloadKind};
 use scenario_fleet::{
     Catalog, CatalogGenerator, Collector, FleetEngine, FleetMatrix, ManagerSpec, PredictorSpec,
     RunReport, Scorecard, TraceCachePolicy,
 };
-use std::error::Error;
 
-fn main() -> Result<(), Box<dyn Error>> {
+#[derive(Default)]
+struct Args {
+    seed: u64,
+    threads: Option<usize>,
+    shards: Option<usize>,
+    smoke: bool,
+    generated: Option<usize>,
+    report: Option<std::path::PathBuf>,
+    shard: Option<(usize, usize)>,
+    shard_out: Option<std::path::PathBuf>,
+    chaos: Option<u64>,
+    attempt: u32,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 42,
+        ..Args::default()
+    };
     let mut positional: Vec<u64> = Vec::new();
-    let mut shards: Option<usize> = None;
-    let mut smoke = false;
-    let mut generated: Option<usize> = None;
-    let mut report_path: Option<std::path::PathBuf> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
+    let mut iter = std::env::args().skip(1);
+    let next = |iter: &mut dyn Iterator<Item = String>, flag: &str| {
+        iter.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--smoke" => smoke = true,
+            "--smoke" => args.smoke = true,
             "--shards" => {
-                let count = args.next().ok_or("--shards needs a count")?;
-                shards = Some(count.parse()?);
+                args.shards = Some(
+                    next(&mut iter, "--shards")?
+                        .parse()
+                        .map_err(|e| format!("bad shard count: {e}"))?,
+                )
             }
             "--generated" => {
-                let count = args.next().ok_or("--generated needs a count")?;
-                generated = Some(count.parse()?);
+                args.generated = Some(
+                    next(&mut iter, "--generated")?
+                        .parse()
+                        .map_err(|e| format!("bad generated count: {e}"))?,
+                )
             }
-            "--report" => {
-                let path = args.next().ok_or("--report needs a path")?;
-                report_path = Some(path.into());
+            "--report" => args.report = Some(next(&mut iter, "--report")?.into()),
+            "--shard" => {
+                let spec = next(&mut iter, "--shard")?;
+                let (index, count) = spec
+                    .split_once('/')
+                    .ok_or_else(|| format!("--shard wants i/N, got {spec:?}"))?;
+                args.shard = Some((
+                    index.parse().map_err(|e| format!("bad shard index: {e}"))?,
+                    count.parse().map_err(|e| format!("bad shard count: {e}"))?,
+                ));
             }
-            other => positional.push(other.parse()?),
+            "--shard-out" => args.shard_out = Some(next(&mut iter, "--shard-out")?.into()),
+            "--chaos" => {
+                args.chaos = Some(
+                    next(&mut iter, "--chaos")?
+                        .parse()
+                        .map_err(|e| format!("bad chaos seed: {e}"))?,
+                )
+            }
+            "--attempt" => {
+                args.attempt = next(&mut iter, "--attempt")?
+                    .parse()
+                    .map_err(|e| format!("bad attempt: {e}"))?
+            }
+            other => positional.push(
+                other
+                    .parse()
+                    .map_err(|e| format!("unexpected argument {other:?}: {e}"))?,
+            ),
         }
     }
-    let seed = positional.first().copied().unwrap_or(42);
-    let threads = positional.get(1).map(|&t| t as usize);
+    if let Some(&seed) = positional.first() {
+        args.seed = seed;
+    }
+    args.threads = positional.get(1).map(|&t| t as usize);
+    Ok(args)
+}
+
+/// Worker mode: one shard, through the harness protocol.
+fn run_shard(args: &Args) -> Result<i32, String> {
+    let (shard_index, shard_count) = args.shard.expect("worker mode requires --shard");
+    let out_path = args
+        .shard_out
+        .clone()
+        .ok_or("--shard requires --shard-out")?;
+    let kind = match args.generated {
+        Some(count) => WorkloadKind::Generated { count },
+        None if args.smoke => WorkloadKind::Smoke,
+        None => WorkloadKind::Builtin,
+    };
+    let mut workload = Workload::new(args.seed, kind);
+    if let Some(threads) = args.threads {
+        workload = workload.with_threads(threads);
+    }
+    run_worker(
+        &workload,
+        &WorkerConfig {
+            shard_index,
+            shard_count,
+            out_path,
+            chaos: args.chaos.map(|seed| ChaosSpec {
+                seed,
+                attempt: args.attempt,
+            }),
+            fail: false,
+        },
+    )
+}
+
+fn run(args: Args) -> Result<i32, String> {
+    if args.shard.is_some() {
+        return run_shard(&args);
+    }
+    let seed = args.seed;
+    let threads = args.threads;
 
     let catalog = Catalog::builtin();
-    let (scenarios, predictors) = if let Some(count) = generated {
+    let (scenarios, predictors) = if let Some(count) = args.generated {
         // The parameterized catalog: `count` regimes expanded from the
         // master seed, round-robin across the five climate families.
         let generator = CatalogGenerator::new(seed);
@@ -78,13 +182,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
         (
             generator.generate(count)?.scenarios().to_vec(),
-            if smoke {
+            if args.smoke {
                 PredictorSpec::guideline_family()
             } else {
                 PredictorSpec::extended_family()
             },
         )
-    } else if smoke {
+    } else if args.smoke {
         // Four regimes spanning desert → polar plus the 3-year la-niña
         // anomaly — the multi-year entry is the point of the smoke run.
         let names = [
@@ -119,8 +223,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // through the streamed path; results are byte-identical either way.
     // The smoke budget is tight enough that the 3-year la-niña entry
     // (≈2.4 MiB of 5-minute samples) must stream.
-    let budget: u64 = if smoke { 2 << 20 } else { 4 << 20 };
-    let collector = if report_path.is_some() {
+    let budget: u64 = if args.smoke { 2 << 20 } else { 4 << 20 };
+    let collector = if args.report.is_some() {
         Collector::recording()
     } else {
         Collector::noop()
@@ -141,13 +245,15 @@ fn main() -> Result<(), Box<dyn Error>> {
         "evaluated {} jobs in {:.2?} on {} threads — {} streamed (trace cache ≤ {} MiB), {} materialized",
         result.outcomes.len(),
         started.elapsed(),
-        threads.unwrap_or_else(rayon::current_num_threads),
+        threads
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "default".to_string()),
         result.streamed_jobs,
         budget >> 20,
         result.outcomes.len() - result.streamed_jobs,
     );
 
-    if let Some(shard_count) = shards {
+    if let Some(shard_count) = args.shards {
         let sharded = engine.run_sharded_cached(&matrix, shard_count, &mut cache)?;
         assert_eq!(
             sharded.cached_jobs,
@@ -161,13 +267,15 @@ fn main() -> Result<(), Box<dyn Error>> {
             result.scorecard.to_json_string(),
             "merged shards must reproduce the monolithic scorecard byte-for-byte"
         );
-        std::fs::create_dir_all("target")?;
         let manifest_path = std::path::Path::new("target").join("fleet_manifest.json");
-        std::fs::write(&manifest_path, sharded.manifest.to_json().render_pretty())?;
+        fleet_obs::fsio::write_atomic_str(
+            &manifest_path,
+            &sharded.manifest.to_json().render_pretty(),
+        )?;
         for shard in &sharded.shards {
             let path = std::path::Path::new("target")
                 .join(format!("fleet_shard_{}.json", shard.shard_index));
-            std::fs::write(&path, shard.to_json().render_pretty())?;
+            fleet_obs::fsio::write_atomic_str(&path, &shard.to_json().render_pretty())?;
         }
         println!(
             "sharded into {shard_count} shards (target/fleet_manifest.json + shards); \
@@ -193,9 +301,8 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let json = result.scorecard.to_json_string();
     let path = std::path::Path::new("target").join("fleet_scorecard.json");
-    if std::fs::create_dir_all("target").is_ok() && std::fs::write(&path, &json).is_ok() {
-        println!("\nscorecard JSON written to {}", path.display());
-    }
+    fleet_obs::fsio::write_atomic_str(&path, &json)?;
+    println!("\nscorecard JSON written to {}", path.display());
 
     let winner = result.scorecard.winner().expect("non-empty matrix");
     println!(
@@ -203,18 +310,31 @@ fn main() -> Result<(), Box<dyn Error>> {
         winner.predictor, winner.manager, winner.score
     );
 
-    if let Some(path) = report_path {
+    if let Some(path) = args.report {
         let report = collector.report();
-        let text = report.to_json_string();
         // Round-trip before writing: a report that does not parse is a
         // bug, and the CI step relies on this check.
-        RunReport::from_json_str(&text)?;
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(&path, &text)?;
+        RunReport::from_json_str(&report.to_json_string())?;
+        report.write_atomic(&path)?;
         println!("\n=== run report (written to {}) ===", path.display());
         print!("{}", report.render_text());
     }
-    Ok(())
+    Ok(exit::SUCCESS)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("fleet_scorecard: {e}");
+            std::process::exit(exit::USAGE);
+        }
+    };
+    match run(args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("fleet_scorecard: {e}");
+            std::process::exit(exit::FAILED);
+        }
+    }
 }

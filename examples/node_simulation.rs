@@ -17,7 +17,7 @@ use solar_synth::{Site, TraceGenerator};
 use solar_trace::{SlotView, SlotsPerDay};
 use std::error::Error;
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn run() -> Result<(), Box<dyn Error>> {
     let trace = TraceGenerator::new(Site::Spmd.config(), 99).generate_days(120)?;
     let view = SlotView::new(&trace, SlotsPerDay::new(48)?)?;
 
@@ -68,4 +68,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\nA good predictor lets the node run hard *and* survive the night:");
     println!("greedy browns out nightly; prediction-driven planning does not.");
     Ok(())
+}
+
+fn main() {
+    // Workspace exit codes (see `fleet_harness::exit`): 3 on failure.
+    if let Err(e) = run() {
+        eprintln!("node_simulation: {e}");
+        std::process::exit(3);
+    }
 }

@@ -13,7 +13,7 @@ use solar_synth::{Site, TraceGenerator};
 use solar_trace::{SlotView, SlotsPerDay};
 use std::error::Error;
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn run() -> Result<(), Box<dyn Error>> {
     // 1. Ninety days of synthetic irradiance for a humid, variable site.
     let generator = TraceGenerator::new(Site::Hsu.config(), 7);
     let trace = generator.generate_days(90)?;
@@ -42,4 +42,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let gain = (ewma_summary.mape - wcma_summary.mape) * 100.0;
     println!("WCMA improves MAPE by {gain:.1} points over EWMA on this trace");
     Ok(())
+}
+
+fn main() {
+    // Workspace exit codes (see `fleet_harness::exit`): 3 on failure.
+    if let Err(e) = run() {
+        eprintln!("quickstart: {e}");
+        std::process::exit(3);
+    }
 }

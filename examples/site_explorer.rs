@@ -15,7 +15,7 @@ use solar_synth::Site;
 use solar_trace::{SlotView, SlotsPerDay};
 use std::error::Error;
 
-fn main() -> Result<(), Box<dyn Error>> {
+fn run() -> Result<(), Box<dyn Error>> {
     let mut args = std::env::args().skip(1);
     let code = args.next().unwrap_or_else(|| "ORNL".to_string());
     let n: u32 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(48);
@@ -70,4 +70,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         );
     }
     Ok(())
+}
+
+fn main() {
+    // Workspace exit codes (see `fleet_harness::exit`): 3 on failure.
+    if let Err(e) = run() {
+        eprintln!("site_explorer: {e}");
+        std::process::exit(3);
+    }
 }

@@ -21,6 +21,9 @@
 //! the incremental re-scoring contract: growing a predictor axis
 //! through a warm [`FleetCache`] yields a scorecard byte-identical to a
 //! cold full run.
+//!
+//! Exit codes follow the workspace convention (see
+//! `fleet_harness::exit`): 0 success, 3 failure, 64 usage error.
 
 use fleet_tuner::{FleetTuner, TunerConfig};
 use scenario_fleet::{
@@ -28,23 +31,42 @@ use scenario_fleet::{
 };
 use std::error::Error;
 
-fn main() -> Result<(), Box<dyn Error>> {
-    let mut seed: u64 = 42;
-    let mut seed_overridden = false;
-    let mut smoke = false;
-    let mut report_path: Option<std::path::PathBuf> = None;
+struct Args {
+    seed: u64,
+    seed_overridden: bool,
+    smoke: bool,
+    report_path: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        seed: 42,
+        seed_overridden: false,
+        smoke: false,
+        report_path: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--smoke" {
-            smoke = true;
+            parsed.smoke = true;
         } else if arg == "--report" {
             let path = args.next().ok_or("--report needs a path")?;
-            report_path = Some(path.into());
+            parsed.report_path = Some(path.into());
         } else {
-            seed = arg.parse()?;
-            seed_overridden = true;
+            parsed.seed = arg.parse().map_err(|e| format!("seed {arg:?}: {e}"))?;
+            parsed.seed_overridden = true;
         }
     }
+    Ok(parsed)
+}
+
+fn run(args: Args) -> Result<(), Box<dyn Error>> {
+    let Args {
+        seed,
+        seed_overridden,
+        smoke,
+        report_path,
+    } = args;
 
     let catalog = Catalog::builtin();
     let scenarios = if smoke {
@@ -140,7 +162,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     let json = report.to_json_string();
     let path = std::path::Path::new("target").join("tuning_report.json");
-    if std::fs::create_dir_all("target").is_ok() && std::fs::write(&path, &json).is_ok() {
+    if fleet_obs::fsio::write_atomic_str(&path, &json).is_ok() {
         println!("tuning report JSON written to {}", path.display());
     }
 
@@ -150,12 +172,24 @@ fn main() -> Result<(), Box<dyn Error>> {
         // Round-trip before writing: a report that does not parse is a
         // bug, and the CI step relies on this check.
         RunReport::from_json_str(&text)?;
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(&path, &text)?;
+        fleet_obs::fsio::write_atomic_str(&path, &text)?;
         println!("\n=== run report (written to {}) ===", path.display());
         print!("{}", run_report.render_text());
     }
     Ok(())
+}
+
+fn main() {
+    // Workspace exit codes (see `fleet_harness::exit`).
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("tune_fleet: {e}");
+            std::process::exit(64);
+        }
+    };
+    if let Err(e) = run(args) {
+        eprintln!("tune_fleet: {e}");
+        std::process::exit(3);
+    }
 }
